@@ -1,0 +1,105 @@
+// Command tbstress runs the systematic correctness harnesses:
+//
+//	-mode exhaustive  enumerate the full adversary lattice of a small RMW
+//	                  scenario (all delay/offset combinations) and check
+//	                  every world
+//	-mode campaign    randomized sweep across objects × delay policies ×
+//	                  seeds, verifying latency bounds, convergence and
+//	                  linearizability
+//
+// Exit status is non-zero if any world or run fails — suitable for CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"timebounds/internal/core"
+	"timebounds/internal/explore"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tbstress:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode  = flag.String("mode", "campaign", "exhaustive|campaign")
+		n     = flag.Int("n", 3, "number of processes")
+		d     = flag.Duration("d", 10*time.Millisecond, "delay bound d")
+		u     = flag.Duration("u", 4*time.Millisecond, "delay uncertainty u")
+		seeds = flag.Int("seeds", 5, "seeds per object × policy (campaign)")
+		ops   = flag.Int("ops", 4, "operations per process (campaign)")
+		msgs  = flag.Int("msgs", 6, "independent delay slots (exhaustive)")
+	)
+	flag.Parse()
+	p := model.Params{N: *n, D: *d, U: *u}
+	p.Epsilon = p.OptimalSkew()
+
+	switch *mode {
+	case "exhaustive":
+		sc := explore.Scenario{
+			Params:   p,
+			Config:   core.Config{Params: p},
+			DataType: types.NewRMWRegister(0),
+			Invocations: []explore.Invocation{
+				{At: 2 * p.D, Proc: 0, Kind: types.OpRMW, Arg: 1},
+				{At: 2*p.D + p.Epsilon - 1, Proc: 1, Kind: types.OpRMW, Arg: 2},
+				{At: 8 * p.D, Proc: 2, Kind: types.OpRead},
+			},
+			MaxMessages: *msgs,
+		}
+		rep, err := explore.Exhaustive(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("explored %d adversary worlds: %d violations\n", rep.Worlds, len(rep.Violations))
+		if !rep.OK() {
+			v := rep.Violations[0]
+			fmt.Printf("first violation: offsets=%v delays=%v diverged=%v\n%s\n",
+				v.World.Offsets, v.World.DelayChoice, v.Diverged, v.History)
+			return fmt.Errorf("%d violations", len(rep.Violations))
+		}
+	case "campaign":
+		res, err := explore.Campaign(explore.CampaignConfig{
+			Params: p,
+			Objects: []spec.DataType{
+				types.NewRMWRegister(0),
+				types.NewQueue(),
+				types.NewStack(),
+				types.NewTree(),
+				types.NewSet(),
+				types.NewCounter(),
+				types.NewDict(),
+				types.NewPQueue(),
+				types.NewAccount(),
+			},
+			Seeds:         *seeds,
+			OpsPerProcess: *ops,
+			Verify:        true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("campaign: %d runs, %d operations, worst latency %s\n",
+			res.Runs, res.Ops, res.WorstLatency)
+		if !res.OK() {
+			for _, f := range res.Failures {
+				fmt.Println("  FAIL:", f)
+			}
+			return fmt.Errorf("%d failures", len(res.Failures))
+		}
+		fmt.Println("all runs linearizable, convergent and within the class bounds")
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	return nil
+}

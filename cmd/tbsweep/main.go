@@ -1,0 +1,79 @@
+// Command tbsweep prints parameter-sweep series as TSV:
+//
+//	-sweep x   — the accessor/mutator tradeoff across X ∈ [0, d+ε-u]
+//	             (experiment E13; §V.A.2's latency regulation knob)
+//	-sweep n   — mutator latency and (1-1/n)u across cluster sizes
+//	             (experiment E14; Theorem D.1 tightness)
+//	-sweep base — Algorithm 1 vs folklore baselines (experiment E12)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"timebounds/internal/experiments"
+	"timebounds/internal/model"
+	"timebounds/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tbsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sweep = flag.String("sweep", "x", "sweep kind: x|n|base")
+		n     = flag.Int("n", 4, "number of processes (x and base sweeps)")
+		maxN  = flag.Int("maxn", 10, "largest n (n sweep)")
+		d     = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
+		u     = flag.Duration("u", 4*time.Millisecond, "message delay uncertainty u")
+		steps = flag.Int("steps", 9, "sample count (x sweep)")
+		seed  = flag.Int64("seed", 1, "workload/delay seed")
+	)
+	flag.Parse()
+
+	switch *sweep {
+	case "x":
+		p := model.Params{N: *n, D: *d, U: *u}
+		p.Epsilon = p.OptimalSkew()
+		pts, err := experiments.XSweep(p, *steps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("X\tmutator(ε+X)\taccessor(d+ε-X)\tpair(d+2ε)")
+		for _, pt := range pts {
+			fmt.Printf("%s\t%s\t%s\t%s\n", pt.X, pt.Mutator, pt.Accessor, pt.Pair)
+		}
+	case "n":
+		pts, err := experiments.NSweep(*d, *u, *maxN, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("n\t(1-1/n)u\tmeasured-mutator")
+		for _, pt := range pts {
+			fmt.Printf("%d\t%s\t%s\n", pt.N, pt.OptimalSkew, pt.MeasuredMutator)
+		}
+	case "base":
+		p := model.Params{N: *n, D: *d, U: *u}
+		p.Epsilon = p.OptimalSkew()
+		cmp, err := experiments.CompareBaselines(p, 0, *seed, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Println("impl\twrite-max\tread-max\trmw-max")
+		fmt.Printf("algorithm1\t%s\t%s\t%s\n",
+			cmp.Fast[types.OpWrite].Max, cmp.Fast[types.OpRead].Max, cmp.Fast[types.OpRMW].Max)
+		fmt.Printf("all-oop\t%s\t%s\t%s\n",
+			cmp.AllOOP[types.OpWrite].Max, cmp.AllOOP[types.OpRead].Max, cmp.AllOOP[types.OpRMW].Max)
+		fmt.Printf("centralized\t%s\t%s\t%s\n",
+			cmp.Centralized[types.OpWrite].Max, cmp.Centralized[types.OpRead].Max, cmp.Centralized[types.OpRMW].Max)
+	default:
+		return fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	return nil
+}

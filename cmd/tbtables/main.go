@@ -1,0 +1,67 @@
+// Command tbtables regenerates the paper's Tables I–IV (Chapter VI),
+// printing for each operation the previous lower bound, the paper's new
+// lower bound, Algorithm 1's upper bound, and a measured worst-case latency
+// obtained by running the object under a mixed workload on the simulator
+// with worst-case (slowest admissible) delays and maximal clock skew.
+//
+// Usage:
+//
+//	tbtables [-table N] [-n 4] [-d 10ms] [-u 4ms] [-x 0] [-ops 20] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"timebounds/internal/bounds"
+	"timebounds/internal/experiments"
+	"timebounds/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tbtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table = flag.Int("table", 0, "table number 1-4 (0 = all)")
+		n     = flag.Int("n", 4, "number of processes")
+		d     = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
+		u     = flag.Duration("u", 4*time.Millisecond, "message delay uncertainty u")
+		eps   = flag.Duration("eps", 0, "clock skew bound ε (0 = optimal (1-1/n)u)")
+		x     = flag.Duration("x", 0, "accessor/mutator tradeoff X")
+		ops   = flag.Int("ops", 20, "operations per process in the measured workload")
+		seed  = flag.Int64("seed", 1, "workload/delay seed")
+	)
+	flag.Parse()
+
+	p := model.Params{N: *n, D: *d, U: *u, Epsilon: *eps}
+	if p.Epsilon == 0 {
+		p.Epsilon = p.OptimalSkew()
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	for _, tbl := range bounds.AllTables() {
+		if *table != 0 && tbl.Number != *table {
+			continue
+		}
+		measured, _, err := experiments.MeasureTable(tbl, p, experiments.MeasureOptions{
+			X:               *x,
+			Seed:            *seed,
+			OpsPerProcess:   *ops,
+			WorstCaseDelays: true,
+		})
+		if err != nil {
+			return fmt.Errorf("table %d: %w", tbl.Number, err)
+		}
+		fmt.Println(bounds.Render(tbl, p, *x, measured))
+	}
+	return nil
+}

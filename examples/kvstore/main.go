@@ -1,0 +1,107 @@
+// A linearizable key-value store composed from per-key shared registers.
+// Linearizability is a local (composable) property — Herlihy & Wing 1990 —
+// so a store built from independently linearizable registers is itself
+// linearizable. Each key gets its own Algorithm 1 cluster; the example runs
+// a mixed workload against three keys and verifies every per-key history.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"timebounds"
+)
+
+// store maps keys to per-key register clusters.
+type store struct {
+	cfg      timebounds.Config
+	clusters map[string]*timebounds.Cluster
+}
+
+func newStore(cfg timebounds.Config, keys ...string) (*store, error) {
+	s := &store{cfg: cfg, clusters: make(map[string]*timebounds.Cluster, len(keys))}
+	for i, k := range keys {
+		perKey := cfg
+		perKey.Seed = cfg.Seed + int64(i) // independent delay draws per key
+		c, err := timebounds.NewCluster(perKey, timebounds.NewRegister(nil))
+		if err != nil {
+			return nil, err
+		}
+		s.clusters[k] = c
+	}
+	return s, nil
+}
+
+// put schedules a write of key=value from proc at the given time.
+func (s *store) put(at time.Duration, proc timebounds.ProcessID, key string, value any) {
+	s.clusters[key].Invoke(at, proc, timebounds.OpWrite, value)
+}
+
+// get schedules a read of key from proc at the given time.
+func (s *store) get(at time.Duration, proc timebounds.ProcessID, key string) {
+	s.clusters[key].Invoke(at, proc, timebounds.OpRead, nil)
+}
+
+func (s *store) run(horizon time.Duration) error {
+	for key, c := range s.clusters {
+		if err := c.Run(horizon); err != nil {
+			return fmt.Errorf("key %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := timebounds.Config{
+		N:    4,
+		D:    10 * time.Millisecond,
+		U:    4 * time.Millisecond,
+		Seed: 99,
+	}
+	kv, err := newStore(cfg, "alpha", "beta", "gamma")
+	if err != nil {
+		return err
+	}
+
+	// Four clients update and read three keys concurrently.
+	kv.put(0, 0, "alpha", 1)
+	kv.put(0, 1, "beta", "hello")
+	kv.put(2*time.Millisecond, 2, "alpha", 2) // racing write to alpha
+	kv.get(5*time.Millisecond, 3, "alpha")    // may see 1, 2 or nil (concurrent)
+	kv.put(30*time.Millisecond, 3, "gamma", 3.14)
+	kv.get(60*time.Millisecond, 0, "alpha") // settled: must see the race winner
+	kv.get(60*time.Millisecond, 1, "beta")
+	kv.get(60*time.Millisecond, 2, "gamma")
+
+	if err := kv.run(time.Second); err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(kv.clusters))
+	for k := range kv.clusters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		c := kv.clusters[key]
+		res := timebounds.CheckLinearizable(c.DataType(), c.History())
+		state, err := c.ConvergedState()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("key %-6s linearizable=%-5v state=%s\n", key, res.Linearizable, state)
+		for _, op := range c.History().Ops() {
+			fmt.Printf("    %s\n", op)
+		}
+	}
+	fmt.Println("\nper-key linearizability composes: the whole store is linearizable.")
+	return nil
+}

@@ -1,0 +1,75 @@
+// The X tradeoff (Chapter V.A.2): sweeping Algorithm 1's parameter
+// X ∈ [0, d+ε-u] trades pure-mutator latency (ε+X) against pure-accessor
+// latency (d+ε-X) while their sum stays pinned at d+2ε. The example
+// measures both ends and the midpoint on a real workload and prints the
+// curve — the executable version of the paper's latency-regulation knob.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"timebounds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := timebounds.Config{
+		N:    4,
+		D:    10 * time.Millisecond,
+		U:    4 * time.Millisecond,
+		Seed: 5,
+	}
+	eps := timebounds.OptimalSkew(base)
+	maxX := base.D + eps - base.U
+
+	fmt.Printf("n=%d d=%s u=%s ε=%s — X ∈ [0, %s]\n\n", base.N, base.D, base.U, eps, maxX)
+	fmt.Printf("%-10s %-22s %-22s %s\n", "X", "write (measured/bound)", "read (measured/bound)", "sum")
+
+	for i := 0; i <= 4; i++ {
+		cfg := base
+		cfg.X = maxX * time.Duration(i) / 4
+		wMeas, rMeas, err := measure(cfg)
+		if err != nil {
+			return err
+		}
+		bar := strings.Repeat("#", int(wMeas/time.Millisecond))
+		fmt.Printf("%-10s %-22s %-22s %-8s mutator:%s\n",
+			cfg.X,
+			fmt.Sprintf("%s / %s", wMeas, timebounds.UpperBoundMutator(cfg)),
+			fmt.Sprintf("%s / %s", rMeas, timebounds.UpperBoundAccessor(cfg)),
+			wMeas+rMeas, bar)
+	}
+	fmt.Printf("\nsum is constant at d+2ε = %s for every X\n", timebounds.UpperBoundPair(base))
+	return nil
+}
+
+// measure runs writes on every process and a read per process, returning
+// worst-case write and read latencies.
+func measure(cfg timebounds.Config) (writeMax, readMax time.Duration, err error) {
+	cluster, err := timebounds.NewCluster(cfg, timebounds.NewRegister(0))
+	if err != nil {
+		return 0, 0, err
+	}
+	for p := 0; p < cfg.N; p++ {
+		cluster.Invoke(time.Duration(p)*3*time.Millisecond, timebounds.ProcessID(p), timebounds.OpWrite, p)
+		cluster.Invoke(80*time.Millisecond+time.Duration(p)*20*time.Millisecond,
+			timebounds.ProcessID(p), timebounds.OpRead, nil)
+	}
+	if err := cluster.Run(time.Second); err != nil {
+		return 0, 0, err
+	}
+	if res := timebounds.CheckLinearizable(cluster.DataType(), cluster.History()); !res.Linearizable {
+		return 0, 0, fmt.Errorf("X=%s: history not linearizable", cfg.X)
+	}
+	w, _ := cluster.History().MaxLatency(timebounds.OpWrite)
+	r, _ := cluster.History().MaxLatency(timebounds.OpRead)
+	return w, r, nil
+}

@@ -1,0 +1,155 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"timebounds/internal/model"
+)
+
+func params(n int) model.Params {
+	p := model.Params{
+		N: n,
+		D: 10 * time.Millisecond,
+		U: 4 * time.Millisecond,
+	}
+	p.Epsilon = p.OptimalSkew()
+	return p
+}
+
+func TestFigure1NaiveRegisterViolates(t *testing.T) {
+	out, err := Figure1(params(3))
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	if out.Linearizable() {
+		t.Fatalf("naive zero-latency register should violate linearizability:\n%s", out.History)
+	}
+}
+
+func TestTheoremC1PrematureViolates(t *testing.T) {
+	p := params(3)
+	m := M(p)
+	bound := p.D + m
+	for _, tc := range []struct {
+		name    string
+		latency model.Time
+		queue   bool
+	}{
+		{"rmw-just-below-bound", bound - 1, false},
+		{"rmw-at-d", p.D, false},
+		{"rmw-way-below", p.D / 2, false},
+		{"dequeue-just-below-bound", bound - 1, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			outs, err := TheoremC1(C1Config{Params: p, OOPLatency: tc.latency, UseQueue: tc.queue})
+			if err != nil {
+				t.Fatalf("TheoremC1: %v", err)
+			}
+			anyViolation := false
+			for i, o := range outs {
+				if o.WorstLatency >= bound {
+					t.Errorf("run %d: worst latency %s not below bound %s; premature tuning ineffective",
+						i, o.WorstLatency, bound)
+				}
+				if !o.Linearizable() {
+					anyViolation = true
+				}
+			}
+			if !anyViolation {
+				t.Errorf("no violation in any constructed run despite latency %s < bound %s", tc.latency, bound)
+			}
+		})
+	}
+}
+
+func TestTheoremC1CorrectAlgorithmPasses(t *testing.T) {
+	p := params(3)
+	for _, queue := range []bool{false, true} {
+		outs, err := TheoremC1(C1Config{Params: p, OOPLatency: p.D + p.Epsilon, UseQueue: queue})
+		if err != nil {
+			t.Fatalf("TheoremC1: %v", err)
+		}
+		for i, o := range outs {
+			if !o.Linearizable() {
+				t.Errorf("queue=%v run %d: correct algorithm produced a violation:\n%s",
+					queue, i, o.History)
+			}
+			if o.WorstLatency > p.D+p.Epsilon {
+				t.Errorf("queue=%v run %d: latency %s exceeds d+ε", queue, i, o.WorstLatency)
+			}
+		}
+	}
+}
+
+func TestTheoremD1PrematureViolates(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		p := params(n)
+		bound := model.Time(int64(p.U) * int64(n-1) / int64(n))
+		outs, err := TheoremD1(D1Config{Params: p, MutatorLatency: bound - 1})
+		if err != nil {
+			t.Fatalf("n=%d TheoremD1: %v", n, err)
+		}
+		if len(outs) != 2 {
+			t.Fatalf("n=%d: want outcomes [R1, R2], got %d", n, len(outs))
+		}
+		if !outs[0].Linearizable() {
+			t.Errorf("n=%d: R1 (fully concurrent) should be linearizable:\n%s", n, outs[0].History)
+		}
+		if outs[1].Linearizable() {
+			t.Errorf("n=%d: R2 (shifted) should violate with latency %s < (1-1/k)u=%s:\n%s",
+				n, bound-1, bound, outs[1].History)
+		}
+	}
+}
+
+func TestTheoremD1AtBoundPasses(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		p := params(n)
+		bound := model.Time(int64(p.U) * int64(n-1) / int64(n))
+		outs, err := TheoremD1(D1Config{Params: p, MutatorLatency: bound})
+		if err != nil {
+			t.Fatalf("n=%d TheoremD1: %v", n, err)
+		}
+		for i, o := range outs {
+			if !o.Linearizable() {
+				t.Errorf("n=%d run %d: latency = bound (1-1/k)u should pass:\n%s", n, i, o.History)
+			}
+		}
+	}
+}
+
+func TestTheoremE1PrematurePairViolates(t *testing.T) {
+	p := params(3)
+	bound := p.D + M(p)
+	// Pair = Lm + (d+ε-X). Pick X near its max so a small Lm puts the pair
+	// in [d, d+m), the regime the ε-skew mechanism (not plain message
+	// delay) must catch.
+	x := p.Epsilon + M(p)/2
+	lm := model.Time(0)
+	cfg := E1Config{Params: p, X: x, MutatorLatency: lm}
+	if got := cfg.PairLatency(); got >= bound {
+		t.Fatalf("test bug: pair %s not below bound %s", got, bound)
+	}
+	out, err := TheoremE1(cfg)
+	if err != nil {
+		t.Fatalf("TheoremE1: %v", err)
+	}
+	if out.Linearizable() {
+		t.Fatalf("pair latency %s < bound %s should violate:\n%s", cfg.PairLatency(), bound, out.History)
+	}
+}
+
+func TestTheoremE1CorrectPairPasses(t *testing.T) {
+	p := params(3)
+	for _, x := range []model.Time{0, p.Epsilon, p.D + p.Epsilon - p.U} {
+		cfg := E1Config{Params: p, X: x, MutatorLatency: p.Epsilon + x}
+		out, err := TheoremE1(cfg)
+		if err != nil {
+			t.Fatalf("X=%s TheoremE1: %v", x, err)
+		}
+		if !out.Linearizable() {
+			t.Errorf("X=%s: correct pair (|mop|+|aop| = d+2ε) should pass:\n%s", x, out.History)
+		}
+	}
+}

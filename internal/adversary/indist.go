@@ -1,0 +1,127 @@
+package adversary
+
+import (
+	"fmt"
+
+	"timebounds/internal/core"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+// IndistResult reports the indistinguishability comparison at the heart of
+// Theorem C.1's Step 1 (runs R1 vs R'1) and Step 4 (R3 vs R”'3): in the
+// concurrent run, the process that cannot have heard about the other
+// operation before responding must return exactly what it returns when
+// running alone.
+type IndistResult struct {
+	// ConcurrentRet is the focal operation's return value in the
+	// two-operation run.
+	ConcurrentRet spec.Value
+	// SoloRet is the same operation's return value in the reference run
+	// where it executes alone.
+	SoloRet spec.Value
+	// OtherRet is the other (non-focal) operation's return value in the
+	// concurrent run.
+	OtherRet spec.Value
+	// OtherSoloRet is the other operation's return value when IT runs
+	// alone.
+	OtherSoloRet spec.Value
+}
+
+// FocalMatchesSolo reports Step 1.1's conclusion: op′ = op (the focal
+// process cannot distinguish the runs before responding).
+func (r IndistResult) FocalMatchesSolo() bool {
+	return spec.ValueEqual(r.ConcurrentRet, r.SoloRet)
+}
+
+// OtherDiffersFromSolo reports Step 1.2's conclusion: op′2 ≠ op2 (the
+// other operation must NOT return its solo value, else both orders of a
+// strongly non-self-commuting pair would be illegal).
+func (r IndistResult) OtherDiffersFromSolo() bool {
+	return !spec.ValueEqual(r.OtherRet, r.OtherSoloRet)
+}
+
+// TheoremC1Indistinguishability executes run R1 of the Theorem C.1 family
+// together with its single-operation reference run R'1 (same delays, same
+// clocks, only p_i's operation) and the symmetric pair for p_j, returning
+// the Step 1 comparison for the correct Algorithm 1 implementation.
+//
+// The focal process in R1 is p_i: d_{j,i} = d and op2 starts m after op1,
+// so p_i cannot learn of op2 until t+d+m, after its response (Fig. 7).
+func TheoremC1Indistinguishability(p model.Params, useQueue bool) (IndistResult, error) {
+	family := c1Family(p, 8*p.D)
+	r1 := family[0]
+
+	focalRet, err := c1OpReturn(p, useQueue, r1, true, true, 0)
+	if err != nil {
+		return IndistResult{}, fmt.Errorf("R1 focal: %w", err)
+	}
+	soloRet, err := c1OpReturn(p, useQueue, r1, true, false, 0)
+	if err != nil {
+		return IndistResult{}, fmt.Errorf("R'1: %w", err)
+	}
+	otherRet, err := c1OpReturn(p, useQueue, r1, true, true, 1)
+	if err != nil {
+		return IndistResult{}, fmt.Errorf("R1 other: %w", err)
+	}
+	otherSolo, err := c1OpReturn(p, useQueue, r1, false, true, 1)
+	if err != nil {
+		return IndistResult{}, fmt.Errorf("R1 other solo: %w", err)
+	}
+	return IndistResult{
+		ConcurrentRet: focalRet,
+		SoloRet:       soloRet,
+		OtherRet:      otherRet,
+		OtherSoloRet:  otherSolo,
+	}, nil
+}
+
+// c1OpReturn runs one member of the C.1 family with the correct algorithm,
+// optionally suppressing either operation, and returns the return value of
+// the operation invoked by process `who` (0 = p_i, 1 = p_j).
+func c1OpReturn(p model.Params, useQueue bool, r c1Run, withI, withJ bool, who model.ProcessID) (spec.Value, error) {
+	var dt spec.DataType
+	var opKind spec.OpKind
+	if useQueue {
+		dt = types.NewQueue()
+		opKind = types.OpDequeue
+	} else {
+		dt = types.NewRMWRegister(0)
+		opKind = types.OpRMW
+	}
+	cluster, err := core.NewCluster(
+		core.Config{Params: p},
+		dt,
+		sim.Config{ClockOffsets: r.offsets, Delay: r.delays, StrictDelays: true},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if useQueue {
+		cluster.Invoke(0, 2, types.OpEnqueue, "X")
+	}
+	argI, argJ := spec.Value(1), spec.Value(2)
+	if useQueue {
+		argI, argJ = nil, nil
+	}
+	if withI {
+		cluster.Invoke(r.invokeI, 0, opKind, argI)
+	}
+	if withJ {
+		cluster.Invoke(r.invokeJ, 1, opKind, argJ)
+	}
+	if err := cluster.Run(100 * p.D); err != nil {
+		return nil, err
+	}
+	for _, op := range cluster.History().Ops() {
+		if op.Proc == who && op.Kind == opKind {
+			if op.Pending {
+				return nil, fmt.Errorf("adversary: op at %s still pending", who)
+			}
+			return op.Ret, nil
+		}
+	}
+	return nil, fmt.Errorf("adversary: no %s operation at %s", opKind, who)
+}

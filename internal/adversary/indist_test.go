@@ -1,0 +1,46 @@
+package adversary
+
+import "testing"
+
+func TestC1IndistinguishabilityStep1(t *testing.T) {
+	// Step 1.1: in R1 the focal operation (p_i's, which cannot hear about
+	// p_j's before responding) returns exactly its solo-run value.
+	// Step 1.2: p_j's operation must NOT return its solo value — the two
+	// instances of a strongly immediately non-self-commuting type cannot
+	// both behave as if alone.
+	p := params(3)
+	for _, useQueue := range []bool{false, true} {
+		res, err := TheoremC1Indistinguishability(p, useQueue)
+		if err != nil {
+			t.Fatalf("queue=%v: %v", useQueue, err)
+		}
+		if !res.FocalMatchesSolo() {
+			t.Errorf("queue=%v: focal op returned %v concurrent vs %v solo; "+
+				"Step 1.1 indistinguishability broken", useQueue, res.ConcurrentRet, res.SoloRet)
+		}
+		if !res.OtherDiffersFromSolo() {
+			t.Errorf("queue=%v: other op returned its solo value %v concurrently; "+
+				"Step 1.2 requires op′2 ≠ op2", useQueue, res.OtherRet)
+		}
+	}
+}
+
+func TestC1IndistinguishabilityValues(t *testing.T) {
+	// Concrete values for the queue instantiation: solo dequeues take "X";
+	// concurrently p_i keeps "X" (its timestamp orders first) and p_j gets
+	// nil.
+	p := params(3)
+	res, err := TheoremC1Indistinguishability(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoloRet != "X" || res.ConcurrentRet != "X" {
+		t.Errorf("focal: solo=%v concurrent=%v, want X/X", res.SoloRet, res.ConcurrentRet)
+	}
+	if res.OtherSoloRet != "X" {
+		t.Errorf("other solo = %v, want X", res.OtherSoloRet)
+	}
+	if res.OtherRet != nil {
+		t.Errorf("other concurrent = %v, want nil (element already taken)", res.OtherRet)
+	}
+}

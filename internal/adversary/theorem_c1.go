@@ -1,0 +1,147 @@
+package adversary
+
+import (
+	"timebounds/internal/core"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+// C1Config selects the strongly immediately non-self-commuting operation
+// used to instantiate Theorem C.1.
+type C1Config struct {
+	// Params are the system parameters; Params.N must be ≥ 3.
+	Params model.Params
+	// OOPLatency is the target worst-case latency of the premature OOP
+	// implementation. The theorem proves any value < d + min{ε,u,d/3}
+	// yields a violation in one of the constructed runs; the proven-correct
+	// algorithm achieves d+ε.
+	OOPLatency model.Time
+	// UseQueue instantiates the scenario with dequeue on a queue instead of
+	// read-modify-write on a register.
+	UseQueue bool
+}
+
+// c1Runs enumerates the proof's admissible run family. pi = process 0,
+// pj = process 1, pk = process 2 (Fig. 6). Each run fixes a pairwise
+// uniform delay matrix, a clock assignment, and the two invocation times.
+type c1Run struct {
+	// name labels the run ("R1", "R2", "R3") for diagnostics.
+	name string
+	// offsets are the clock offsets c_p.
+	offsets []model.Time
+	// delays is the pairwise-uniform delay matrix.
+	delays sim.MatrixDelay
+	// invokeI and invokeJ are the real invocation times of op1 (at pi) and
+	// op2 (at pj); a negative invokeJ means op2 is not invoked (runs R'1,
+	// R'''3 execute a single operation).
+	invokeI, invokeJ model.Time
+}
+
+// c1Family builds the R1, R2, R3 run family of Theorem C.1's proof
+// (Steps 1–3, Figs. 7–9). m = min{ε,u,d/3}; t is the common base time.
+//
+//	R1: pj's clock is m later (c_j = -m); delays d everywhere except
+//	    d_{k,i} = d_{j,k} = d-m. op1 at real t, op2 at real t+m (both at
+//	    local clock T).
+//	R2: shift(R1, x_j = -m) + chop + extend: clocks equal; both ops at
+//	    real t; the invalid d+m delay from pj to pi is re-extended to d-m.
+//	R3: shift(R2, x_i = +m) + chop + extend: c_i = -m; op1 at real t+m,
+//	    op2 at real t; the invalid d-2m delay from pi to pj re-extended
+//	    to d.
+func c1Family(p model.Params, t model.Time) []c1Run {
+	m := M(p)
+	d := p.D
+	mk := func(name string, cI, cJ, cK model.Time, dm [6]model.Time, tI, tJ model.Time) c1Run {
+		// dm order: i→j, j→i, i→k, k→i, j→k, k→j.
+		mat := sim.NewMatrixDelay(p.N, d)
+		mat.Set(0, 1, dm[0]).Set(1, 0, dm[1]).Set(0, 2, dm[2])
+		mat.Set(2, 0, dm[3]).Set(1, 2, dm[4]).Set(2, 1, dm[5])
+		offsets := make([]model.Time, p.N)
+		offsets[0], offsets[1], offsets[2] = cI, cJ, cK
+		return c1Run{name: name, offsets: offsets, delays: mat, invokeI: tI, invokeJ: tJ}
+	}
+	return []c1Run{
+		// R1 (Fig. 7): d_{i,k}=d_{i,j}=d_{j,i}=d_{k,j}=d, d_{k,i}=d_{j,k}=d-m.
+		mk("R1", 0, -m, 0, [6]model.Time{d, d, d, d - m, d - m, d}, t, t+m),
+		// R2 (Fig. 8): both ops at t; pj's messages re-extended to d-m.
+		mk("R2", 0, 0, 0, [6]model.Time{d - m, d - m, d, d - m, d - m, d - m}, t, t),
+		// R3 (Fig. 9): op1 at t+m; pi's messages to pj re-extended to d.
+		mk("R3", -m, 0, 0, [6]model.Time{d, d, d - m, d, d - m, d - m}, t+m, t),
+	}
+}
+
+// TheoremC1 executes the Theorem C.1 run family against an implementation
+// whose OOP latency is cfg.OOPLatency and returns the outcome of every run.
+// If cfg.OOPLatency < d+m, at least one outcome is non-linearizable; if the
+// latency budget respects the bound (e.g. the default d+ε tuning passed by
+// NewC1Config), all outcomes are linearizable.
+func TheoremC1(cfg C1Config) ([]Outcome, error) {
+	p := cfg.Params
+	tBase := 8 * p.D // leave room for the initializing prefix
+	tuning := c1Tuning(p, cfg.OOPLatency)
+
+	var outs []Outcome
+	for _, r := range c1Family(p, tBase) {
+		out, err := runC1Once(cfg, r, tuning)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, out)
+	}
+	return outs, nil
+}
+
+// c1Tuning builds a premature tuning whose own-operation OOP response time
+// is target: the self-insert happens immediately and the execute wait is
+// the full target. (The correct algorithm uses d-u and u+ε, totalling d+ε.)
+func c1Tuning(p model.Params, target model.Time) core.Tuning {
+	if target >= p.D+p.Epsilon {
+		return core.Tuning{} // proven-correct defaults
+	}
+	return core.Tuning{
+		SelfAddDelay: core.OverrideTime{Override: true, Value: 0},
+		ExecuteWait:  core.OverrideTime{Override: true, Value: target},
+	}
+}
+
+func runC1Once(cfg C1Config, r c1Run, tuning core.Tuning) (Outcome, error) {
+	p := cfg.Params
+	var dt spec.DataType
+	var opKind spec.OpKind
+	if cfg.UseQueue {
+		dt = types.NewQueue()
+		opKind = types.OpDequeue
+	} else {
+		dt = types.NewRMWRegister(0)
+		opKind = types.OpRMW
+	}
+	cluster, err := core.NewCluster(
+		core.Config{Params: p, X: 0, Tuning: tuning},
+		dt,
+		sim.Config{ClockOffsets: r.offsets, Delay: r.delays, StrictDelays: true},
+	)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if cfg.UseQueue {
+		// ρ: a single enqueue long before, so the queue holds one element
+		// when the two dequeues race (Chapter II.B's dequeue witness).
+		cluster.Invoke(0, 2, types.OpEnqueue, "X")
+	}
+	if cfg.UseQueue {
+		cluster.Invoke(r.invokeI, 0, opKind, nil)
+		if r.invokeJ >= 0 {
+			cluster.Invoke(r.invokeJ, 1, opKind, nil)
+		}
+	} else {
+		// rmw(arg) returns the old value and installs arg; two concurrent
+		// instances must not both observe the initial value.
+		cluster.Invoke(r.invokeI, 0, opKind, 1)
+		if r.invokeJ >= 0 {
+			cluster.Invoke(r.invokeJ, 1, opKind, 2)
+		}
+	}
+	return runCluster(cluster, 100*p.D, opKind)
+}

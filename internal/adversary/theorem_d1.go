@@ -1,0 +1,182 @@
+package adversary
+
+import (
+	"fmt"
+
+	"timebounds/internal/core"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/types"
+)
+
+// D1Config configures the Theorem D.1 scenario: k concurrent instances of
+// an eventually non-self-last-permuting pure mutator (write on a register)
+// against the (1-1/k)u lower bound.
+type D1Config struct {
+	// Params are the system parameters. Params.Epsilon must be at least
+	// (1-1/k)u for the shifted run's clock assignment to be admissible
+	// (the optimal skew (1-1/n)u suffices when k ≤ n).
+	Params model.Params
+	// K is the number of concurrent writers (2 ≤ K ≤ Params.N). Zero
+	// defaults to Params.N — the eventually non-self-last-permuting case
+	// where the bound is largest. The theorem is stated for any n ≥ k;
+	// the remaining processes idle with mid-range delays (Fig. 10).
+	K int
+	// MutatorLatency is the pure-mutator response time of the
+	// implementation under test. Values < (1-1/k)u produce a violation in
+	// the shifted run R2; the bound value or above does not.
+	MutatorLatency model.Time
+}
+
+// Bound returns the (1-1/k)u lower bound the configuration tests.
+func (c D1Config) Bound() model.Time {
+	k := c.K
+	if k == 0 {
+		k = c.Params.N
+	}
+	return model.Time(int64(c.Params.U) * int64(k-1) / int64(k))
+}
+
+// d1Shift returns the proof's Step 2 shift vector for last-operation z:
+// x_i = (((z-i) mod k)/k - (k-1)/(2k)) · u, so that p_z moves
+// (k-1)/(2k)·u earlier and p_{(z+1) mod k} moves (k-1)/(2k)·u later.
+func d1Shift(k, z int, u model.Time) []model.Time {
+	xs := make([]model.Time, k)
+	for i := 0; i < k; i++ {
+		num := int64(((z-i)%k+k)%k)*2 - int64(k-1) // 2k·x_i / u
+		xs[i] = model.Time(int64(u) * num / int64(2*k))
+	}
+	return xs
+}
+
+// d1BaseDelays returns R1's delay matrix (Fig. 10): the k participating
+// writers form the ring d_{i,j} = d - (((i-j) mod k)/k)·u; every pair
+// involving an idle process l ≥ k uses d - u/2, exactly as the proof
+// prescribes for k ≤ l ≤ n-1.
+func d1BaseDelays(p model.Params, k int) [][]model.Time {
+	n := p.N
+	m := make([][]model.Time, n)
+	for i := range m {
+		m[i] = make([]model.Time, n)
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			if i >= k || j >= k {
+				m[i][j] = p.D - p.U/2
+				continue
+			}
+			rot := ((i-j)%k + k) % k
+			m[i][j] = p.D - model.Time(int64(p.U)*int64(rot)/int64(k))
+		}
+	}
+	return m
+}
+
+// shiftDelays applies formula (4.1): d'_{i,j} = d_{i,j} - x_i + x_j.
+func shiftDelays(base [][]model.Time, xs []model.Time) [][]model.Time {
+	k := len(base)
+	out := make([][]model.Time, k)
+	for i := range out {
+		out[i] = make([]model.Time, k)
+		for j := range out[i] {
+			if i == j {
+				continue
+			}
+			out[i][j] = base[i][j] - xs[i] + xs[j]
+		}
+	}
+	return out
+}
+
+// TheoremD1 executes the Theorem D.1 construction. It runs R1 (all k
+// writers invoke concurrently at identical clocks over the ring delays,
+// Fig. 11) and R2 (the standard shift of R1 by the Step 2 vector, Fig. 14),
+// followed in each case by a read that exposes the final register value.
+// The returned outcomes are [R1, R2].
+//
+// In R2 the writer p_z whose write the implementation orders last responds
+// (k-1)/k·u before p_{(z+1) mod k}'s write begins, so any implementation
+// whose writes respond in under (1-1/k)u leaves a final state that no
+// real-time-respecting permutation explains.
+func TheoremD1(cfg D1Config) ([]Outcome, error) {
+	p := cfg.Params
+	k := cfg.K
+	if k == 0 {
+		k = p.N
+	}
+	if k < 2 || k > p.N {
+		return nil, fmt.Errorf("adversary: Theorem D.1 needs 2 ≤ k ≤ n, got k=%d n=%d", k, p.N)
+	}
+	if want := cfg.Bound(); p.Epsilon < want {
+		return nil, fmt.Errorf("adversary: ε=%s < (1-1/k)u=%s; shifted run inadmissible", p.Epsilon, want)
+	}
+	base := d1BaseDelays(p, k)
+	// Algorithm 1 breaks equal-clock timestamp ties by process id, so the
+	// write ordered last is the one at the largest participating id.
+	z := k - 1
+	xs := d1Shift(k, z, p.U)
+	// Idle processes are not shifted (x_l = 0 in the proof's Step 2).
+	xs = append(xs, make([]model.Time, p.N-k)...)
+
+	t := 4 * p.D
+	var outs []Outcome
+
+	// R1: all k writers at real time t, zero offsets, ring delays.
+	out1, err := runD1Once(cfg, k, base, make([]model.Time, p.N), uniformTimes(k, t), t)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: R1: %w", err)
+	}
+	outs = append(outs, out1)
+
+	// R2 = shift(R1, xs): invocation times t + x_i, offsets -x_i (each
+	// writer still stamps clock T), delays shifted by formula (4.1).
+	times := make([]model.Time, k)
+	offs := make([]model.Time, p.N)
+	for i := 0; i < k; i++ {
+		times[i] = t + xs[i]
+	}
+	for i := range offs {
+		offs[i] = -xs[i]
+	}
+	out2, err := runD1Once(cfg, k, shiftDelays(base, xs), offs, times, t)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: R2: %w", err)
+	}
+	outs = append(outs, out2)
+	return outs, nil
+}
+
+func uniformTimes(k int, t model.Time) []model.Time {
+	out := make([]model.Time, k)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+func runD1Once(cfg D1Config, k int, delays [][]model.Time, offsets, times []model.Time, t model.Time) (Outcome, error) {
+	p := cfg.Params
+	tuning := core.Tuning{}
+	if cfg.MutatorLatency < p.Epsilon {
+		tuning.MutatorResponse = core.OverrideTime{Override: true, Value: cfg.MutatorLatency}
+	}
+	cluster, err := core.NewCluster(
+		core.Config{Params: p, X: 0, Tuning: tuning},
+		types.NewRegister(-1),
+		sim.Config{
+			ClockOffsets: offsets,
+			Delay:        sim.MatrixDelay{M: delays},
+			StrictDelays: true,
+		},
+	)
+	if err != nil {
+		return Outcome{}, err
+	}
+	for i := 0; i < k; i++ {
+		cluster.Invoke(times[i], model.ProcessID(i), types.OpWrite, i)
+	}
+	// A read well after every write has settled exposes the final value.
+	cluster.Invoke(t+4*p.D, 0, types.OpRead, nil)
+	return runCluster(cluster, 100*p.D, types.OpWrite)
+}

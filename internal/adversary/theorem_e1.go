@@ -1,0 +1,73 @@
+package adversary
+
+import (
+	"fmt"
+
+	"timebounds/internal/core"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/types"
+)
+
+// E1Config configures the Theorem E.1 scenario: a non-overwriting pure
+// mutator (enqueue) paired with a pure accessor (peek) against the
+// d + min{ε,u,d/3} lower bound on |OP| + |AOP|.
+type E1Config struct {
+	// Params are the system parameters; Params.N must be ≥ 3.
+	Params model.Params
+	// X is Algorithm 1's tradeoff parameter; the accessor responds in
+	// d+ε-X as usual.
+	X model.Time
+	// MutatorLatency is the pure-mutator response time under test. The
+	// pair latency is MutatorLatency + (d+ε-X); when it is below
+	// d + min{ε,u,d/3} the construction produces a violation.
+	MutatorLatency model.Time
+}
+
+// PairLatency returns the combined |OP| + |AOP| latency the configuration
+// realizes.
+func (c E1Config) PairLatency() model.Time {
+	return c.MutatorLatency + (c.Params.D + c.Params.Epsilon - c.X)
+}
+
+// TheoremE1 executes the Theorem E.1 construction (Figs. 15–17),
+// instantiated with enqueue and peek on a queue. Process p_j enqueues at
+// time t; the accessor process p_i — whose clock runs ε behind, the
+// adversarial extreme the proof's Step 2 shift realizes — peeks immediately
+// after the enqueue's response. Real time forces the peek to observe the
+// enqueue, but a pair faster than the bound responds off a local copy whose
+// timestamp horizon excludes it, returning an empty-queue nil.
+func TheoremE1(cfg E1Config) (Outcome, error) {
+	p := cfg.Params
+	if p.N < 3 {
+		return Outcome{}, fmt.Errorf("adversary: Theorem E.1 needs n ≥ 3, got %d", p.N)
+	}
+	tuning := core.Tuning{}
+	if cfg.MutatorLatency < p.Epsilon+cfg.X {
+		tuning.MutatorResponse = core.OverrideTime{Override: true, Value: cfg.MutatorLatency}
+	}
+	offsets := make([]model.Time, p.N)
+	offsets[0] = -p.Epsilon // accessor's clock runs ε behind the mutator's
+
+	cluster, err := core.NewCluster(
+		core.Config{Params: p, X: cfg.X, Tuning: tuning},
+		types.NewQueue(),
+		sim.Config{
+			ClockOffsets: offsets,
+			Delay:        sim.FixedDelay(p.D), // slowest admissible delays
+			StrictDelays: true,
+		},
+	)
+	if err != nil {
+		return Outcome{}, err
+	}
+	t := 4 * p.D
+	// OP: p_1 enqueues; it responds at t + MutatorLatency.
+	cluster.Invoke(t, 1, types.OpEnqueue, "x")
+	// AOP: p_0 peeks strictly after the enqueue's response, so any legal
+	// permutation must place the enqueue first and the peek must return x.
+	cluster.Invoke(t+cfg.MutatorLatency+1, 0, types.OpPeek, nil)
+	// A later observer at p_2 double-checks convergence; it always sees x.
+	cluster.Invoke(t+6*p.D, 2, types.OpPeek, nil)
+	return runCluster(cluster, 100*p.D, types.OpEnqueue, types.OpPeek)
+}

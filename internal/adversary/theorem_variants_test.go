@@ -1,0 +1,81 @@
+package adversary
+
+import (
+	"testing"
+
+	"timebounds/internal/model"
+)
+
+func TestTheoremD1WithFewerWritersThanProcesses(t *testing.T) {
+	// The theorem is stated for any system of n ≥ k processes: the bound
+	// drops to (1-1/k)u even when more processes exist. Run k writers in
+	// larger clusters; idle processes carry the proof's d-u/2 delays.
+	for _, tc := range []struct{ k, n int }{
+		{2, 4}, {2, 6}, {3, 5}, {4, 6},
+	} {
+		p := params(tc.n)
+		cfg := D1Config{Params: p, K: tc.k}
+		bound := cfg.Bound()
+		if want := model.Time(int64(p.U) * int64(tc.k-1) / int64(tc.k)); bound != want {
+			t.Fatalf("k=%d: Bound()=%s, want %s", tc.k, bound, want)
+		}
+
+		cfg.MutatorLatency = bound - 1
+		outs, err := TheoremD1(cfg)
+		if err != nil {
+			t.Fatalf("k=%d n=%d: %v", tc.k, tc.n, err)
+		}
+		if !outs[0].Linearizable() {
+			t.Errorf("k=%d n=%d: R1 should pass", tc.k, tc.n)
+		}
+		if outs[1].Linearizable() {
+			t.Errorf("k=%d n=%d: R2 should violate below (1-1/k)u=%s", tc.k, tc.n, bound)
+		}
+
+		cfg.MutatorLatency = bound
+		outs, err = TheoremD1(cfg)
+		if err != nil {
+			t.Fatalf("k=%d n=%d at bound: %v", tc.k, tc.n, err)
+		}
+		for i, o := range outs {
+			if !o.Linearizable() {
+				t.Errorf("k=%d n=%d: run %d should pass at the bound", tc.k, tc.n, i)
+			}
+		}
+	}
+}
+
+func TestTheoremD1RejectsBadK(t *testing.T) {
+	p := params(3)
+	if _, err := TheoremD1(D1Config{Params: p, K: 1}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := TheoremD1(D1Config{Params: p, K: 4}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestTheoremE1OnDictionary(t *testing.T) {
+	// Theorem E.1 generalizes beyond queues: put on a dictionary is a
+	// non-overwriting pure mutator that dict-get can order, so the same
+	// premature pair produces a violation — here exercised through the
+	// queue construction's dict twin.
+	p := params(3)
+	m := M(p)
+	// Premature pair on the dict: same tuning shape as the queue scenario.
+	out, err := theoremE1Dict(p, p.Epsilon+m/2, 0)
+	if err != nil {
+		t.Fatalf("premature: %v", err)
+	}
+	if out.Linearizable() {
+		t.Fatalf("premature (put, get) pair should violate:\n%s", out.History)
+	}
+	// Correct Algorithm 1 pair on the identical scenario.
+	out, err = theoremE1Dict(p, 0, p.Epsilon)
+	if err != nil {
+		t.Fatalf("correct: %v", err)
+	}
+	if !out.Linearizable() {
+		t.Fatalf("correct (put, get) pair should pass:\n%s", out.History)
+	}
+}

@@ -1,0 +1,97 @@
+package adversary
+
+import (
+	"fmt"
+
+	"timebounds/internal/model"
+)
+
+// Violates reports whether an implementation tuned to the given latency
+// produces a non-linearizable history somewhere in a scenario's run family.
+type Violates func(latency model.Time) (bool, error)
+
+// FindThreshold locates the empirical latency threshold of a scenario by
+// binary search: assuming violations are downward-closed (every latency
+// below the true bound violates, every latency at or above it passes), it
+// returns the smallest latency in (lo, hi] that does NOT violate. The
+// theorems predict this equals the proved lower bound (up to the 1ns
+// discretization of model time).
+func FindThreshold(v Violates, lo, hi model.Time) (model.Time, error) {
+	violLo, err := v(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !violLo {
+		return lo, nil // already passing at the bottom of the range
+	}
+	violHi, err := v(hi)
+	if err != nil {
+		return 0, err
+	}
+	if violHi {
+		return 0, fmt.Errorf("adversary: still violating at hi=%s", hi)
+	}
+	// Invariant: violates(lo) && !violates(hi).
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		viol, err := v(mid)
+		if err != nil {
+			return 0, err
+		}
+		if viol {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// C1Violates builds the Violates predicate for the Theorem C.1 scenario:
+// the run family R1/R2/R3 with an OOP implementation tuned to the given
+// latency.
+func C1Violates(p model.Params, useQueue bool) Violates {
+	return func(latency model.Time) (bool, error) {
+		outs, err := TheoremC1(C1Config{Params: p, OOPLatency: latency, UseQueue: useQueue})
+		if err != nil {
+			return false, err
+		}
+		for _, o := range outs {
+			if !o.Linearizable() {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}
+
+// D1Violates builds the Violates predicate for the Theorem D.1 scenario:
+// the shifted ring run R2 with pure mutators tuned to the given latency.
+func D1Violates(p model.Params) Violates {
+	return func(latency model.Time) (bool, error) {
+		outs, err := TheoremD1(D1Config{Params: p, MutatorLatency: latency})
+		if err != nil {
+			return false, err
+		}
+		for _, o := range outs {
+			if !o.Linearizable() {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}
+
+// E1Violates builds the Violates predicate for the Theorem E.1 scenario
+// with fixed X, varying the mutator's acknowledgment latency. For the
+// Algorithm 1 implementation family this isolates how much of the ε+X
+// mutator wait is load-bearing for the accessor's timestamp horizon.
+func E1Violates(p model.Params, x model.Time) Violates {
+	return func(latency model.Time) (bool, error) {
+		out, err := TheoremE1(E1Config{Params: p, X: x, MutatorLatency: latency})
+		if err != nil {
+			return false, err
+		}
+		return !out.Linearizable(), nil
+	}
+}

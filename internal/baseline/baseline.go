@@ -1,0 +1,109 @@
+// Package baseline provides the two "folklore" linearizable implementations
+// the paper compares against (Chapter I.A.3):
+//
+//   - Centralized: one coordinator process holds the object; every operation
+//     is a request/response round trip, so the worst case is 2d.
+//   - AllOOP: Algorithm 1 with every operation forced onto the totally
+//     ordered OOP path (equivalent to a timestamp-based total order
+//     broadcast), so every operation takes up to d+ε.
+//
+// Both are correct; they exist so the benchmarks can show where Algorithm
+// 1's class-specific fast paths win.
+package baseline
+
+import (
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+)
+
+// request is the client→coordinator message of the centralized scheme.
+type request struct {
+	ID   history.OpID
+	Kind spec.OpKind
+	Arg  spec.Value
+}
+
+// response is the coordinator→client reply.
+type response struct {
+	ID  history.OpID
+	Ret spec.Value
+}
+
+// Centralized is one process of the centralized implementation. The process
+// with id Coordinator owns the object; all others forward their operations
+// to it.
+type Centralized struct {
+	// Coordinator is the object owner's process id.
+	Coordinator model.ProcessID
+	dt          spec.DataType
+	state       spec.State
+}
+
+var _ sim.Process = (*Centralized)(nil)
+
+// NewCentralized builds one process of the centralized scheme. Only the
+// coordinator's state is ever used.
+func NewCentralized(coordinator model.ProcessID, dt spec.DataType) *Centralized {
+	return &Centralized{Coordinator: coordinator, dt: dt, state: dt.InitialState()}
+}
+
+// OnInvoke implements sim.Process.
+func (c *Centralized) OnInvoke(env sim.Env, id history.OpID, kind spec.OpKind, arg spec.Value) {
+	if env.Self() == c.Coordinator {
+		next, ret := c.dt.Apply(c.state, kind, arg)
+		c.state = next
+		env.Respond(id, ret)
+		return
+	}
+	env.Send(c.Coordinator, request{ID: id, Kind: kind, Arg: arg})
+}
+
+// OnMessage implements sim.Process.
+func (c *Centralized) OnMessage(env sim.Env, from model.ProcessID, payload any) {
+	switch m := payload.(type) {
+	case request:
+		next, ret := c.dt.Apply(c.state, m.Kind, m.Arg)
+		c.state = next
+		env.Send(from, response{ID: m.ID, Ret: ret})
+	case response:
+		env.Respond(m.ID, m.Ret)
+	}
+}
+
+// OnTimer implements sim.Process; the centralized scheme uses no timers.
+func (c *Centralized) OnTimer(sim.Env, any) {}
+
+// StateEncoding returns the coordinator's object encoding (diagnostics).
+func (c *Centralized) StateEncoding() string { return c.dt.EncodeState(c.state) }
+
+// AllOOP wraps a data type so that every operation kind is classified as
+// OOP. Running core.Replica over an AllOOP-wrapped type yields the folklore
+// total-order-broadcast implementation: all operations respond in ≤ d+ε.
+type AllOOP struct {
+	// Inner is the wrapped data type.
+	Inner spec.DataType
+}
+
+var _ spec.DataType = AllOOP{}
+
+// Name implements spec.DataType.
+func (a AllOOP) Name() string { return a.Inner.Name() + "-all-oop" }
+
+// InitialState implements spec.DataType.
+func (a AllOOP) InitialState() spec.State { return a.Inner.InitialState() }
+
+// Apply implements spec.DataType.
+func (a AllOOP) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State, spec.Value) {
+	return a.Inner.Apply(s, kind, arg)
+}
+
+// Kinds implements spec.DataType.
+func (a AllOOP) Kinds() []spec.OpKind { return a.Inner.Kinds() }
+
+// Class implements spec.DataType: everything is OOP.
+func (a AllOOP) Class(spec.OpKind) spec.OpClass { return spec.ClassOther }
+
+// EncodeState implements spec.DataType.
+func (a AllOOP) EncodeState(s spec.State) string { return a.Inner.EncodeState(s) }

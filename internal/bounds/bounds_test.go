@@ -1,0 +1,174 @@
+package bounds_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"timebounds/internal/bounds"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+)
+
+func params() model.Params {
+	p := model.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
+	p.Epsilon = p.OptimalSkew()
+	return p
+}
+
+func TestM(t *testing.T) {
+	p := params() // ε=3ms, u=4ms, d/3=3.33ms → m=ε=3ms
+	if got := bounds.M(p); got != 3*time.Millisecond {
+		t.Errorf("m = %s, want 3ms", got)
+	}
+	p.D = 15 * time.Millisecond
+	p.Epsilon = 5 * time.Millisecond // ε=5ms, d/3=5ms, u=4ms → m=u
+	if got := bounds.M(p); got != 4*time.Millisecond {
+		t.Errorf("m = %s, want u=4ms", got)
+	}
+	p.D = 9 * time.Millisecond
+	p.U = 8 * time.Millisecond
+	p.Epsilon = 8 * time.Millisecond // d/3=3ms smallest
+	if got := bounds.M(p); got != p.D/3 {
+		t.Errorf("m = %s, want d/3=%s", got, p.D/3)
+	}
+}
+
+func TestFormulaValues(t *testing.T) {
+	p := params()
+	if got := bounds.StronglyINSCLower(p); got != 13*time.Millisecond {
+		t.Errorf("INSC lower = %s, want 13ms", got)
+	}
+	if got := bounds.PermuteLower(4, p.U); got != 3*time.Millisecond {
+		t.Errorf("permute lower = %s, want 3ms", got)
+	}
+	if got := bounds.PermuteLower(2, p.U); got != 2*time.Millisecond {
+		t.Errorf("k=2 permute lower = %s, want u/2 = 2ms", got)
+	}
+	if bounds.PermuteLower(0, p.U) != 0 {
+		t.Error("k=0 should yield 0")
+	}
+	if got := bounds.PairLowerNonOverwriting(p); got != 13*time.Millisecond {
+		t.Errorf("pair lower = %s", got)
+	}
+	if got := bounds.PairLowerOverwriting(p); got != p.D {
+		t.Errorf("overwriting pair lower = %s, want d", got)
+	}
+	if got := bounds.UpperOOP(p); got != 13*time.Millisecond {
+		t.Errorf("OOP upper = %s", got)
+	}
+	if got := bounds.UpperMutator(p, 2*time.Millisecond); got != 5*time.Millisecond {
+		t.Errorf("mutator upper = %s", got)
+	}
+	if got := bounds.UpperAccessor(p, 2*time.Millisecond); got != 11*time.Millisecond {
+		t.Errorf("accessor upper = %s", got)
+	}
+	if got := bounds.UpperPair(p); got != 16*time.Millisecond {
+		t.Errorf("pair upper = %s", got)
+	}
+	if got := bounds.CentralizedUpper(p); got != 20*time.Millisecond {
+		t.Errorf("centralized upper = %s", got)
+	}
+}
+
+func TestTightness(t *testing.T) {
+	p := params()
+	if !bounds.TightINSC(p) {
+		t.Error("ε ≤ u and ε ≤ d/3 should be tight")
+	}
+	loose := p
+	loose.Epsilon = p.D/3 + 1
+	if bounds.TightINSC(loose) {
+		t.Error("ε > d/3 should not be tight")
+	}
+	if !bounds.TightMutator(p, 0) {
+		t.Error("X=0 at optimal ε should be tight")
+	}
+	if bounds.TightMutator(p, 1) {
+		t.Error("X>0 should not be tight")
+	}
+}
+
+func TestUpperAtLeastLowerEverywhere(t *testing.T) {
+	// Internal consistency: for every table row and a grid of parameter
+	// points, UB ≥ LB (otherwise the formulas contradict each other).
+	grid := []model.Params{}
+	for _, n := range []int{2, 3, 4, 8} {
+		for _, u := range []model.Time{time.Millisecond, 4 * time.Millisecond, 9 * time.Millisecond} {
+			p := model.Params{N: n, D: 10 * time.Millisecond, U: u}
+			p.Epsilon = p.OptimalSkew()
+			grid = append(grid, p)
+		}
+	}
+	for _, tbl := range bounds.AllTables() {
+		for _, row := range tbl.Rows {
+			if row.NewLower == nil {
+				continue
+			}
+			for _, p := range grid {
+				lb := row.NewLower(p)
+				ub := row.Upper(p, 0)
+				if ub < lb {
+					t.Errorf("table %d %s at n=%d u=%s: UB %s < LB %s",
+						tbl.Number, row.Label, p.N, p.U, ub, lb)
+				}
+				if row.PrevLower != nil && row.PrevLower(p) > lb {
+					t.Errorf("table %d %s at n=%d u=%s: paper's new LB %s below previous LB %s",
+						tbl.Number, row.Label, p.N, p.U, lb, row.PrevLower(p))
+				}
+			}
+		}
+	}
+}
+
+func TestTablesWellFormed(t *testing.T) {
+	tables := bounds.AllTables()
+	if len(tables) != 4 {
+		t.Fatalf("want 4 tables, got %d", len(tables))
+	}
+	for i, tbl := range tables {
+		if tbl.Number != i+1 {
+			t.Errorf("table %d numbered %d", i+1, tbl.Number)
+		}
+		if tbl.Object == nil {
+			t.Errorf("table %d has no object", tbl.Number)
+		}
+		kinds := make(map[spec.OpKind]bool)
+		for _, k := range tbl.Object.Kinds() {
+			kinds[k] = true
+		}
+		for _, row := range tbl.Rows {
+			wantOps := 1
+			if row.Kind == bounds.RowPair {
+				wantOps = 2
+			}
+			if len(row.Ops) != wantOps {
+				t.Errorf("table %d %s: %d ops, want %d", tbl.Number, row.Label, len(row.Ops), wantOps)
+			}
+			for _, op := range row.Ops {
+				if !kinds[op] {
+					t.Errorf("table %d %s: op %q not on object %s", tbl.Number, row.Label, op, tbl.Object.Name())
+				}
+			}
+			if row.Upper == nil {
+				t.Errorf("table %d %s: missing upper bound", tbl.Number, row.Label)
+			}
+		}
+	}
+}
+
+func TestRenderIncludesMeasured(t *testing.T) {
+	p := params()
+	out := bounds.Render(bounds.TableI(), p, 0, map[string]model.Time{
+		"write": 3 * time.Millisecond,
+	})
+	if !strings.Contains(out, "Table I") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "3ms") {
+		t.Error("missing measured value")
+	}
+	if !strings.Contains(out, "(1-1/n)u") {
+		t.Error("missing formula name")
+	}
+}

@@ -1,0 +1,139 @@
+package bounds
+
+import (
+	"fmt"
+
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+)
+
+// Derived is a time-bound assignment for one operation kind, produced
+// purely from the operation algebra (no hand-written table): the
+// classification determines which theorem applies.
+type Derived struct {
+	Kind  spec.OpKind
+	Class spec.OpClass
+	// LowerName names the applicable lower-bound formula ("-" if none of
+	// the paper's single-operation theorems applies).
+	LowerName string
+	// Lower evaluates the lower bound (nil when LowerName is "-").
+	Lower func(p model.Params) model.Time
+	// UpperName names Algorithm 1's upper-bound formula for the class.
+	UpperName string
+	// Upper evaluates the upper bound.
+	Upper func(p model.Params, x model.Time) model.Time
+}
+
+// DeriveKind classifies one operation kind over the search domain and
+// assigns the paper's bounds:
+//
+//   - strongly immediately non-self-commuting → Theorem C.1's
+//     d + min{ε,u,d/3};
+//   - pure mutator with a k=3 non-self-last-permuting witness → Theorem
+//     D.1's (1-1/n)u (the witness family extends with more instances);
+//   - pure mutator that is eventually non-self-commuting but lacks a k=3
+//     witness → the k=2 specialization (1-1/2)u = u/2;
+//   - otherwise no single-operation lower bound from the paper.
+//
+// The upper bound is Algorithm 1's per-class response time.
+func DeriveKind(dt spec.DataType, kind spec.OpKind, dom spec.Domain) Derived {
+	d := Derived{Kind: kind, Class: dt.Class(kind), LowerName: "-"}
+	switch d.Class {
+	case spec.ClassPureMutator:
+		d.UpperName = "ε+X"
+		d.Upper = func(p model.Params, x model.Time) model.Time { return UpperMutator(p, x) }
+	case spec.ClassPureAccessor:
+		d.UpperName = "d+ε-X"
+		d.Upper = func(p model.Params, x model.Time) model.Time { return UpperAccessor(p, x) }
+	default:
+		d.UpperName = "d+ε"
+		d.Upper = func(p model.Params, _ model.Time) model.Time { return UpperOOP(p) }
+	}
+
+	if _, strong := spec.FindStronglyImmediatelyNonSelfCommuting(dt, kind, dom); strong {
+		d.LowerName = "d+min{ε,u,d/3}"
+		d.Lower = StronglyINSCLower
+		return d
+	}
+	if d.Class != spec.ClassPureMutator {
+		// Immediately non-self-commuting but not strongly so (e.g.
+		// UpdateNext): Kosa's d bound applies, not Theorem C.1.
+		if _, insc := spec.FindImmediatelyNonCommuting(dt, kind, kind, dom); insc {
+			d.LowerName = "d"
+			d.Lower = func(p model.Params) model.Time { return p.D }
+		}
+		return d
+	}
+	if _, ok := spec.FindNonSelfLastPermuting(dt, kind, 3, dom); ok {
+		d.LowerName = "(1-1/n)u"
+		d.Lower = func(p model.Params) model.Time { return PermuteLower(p.N, p.U) }
+		return d
+	}
+	if _, ok := spec.FindEventuallyNonSelfCommuting(dt, kind, dom); ok {
+		d.LowerName = "u/2"
+		d.Lower = func(p model.Params) model.Time { return PermuteLower(2, p.U) }
+		return d
+	}
+	return d
+}
+
+// DerivedPair is a bound assignment for a (pure mutator, pure accessor)
+// pair.
+type DerivedPair struct {
+	Mutator, Accessor spec.OpKind
+	// LowerName names the pair lower bound: Theorem E.1's d+min{ε,u,d/3}
+	// when the mutator is non-overwriting (and the pair immediately does
+	// not commute), the classic d otherwise, or "-" when the accessor
+	// cannot even immediately distinguish the mutator.
+	LowerName string
+	Lower     func(p model.Params) model.Time
+	// UpperName is always Algorithm 1's d+2ε.
+	UpperName string
+	Upper     func(p model.Params, x model.Time) model.Time
+}
+
+// DerivePair assigns the paper's |OP|+|AOP| bounds to a pure-mutator /
+// pure-accessor pair from the algebra (Chapter IV.E):
+//
+//   - the pair must immediately not commute (otherwise no bound applies);
+//   - a non-overwriting mutator gets Theorem E.1's d+min{ε,u,d/3};
+//   - an overwriting mutator (write) keeps the classic d.
+func DerivePair(dt spec.DataType, mop, aop spec.OpKind, dom spec.Domain) DerivedPair {
+	out := DerivedPair{
+		Mutator: mop, Accessor: aop,
+		LowerName: "-",
+		UpperName: "d+2ε",
+		Upper:     func(p model.Params, _ model.Time) model.Time { return UpperPair(p) },
+	}
+	if _, nc := spec.FindImmediatelyNonCommuting(dt, mop, aop, dom); !nc {
+		return out
+	}
+	if spec.IsNonOverwriter(dt, mop, dom) {
+		out.LowerName = "d+min{ε,u,d/3}"
+		out.Lower = PairLowerNonOverwriting
+		return out
+	}
+	out.LowerName = "d"
+	out.Lower = PairLowerOverwriting
+	return out
+}
+
+// DeriveAll derives bounds for every kind of a data type.
+func DeriveAll(dt spec.DataType, dom spec.Domain) []Derived {
+	kinds := dt.Kinds()
+	out := make([]Derived, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, DeriveKind(dt, k, dom))
+	}
+	return out
+}
+
+// FormatDerived renders one derived assignment at concrete parameters.
+func FormatDerived(d Derived, p model.Params, x model.Time) string {
+	lower := "-"
+	if d.Lower != nil {
+		lower = fmt.Sprintf("%s = %s", d.LowerName, d.Lower(p))
+	}
+	return fmt.Sprintf("%-14s %-5s LB %-24s UB %s = %s",
+		d.Kind, d.Class, lower, d.UpperName, d.Upper(p, x))
+}

@@ -1,0 +1,131 @@
+package bounds_test
+
+// The derivation engine must reconstruct the paper's hand-written Tables
+// I–IV purely from the operation algebra: for every table row, the derived
+// lower/upper bound formula names agree with the published ones. This
+// closes the loop between Chapter II (classification), Chapters IV–V
+// (bounds) and Chapter VI (tables).
+
+import (
+	"fmt"
+	"testing"
+
+	"timebounds/internal/bounds"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+func TestDerivationReconstructsTables(t *testing.T) {
+	for _, tbl := range bounds.AllTables() {
+		dom := types.DefaultDomain(tbl.Object)
+		derived := make(map[spec.OpKind]bounds.Derived)
+		for _, d := range bounds.DeriveAll(tbl.Object, dom) {
+			derived[d.Kind] = d
+		}
+		// Documented exception: the thesis's Table IV prints (1-1/n)u for
+		// tree delete, but leaf-delete does not satisfy Definition C.5 —
+		// two legal delete permutations with different last operations can
+		// be equivalent — so only the k=2 bound u/2 is derivable from the
+		// algebra. See EXPERIMENTS.md "Deviations".
+		exceptions := map[string]string{"4/delete": "u/2"}
+		for _, row := range tbl.Rows {
+			switch row.Kind {
+			case bounds.RowSingle:
+				d, ok := derived[row.Ops[0]]
+				if !ok {
+					t.Errorf("table %d %s: no derivation", tbl.Number, row.Label)
+					continue
+				}
+				wantLB := row.NewLowerName
+				if exc, isExc := exceptions[fmt.Sprintf("%d/%s", tbl.Number, row.Label)]; isExc {
+					wantLB = exc
+				}
+				if d.LowerName != wantLB {
+					t.Errorf("table %d %s: derived LB %q, published/expected %q",
+						tbl.Number, row.Label, d.LowerName, wantLB)
+				}
+				if d.UpperName != row.UpperName {
+					t.Errorf("table %d %s: derived UB %q, published %q",
+						tbl.Number, row.Label, d.UpperName, row.UpperName)
+				}
+			case bounds.RowPair:
+				dp := bounds.DerivePair(tbl.Object, row.Ops[0], row.Ops[1], dom)
+				if dp.LowerName != row.NewLowerName {
+					t.Errorf("table %d %s: derived pair LB %q, published %q",
+						tbl.Number, row.Label, dp.LowerName, row.NewLowerName)
+				}
+			}
+		}
+	}
+}
+
+func TestDerivationExtensionObjects(t *testing.T) {
+	// The engine assigns sensible bounds to objects the paper never
+	// tabulated.
+	pq := types.NewPQueue()
+	dom := types.DefaultDomain(pq)
+	byKind := make(map[spec.OpKind]bounds.Derived)
+	for _, d := range bounds.DeriveAll(pq, dom) {
+		byKind[d.Kind] = d
+	}
+	// delete-min is strongly INSC → d+m, like dequeue/pop.
+	if got := byKind[types.OpPQDeleteMin].LowerName; got != "d+min{ε,u,d/3}" {
+		t.Errorf("pq-delete-min LB %q", got)
+	}
+	// insert eventually self-commutes → NO permute bound (contrast
+	// push/enqueue).
+	if got := byKind[types.OpPQInsert].LowerName; got != "-" {
+		t.Errorf("pq-insert LB %q, want none", got)
+	}
+
+	d := types.NewDict()
+	dDom := types.DefaultDomain(d)
+	// put is a non-overwriting mutator that get can order → Theorem E.1.
+	pair := bounds.DerivePair(d, types.OpPut, types.OpDictGet, dDom)
+	if pair.LowerName != "d+min{ε,u,d/3}" {
+		t.Errorf("(put, get) pair LB %q, want d+min{ε,u,d/3}", pair.LowerName)
+	}
+}
+
+func TestDerivationRegisterPairIsD(t *testing.T) {
+	// write overwrites the whole register, so (write, read) keeps the
+	// classic d — the distinction Theorem E.1's preamble draws.
+	reg := types.NewRegister(0)
+	dom := types.DefaultDomain(reg)
+	pair := bounds.DerivePair(reg, types.OpWrite, types.OpRead, dom)
+	if pair.LowerName != "d" {
+		t.Errorf("(write, read) pair LB %q, want d", pair.LowerName)
+	}
+}
+
+func TestDerivationCommutingPairHasNoBound(t *testing.T) {
+	// increment and get on a counter: get distinguishes increments, so
+	// they do NOT commute and a bound applies; but set-insert with
+	// contains on a *different* element is immediately commuting… use
+	// counter increment + size-style accessor on set: insert vs contains
+	// of the same element does not commute. Use an actually-commuting
+	// pair: set remove + contains over a domain where remove is a no-op.
+	set := types.NewSet()
+	dom := spec.Domain{
+		Prefixes: [][]spec.Invocation{nil}, // empty set: remove is a no-op
+		Args: map[spec.OpKind][]spec.Value{
+			types.OpRemove:   {1},
+			types.OpContains: {2},
+		},
+	}
+	pair := bounds.DerivePair(set, types.OpRemove, types.OpContains, dom)
+	if pair.LowerName != "-" {
+		t.Errorf("no-op remove vs contains(other) pair LB %q, want -", pair.LowerName)
+	}
+}
+
+func TestFormatDerived(t *testing.T) {
+	reg := types.NewRMWRegister(0)
+	dom := types.DefaultDomain(reg)
+	d := bounds.DeriveKind(reg, types.OpRMW, dom)
+	p := params()
+	s := bounds.FormatDerived(d, p, 0)
+	if s == "" {
+		t.Error("empty format")
+	}
+}

@@ -1,0 +1,251 @@
+package bounds
+
+import (
+	"fmt"
+	"strings"
+
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+// RowKind distinguishes single-operation rows from operation-pair rows.
+type RowKind int
+
+// Row kinds.
+const (
+	// RowSingle is a bound on one operation type.
+	RowSingle RowKind = iota + 1
+	// RowPair is a bound on the sum of two operation types.
+	RowPair
+)
+
+// Row is one line of a Chapter VI table: an operation (or pair), the
+// paper's previous lower bound, the paper's new lower bound, and the upper
+// bound from Algorithm 1. Bounds are closures over the system parameters so
+// rows render for any (d, u, ε, X).
+type Row struct {
+	Kind RowKind
+	// Label is the operation name(s), e.g. "dequeue" or "enqueue + peek".
+	Label string
+	// Ops are the operation kinds: one for RowSingle, two for RowPair.
+	Ops []spec.OpKind
+	// PrevLower is the pre-paper lower bound.
+	PrevLower func(p model.Params) model.Time
+	// PrevLowerRef cites where the previous bound comes from.
+	PrevLowerRef string
+	// NewLower is the paper's lower bound ("" formula when unchanged).
+	NewLower func(p model.Params) model.Time
+	// NewLowerName is the formula as printed in the paper.
+	NewLowerName string
+	// Upper is Algorithm 1's upper bound, given X.
+	Upper func(p model.Params, x model.Time) model.Time
+	// UpperName is the formula as printed in the paper.
+	UpperName string
+}
+
+// Table is one of the paper's Tables I–IV.
+type Table struct {
+	// Number is the table number, 1-4.
+	Number int
+	// Title matches the paper's caption.
+	Title string
+	// Object is the data type summarized.
+	Object spec.DataType
+	Rows   []Row
+}
+
+// prevU2 is the u/2 previous lower bound [1], [3].
+func prevU2(p model.Params) model.Time { return p.U / 2 }
+
+// prevD is the d previous lower bound [3], [5].
+func prevD(p model.Params) model.Time { return p.D }
+
+func lbINSC(p model.Params) model.Time { return StronglyINSCLower(p) }
+
+func lbPermute(p model.Params) model.Time { return PermuteLower(p.N, p.U) }
+
+func ubOOP(p model.Params, _ model.Time) model.Time { return UpperOOP(p) }
+
+func ubMut(p model.Params, x model.Time) model.Time { return UpperMutator(p, x) }
+
+func ubAcc(p model.Params, x model.Time) model.Time { return UpperAccessor(p, x) }
+
+func ubPair(p model.Params, _ model.Time) model.Time { return UpperPair(p) }
+
+// TableI returns Table I: operations on a read/write/read-modify-write
+// register.
+func TableI() Table {
+	return Table{
+		Number: 1,
+		Title:  "Summary of Operation Time Bounds on Read/Write/Read-Modify-Write Register",
+		Object: types.NewRMWRegister(0),
+		Rows: []Row{
+			{
+				Kind: RowSingle, Label: "read-modify-write", Ops: []spec.OpKind{types.OpRMW},
+				PrevLower: prevD, PrevLowerRef: "[3]",
+				NewLower: lbINSC, NewLowerName: "d+min{ε,u,d/3}",
+				Upper: ubOOP, UpperName: "d+ε",
+			},
+			{
+				Kind: RowSingle, Label: "write", Ops: []spec.OpKind{types.OpWrite},
+				PrevLower: prevU2, PrevLowerRef: "[1]",
+				NewLower: lbPermute, NewLowerName: "(1-1/n)u",
+				Upper: ubMut, UpperName: "ε+X",
+			},
+			{
+				Kind: RowSingle, Label: "read", Ops: []spec.OpKind{types.OpRead},
+				PrevLower: prevU2, PrevLowerRef: "[3]",
+				NewLower: nil, NewLowerName: "-",
+				Upper: ubAcc, UpperName: "d+ε-X",
+			},
+			{
+				Kind: RowPair, Label: "write + read", Ops: []spec.OpKind{types.OpWrite, types.OpRead},
+				PrevLower: prevD, PrevLowerRef: "[5]",
+				NewLower: PairLowerOverwriting, NewLowerName: "d",
+				Upper: ubPair, UpperName: "d+2ε",
+			},
+		},
+	}
+}
+
+// TableII returns Table II: operations on a queue.
+func TableII() Table {
+	return Table{
+		Number: 2,
+		Title:  "Summary of Operation Time Bounds on Queue",
+		Object: types.NewQueue(),
+		Rows: []Row{
+			{
+				Kind: RowSingle, Label: "enqueue", Ops: []spec.OpKind{types.OpEnqueue},
+				PrevLower: prevU2, PrevLowerRef: "[1]",
+				NewLower: lbPermute, NewLowerName: "(1-1/n)u",
+				Upper: ubMut, UpperName: "ε+X",
+			},
+			{
+				Kind: RowSingle, Label: "dequeue", Ops: []spec.OpKind{types.OpDequeue},
+				PrevLower: prevD, PrevLowerRef: "[3]",
+				NewLower: lbINSC, NewLowerName: "d+min{ε,u,d/3}",
+				Upper: ubOOP, UpperName: "d+ε",
+			},
+			{
+				Kind: RowPair, Label: "enqueue + peek", Ops: []spec.OpKind{types.OpEnqueue, types.OpPeek},
+				PrevLower: prevD, PrevLowerRef: "[3]",
+				NewLower: PairLowerNonOverwriting, NewLowerName: "d+min{ε,u,d/3}",
+				Upper: ubPair, UpperName: "d+2ε",
+			},
+		},
+	}
+}
+
+// TableIII returns Table III: operations on a stack.
+func TableIII() Table {
+	return Table{
+		Number: 3,
+		Title:  "Summary of Operation Time Bounds on Stack",
+		Object: types.NewStack(),
+		Rows: []Row{
+			{
+				Kind: RowSingle, Label: "push", Ops: []spec.OpKind{types.OpPush},
+				PrevLower: prevU2, PrevLowerRef: "[1]",
+				NewLower: lbPermute, NewLowerName: "(1-1/n)u",
+				Upper: ubMut, UpperName: "ε+X",
+			},
+			{
+				Kind: RowSingle, Label: "pop", Ops: []spec.OpKind{types.OpPop},
+				PrevLower: prevD, PrevLowerRef: "[3]",
+				NewLower: lbINSC, NewLowerName: "d+min{ε,u,d/3}",
+				Upper: ubOOP, UpperName: "d+ε",
+			},
+			{
+				Kind: RowPair, Label: "push + peek", Ops: []spec.OpKind{types.OpPush, types.OpTop},
+				PrevLower: prevD, PrevLowerRef: "[3]",
+				NewLower: PairLowerNonOverwriting, NewLowerName: "d+min{ε,u,d/3}",
+				Upper: ubPair, UpperName: "d+2ε",
+			},
+		},
+	}
+}
+
+// TableIV returns Table IV: operations on a rooted tree.
+func TableIV() Table {
+	return Table{
+		Number: 4,
+		Title:  "Conclusions of Operation Time Bounds on Tree",
+		Object: types.NewTree(),
+		Rows: []Row{
+			{
+				Kind: RowSingle, Label: "insert", Ops: []spec.OpKind{types.OpTreeInsert},
+				PrevLower: prevU2, PrevLowerRef: "[3]",
+				NewLower: lbPermute, NewLowerName: "(1-1/n)u",
+				Upper: ubMut, UpperName: "ε+X",
+			},
+			{
+				Kind: RowSingle, Label: "delete", Ops: []spec.OpKind{types.OpTreeDelete},
+				PrevLower: prevU2, PrevLowerRef: "[3]",
+				NewLower: lbPermute, NewLowerName: "(1-1/n)u",
+				Upper: ubMut, UpperName: "ε+X",
+			},
+			{
+				Kind: RowPair, Label: "insert + depth", Ops: []spec.OpKind{types.OpTreeInsert, types.OpTreeDepth},
+				PrevLower: prevD, PrevLowerRef: "[3]",
+				NewLower: PairLowerNonOverwriting, NewLowerName: "d+min{ε,u,d/3}",
+				Upper: ubPair, UpperName: "d+2ε",
+			},
+			{
+				Kind: RowPair, Label: "delete + depth", Ops: []spec.OpKind{types.OpTreeDelete, types.OpTreeDepth},
+				PrevLower: prevD, PrevLowerRef: "[3]",
+				NewLower: PairLowerNonOverwriting, NewLowerName: "d+min{ε,u,d/3}",
+				Upper: ubPair, UpperName: "d+2ε",
+			},
+		},
+	}
+}
+
+// AllTables returns Tables I–IV in order.
+func AllTables() []Table {
+	return []Table{TableI(), TableII(), TableIII(), TableIV()}
+}
+
+// Render formats a table for the given parameters, one row per line, with
+// both the symbolic formulas and the concrete values. measured optionally
+// supplies a measured worst-case latency per row label.
+func Render(t Table, p model.Params, x model.Time, measured map[string]model.Time) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table %s — %s\n", roman(t.Number), t.Title)
+	fmt.Fprintf(&sb, "  (n=%d d=%s u=%s ε=%s X=%s)\n", p.N, p.D, p.U, p.Epsilon, x)
+	fmt.Fprintf(&sb, "  %-18s %-14s %-22s %-18s %s\n",
+		"operation", "prev LB", "new LB", "upper bound", "measured")
+	for _, r := range t.Rows {
+		prev := "-"
+		if r.PrevLower != nil {
+			prev = fmt.Sprintf("%s %s", r.PrevLower(p), r.PrevLowerRef)
+		}
+		lower := "-"
+		if r.NewLower != nil {
+			lower = fmt.Sprintf("%s = %s", r.NewLowerName, r.NewLower(p))
+		}
+		upper := fmt.Sprintf("%s = %s", r.UpperName, r.Upper(p, x))
+		meas := "-"
+		if m, ok := measured[r.Label]; ok {
+			meas = m.String()
+		}
+		fmt.Fprintf(&sb, "  %-18s %-14s %-22s %-18s %s\n", r.Label, prev, lower, upper, meas)
+	}
+	return sb.String()
+}
+
+func roman(n int) string {
+	switch n {
+	case 1:
+		return "I"
+	case 2:
+		return "II"
+	case 3:
+		return "III"
+	case 4:
+		return "IV"
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

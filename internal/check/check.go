@@ -1,0 +1,179 @@
+// Package check decides linearizability of operation histories against a
+// sequential specification (Herlihy & Wing 1990; Chapter III.B.4 of the
+// paper), using the Wing–Gong depth-first search with memoization on
+// (linearized-set, object state).
+//
+// A history is linearizable iff there is a permutation π of its operations
+// such that (a) π is legal for the data type and (b) whenever op1 responds
+// before op2 is invoked in real time, op1 precedes op2 in π. Pending
+// operations may take effect at any point after their invocation or not at
+// all.
+package check
+
+import (
+	"sort"
+	"strings"
+
+	"timebounds/internal/history"
+	"timebounds/internal/spec"
+)
+
+// Result is the outcome of a linearizability check.
+type Result struct {
+	// Linearizable reports whether a valid linearization exists.
+	Linearizable bool
+	// Witness is a legal linearization order (operation ids) when
+	// Linearizable is true. Pending operations that were not linearized are
+	// omitted.
+	Witness []history.OpID
+	// StatesExplored counts memoized search states, for diagnostics.
+	StatesExplored int
+}
+
+// Check decides whether h is a linearizable history of dt.
+func Check(dt spec.DataType, h *history.History) Result {
+	ops := h.Ops()
+	n := len(ops)
+	if n == 0 {
+		return Result{Linearizable: true}
+	}
+
+	c := &checker{
+		dt:   dt,
+		ops:  ops,
+		done: make([]bool, n),
+		memo: make(map[string]bool),
+	}
+	// Precompute the real-time precedence relation: pred[i] lists indexes
+	// that must be linearized before op i may be chosen.
+	c.pred = make([][]int, n)
+	for i := range ops {
+		for j := range ops {
+			if i == j {
+				continue
+			}
+			// ops[j] precedes ops[i] iff ops[j] responded strictly before
+			// ops[i] was invoked.
+			if !ops[j].Pending && ops[j].Respond < ops[i].Invoke {
+				c.pred[i] = append(c.pred[i], j)
+			}
+		}
+	}
+
+	ok := c.search(dt.InitialState())
+	res := Result{Linearizable: ok, StatesExplored: len(c.memo)}
+	if ok {
+		res.Witness = make([]history.OpID, len(c.order))
+		for i, idx := range c.order {
+			res.Witness[i] = c.ops[idx].ID
+		}
+	}
+	return res
+}
+
+type checker struct {
+	dt    spec.DataType
+	ops   []history.Record
+	done  []bool
+	order []int
+	pred  [][]int
+	memo  map[string]bool
+}
+
+// remainingCompleted counts completed (non-pending) ops not yet linearized.
+func (c *checker) remainingCompleted() int {
+	n := 0
+	for i, op := range c.ops {
+		if !op.Pending && !c.done[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// key encodes (done set, state) for memoization.
+func (c *checker) key(state spec.State) string {
+	var sb strings.Builder
+	sb.Grow(len(c.done) + 16)
+	for _, d := range c.done {
+		if d {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	sb.WriteByte('|')
+	sb.WriteString(c.dt.EncodeState(state))
+	return sb.String()
+}
+
+// search tries to linearize all completed operations from the given state.
+// Pending operations are linearized opportunistically when doing so unblocks
+// progress; they never have to be linearized.
+func (c *checker) search(state spec.State) bool {
+	if c.remainingCompleted() == 0 {
+		return true
+	}
+	k := c.key(state)
+	if failed, seen := c.memo[k]; seen {
+		return !failed
+	}
+
+	for i, op := range c.ops {
+		if c.done[i] {
+			continue
+		}
+		if !c.minimal(i) {
+			continue
+		}
+		next, ret := c.dt.Apply(state, op.Kind, op.Arg)
+		if !op.Pending && !spec.ValueEqual(ret, op.Ret) {
+			// A completed op must return exactly what the spec dictates.
+			continue
+		}
+		c.done[i] = true
+		c.order = append(c.order, i)
+		if c.search(next) {
+			return true
+		}
+		c.order = c.order[:len(c.order)-1]
+		c.done[i] = false
+	}
+	c.memo[k] = true // dead end from this (done set, state)
+	return false
+}
+
+// minimal reports whether op i may be linearized next: every operation that
+// really-time-precedes it is already linearized.
+func (c *checker) minimal(i int) bool {
+	for _, j := range c.pred[i] {
+		if !c.done[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// MustOrder returns the pairs (a, b) of completed operation ids where a
+// responds before b is invoked; useful in tests and diagnostics.
+func MustOrder(h *history.History) [][2]history.OpID {
+	ops := h.Ops()
+	var out [][2]history.OpID
+	for _, a := range ops {
+		for _, b := range ops {
+			if a.ID == b.ID || a.Pending {
+				continue
+			}
+			if a.Respond < b.Invoke {
+				out = append(out, [2]history.OpID{a.ID, b.ID})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,200 @@
+package check_test
+
+import (
+	"testing"
+	"time"
+
+	"timebounds/internal/check"
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+const ms = model.Time(time.Millisecond)
+
+// rec adds a completed operation to h.
+func rec(t *testing.T, h *history.History, proc model.ProcessID, kind spec.OpKind,
+	arg, ret spec.Value, inv, resp model.Time) history.OpID {
+	t.Helper()
+	id := h.Invoke(proc, kind, arg, inv)
+	if err := h.Respond(id, ret, resp); err != nil {
+		t.Fatalf("Respond: %v", err)
+	}
+	return id
+}
+
+func TestEmptyHistoryLinearizable(t *testing.T) {
+	h := history.New()
+	if !check.Check(types.NewRegister(0), h).Linearizable {
+		t.Error("empty history should be linearizable")
+	}
+}
+
+func TestSequentialLegalHistory(t *testing.T) {
+	reg := types.NewRegister(0)
+	h := history.New()
+	rec(t, h, 0, types.OpWrite, 5, nil, 0, 1*ms)
+	rec(t, h, 0, types.OpRead, nil, 5, 2*ms, 3*ms)
+	res := check.Check(reg, h)
+	if !res.Linearizable {
+		t.Fatal("sequential legal history should be linearizable")
+	}
+	if len(res.Witness) != 2 {
+		t.Errorf("witness length %d, want 2", len(res.Witness))
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// Figure 1(a): read(0) after write(0), write(1) completed.
+	reg := types.NewRegister(0)
+	h := history.New()
+	rec(t, h, 0, types.OpWrite, 0, nil, 0, 1*ms)
+	rec(t, h, 0, types.OpWrite, 1, nil, 2*ms, 3*ms)
+	rec(t, h, 1, types.OpRead, nil, 0, 4*ms, 5*ms)
+	if check.Check(reg, h).Linearizable {
+		t.Error("stale read after completed writes must be rejected")
+	}
+}
+
+func TestOverlappingWriteEitherOrder(t *testing.T) {
+	// Figure 1(b): when write(1) overlaps the read, read(0) is fine.
+	reg := types.NewRegister(0)
+	h := history.New()
+	rec(t, h, 0, types.OpWrite, 0, nil, 0, 1*ms)
+	rec(t, h, 0, types.OpWrite, 1, nil, 2*ms, 6*ms)
+	rec(t, h, 1, types.OpRead, nil, 0, 4*ms, 5*ms)
+	if !check.Check(reg, h).Linearizable {
+		t.Error("read overlapping the write may return the old value")
+	}
+}
+
+func TestBothDequeuesSameElementRejected(t *testing.T) {
+	q := types.NewQueue()
+	h := history.New()
+	rec(t, h, 0, types.OpEnqueue, "x", nil, 0, 1*ms)
+	rec(t, h, 1, types.OpDequeue, nil, "x", 2*ms, 4*ms)
+	rec(t, h, 2, types.OpDequeue, nil, "x", 2*ms, 4*ms)
+	if check.Check(q, h).Linearizable {
+		t.Error("two dequeues both returning the single element must be rejected")
+	}
+}
+
+func TestConcurrentRMWOneWinner(t *testing.T) {
+	reg := types.NewRMWRegister(0)
+	h := history.New()
+	rec(t, h, 0, types.OpRMW, 1, 0, 0, 2*ms)
+	rec(t, h, 1, types.OpRMW, 2, 1, 1*ms, 3*ms)
+	if !check.Check(reg, h).Linearizable {
+		t.Error("rmw chain 0→1 should linearize")
+	}
+	h2 := history.New()
+	rec(t, h2, 0, types.OpRMW, 1, 0, 0, 2*ms)
+	rec(t, h2, 1, types.OpRMW, 2, 0, 1*ms, 3*ms)
+	if check.Check(reg, h2).Linearizable {
+		t.Error("two concurrent rmws both observing 0 must be rejected")
+	}
+}
+
+func TestPendingOperationMayTakeEffect(t *testing.T) {
+	// A pending write may be linearized to justify a read, or ignored.
+	reg := types.NewRegister(0)
+	h := history.New()
+	h.Invoke(0, types.OpWrite, 9, 0) // never responds
+	rec(t, h, 1, types.OpRead, nil, 9, 1*ms, 2*ms)
+	if !check.Check(reg, h).Linearizable {
+		t.Error("pending write should be allowed to take effect")
+	}
+	h2 := history.New()
+	h2.Invoke(0, types.OpWrite, 9, 0) // never responds
+	rec(t, h2, 1, types.OpRead, nil, 0, 1*ms, 2*ms)
+	if !check.Check(reg, h2).Linearizable {
+		t.Error("pending write should be allowed to not take effect")
+	}
+}
+
+func TestPendingCannotTimeTravel(t *testing.T) {
+	// A pending op invoked after a completed read cannot justify it.
+	reg := types.NewRegister(0)
+	h := history.New()
+	rec(t, h, 1, types.OpRead, nil, 9, 0, 1*ms)
+	h.Invoke(0, types.OpWrite, 9, 2*ms) // invoked after the read completed
+	if check.Check(reg, h).Linearizable {
+		t.Error("write invoked after read's response cannot explain read(9)")
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// Non-overlapping writes then a read of the FIRST value: illegal.
+	reg := types.NewRegister(0)
+	h := history.New()
+	rec(t, h, 0, types.OpWrite, 1, nil, 0, 1*ms)
+	rec(t, h, 1, types.OpWrite, 2, nil, 2*ms, 3*ms)
+	rec(t, h, 2, types.OpRead, nil, 1, 4*ms, 5*ms)
+	if check.Check(reg, h).Linearizable {
+		t.Error("read must observe the later of two non-overlapping writes")
+	}
+}
+
+func TestWitnessIsValidLinearization(t *testing.T) {
+	q := types.NewQueue()
+	h := history.New()
+	rec(t, h, 0, types.OpEnqueue, "a", nil, 0, 1*ms)
+	rec(t, h, 1, types.OpEnqueue, "b", nil, 0, 1*ms)
+	rec(t, h, 0, types.OpDequeue, nil, "a", 2*ms, 3*ms)
+	rec(t, h, 1, types.OpDequeue, nil, "b", 4*ms, 5*ms)
+	res := check.Check(q, h)
+	if !res.Linearizable {
+		t.Fatal("history should linearize")
+	}
+	// Replay the witness: it must be legal and respect precedence.
+	byID := make(map[history.OpID]history.Record)
+	for _, op := range h.Ops() {
+		byID[op.ID] = op
+	}
+	var seq spec.Sequence
+	for _, id := range res.Witness {
+		op := byID[id]
+		seq = append(seq, spec.Op{Kind: op.Kind, Arg: op.Arg, Ret: op.Ret})
+	}
+	if !spec.Legal(q, seq) {
+		t.Errorf("witness replays illegally: %v", seq)
+	}
+	pos := make(map[history.OpID]int)
+	for i, id := range res.Witness {
+		pos[id] = i
+	}
+	for _, pair := range check.MustOrder(h) {
+		if pos[pair[0]] > pos[pair[1]] {
+			t.Errorf("witness violates precedence %v", pair)
+		}
+	}
+}
+
+func TestTreeHistoryLinearizable(t *testing.T) {
+	tr := types.NewTree()
+	h := history.New()
+	rec(t, h, 0, types.OpTreeInsert, types.Edge{Node: "a", Parent: types.TreeRoot}, nil, 0, 1*ms)
+	rec(t, h, 1, types.OpTreeInsert, types.Edge{Node: "b", Parent: "a"}, nil, 2*ms, 3*ms)
+	rec(t, h, 2, types.OpTreeDepth, nil, 2, 4*ms, 5*ms)
+	if !check.Check(tr, h).Linearizable {
+		t.Error("tree history should linearize")
+	}
+}
+
+func TestHistoryRespondErrors(t *testing.T) {
+	h := history.New()
+	id := h.Invoke(0, types.OpRead, nil, 5*ms)
+	if err := h.Respond(id, 0, 1*ms); err == nil {
+		t.Error("response before invocation should error")
+	}
+	if err := h.Respond(id, 0, 6*ms); err != nil {
+		t.Errorf("valid response errored: %v", err)
+	}
+	if err := h.Respond(id, 0, 7*ms); err == nil {
+		t.Error("duplicate response should error")
+	}
+	if err := h.Respond(999, 0, 8*ms); err == nil {
+		t.Error("unknown op id should error")
+	}
+}

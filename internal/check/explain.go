@@ -1,0 +1,117 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"timebounds/internal/history"
+	"timebounds/internal/spec"
+)
+
+// Explain diagnoses a non-linearizable history: it re-runs the search
+// keeping the longest prefix that could be linearized, then reports, for
+// that best frontier, every remaining minimal operation and why it cannot
+// be linearized next (recorded return value vs what the specification would
+// return in the reached state). For linearizable histories it reports the
+// witness. The output is for humans; tests assert only its key facts.
+func Explain(dt spec.DataType, h *history.History) string {
+	res := Check(dt, h)
+	if res.Linearizable {
+		return fmt.Sprintf("linearizable; witness %v", res.Witness)
+	}
+
+	ops := h.Ops()
+	c := &checker{
+		dt:   dt,
+		ops:  ops,
+		done: make([]bool, len(ops)),
+		memo: make(map[string]bool),
+	}
+	c.pred = make([][]int, len(ops))
+	for i := range ops {
+		for j := range ops {
+			if i != j && !ops[j].Pending && ops[j].Respond < ops[i].Invoke {
+				c.pred[i] = append(c.pred[i], j)
+			}
+		}
+	}
+
+	best := c.deepest(dt.InitialState())
+
+	var sb strings.Builder
+	sb.WriteString("NOT linearizable.\n")
+	fmt.Fprintf(&sb, "longest linearizable prefix (%d/%d completed ops):", len(best.order), len(ops))
+	for _, idx := range best.order {
+		fmt.Fprintf(&sb, " #%d", ops[idx].ID)
+	}
+	fmt.Fprintf(&sb, "\nobject state there: %s\n", dt.EncodeState(best.state))
+	sb.WriteString("blocked operations:\n")
+	for i, op := range ops {
+		if best.done[i] || op.Pending {
+			continue
+		}
+		if !minimalIn(c.pred[i], best.done) {
+			continue // not yet eligible; some predecessor is itself blocked
+		}
+		_, specRet := dt.Apply(best.state, op.Kind, op.Arg)
+		if spec.ValueEqual(specRet, op.Ret) {
+			fmt.Fprintf(&sb, "  %s — applicable here but every continuation dead-ends\n", op)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s — recorded return %v but the specification requires %v here\n",
+			op, op.Ret, specRet)
+	}
+	return sb.String()
+}
+
+// frontier is the deepest reachable search configuration.
+type frontier struct {
+	order []int
+	done  []bool
+	state spec.State
+}
+
+// deepest explores the search space and returns the configuration with the
+// most completed operations linearized.
+func (c *checker) deepest(initial spec.State) frontier {
+	best := frontier{done: make([]bool, len(c.ops)), state: initial}
+	seen := make(map[string]bool)
+	var rec func(state spec.State)
+	rec = func(state spec.State) {
+		key := c.key(state)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if len(c.order) > len(best.order) {
+			best.order = append([]int(nil), c.order...)
+			best.done = append([]bool(nil), c.done...)
+			best.state = state
+		}
+		for i, op := range c.ops {
+			if c.done[i] || op.Pending || !c.minimal(i) {
+				continue
+			}
+			next, ret := c.dt.Apply(state, op.Kind, op.Arg)
+			if !spec.ValueEqual(ret, op.Ret) {
+				continue
+			}
+			c.done[i] = true
+			c.order = append(c.order, i)
+			rec(next)
+			c.order = c.order[:len(c.order)-1]
+			c.done[i] = false
+		}
+	}
+	rec(initial)
+	return best
+}
+
+func minimalIn(preds []int, done []bool) bool {
+	for _, j := range preds {
+		if !done[j] {
+			return false
+		}
+	}
+	return true
+}

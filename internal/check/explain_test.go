@@ -1,0 +1,56 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"timebounds/internal/check"
+	"timebounds/internal/history"
+	"timebounds/internal/types"
+)
+
+func TestExplainLinearizable(t *testing.T) {
+	reg := types.NewRegister(0)
+	h := history.New()
+	rec(t, h, 0, types.OpWrite, 1, nil, 0, 1*ms)
+	rec(t, h, 0, types.OpRead, nil, 1, 2*ms, 3*ms)
+	out := check.Explain(reg, h)
+	if !strings.Contains(out, "linearizable; witness") {
+		t.Errorf("unexpected explanation: %s", out)
+	}
+}
+
+func TestExplainStaleRead(t *testing.T) {
+	reg := types.NewRegister(0)
+	h := history.New()
+	rec(t, h, 0, types.OpWrite, 0, nil, 0, 1*ms)
+	rec(t, h, 0, types.OpWrite, 1, nil, 2*ms, 3*ms)
+	rec(t, h, 1, types.OpRead, nil, 0, 4*ms, 5*ms)
+	out := check.Explain(reg, h)
+	if !strings.Contains(out, "NOT linearizable") {
+		t.Fatalf("should reject: %s", out)
+	}
+	// The read is the blocked op: recorded 0, spec requires 1 after both
+	// writes.
+	if !strings.Contains(out, "recorded return 0") || !strings.Contains(out, "requires 1") {
+		t.Errorf("explanation should pin the stale read:\n%s", out)
+	}
+	if !strings.Contains(out, "longest linearizable prefix (2/3") {
+		t.Errorf("explanation should show the 2-op prefix:\n%s", out)
+	}
+}
+
+func TestExplainDoubleDequeue(t *testing.T) {
+	q := types.NewQueue()
+	h := history.New()
+	rec(t, h, 0, types.OpEnqueue, "x", nil, 0, 1*ms)
+	rec(t, h, 1, types.OpDequeue, nil, "x", 2*ms, 4*ms)
+	rec(t, h, 2, types.OpDequeue, nil, "x", 2*ms, 4*ms)
+	out := check.Explain(q, h)
+	if !strings.Contains(out, "NOT linearizable") {
+		t.Fatalf("should reject: %s", out)
+	}
+	if !strings.Contains(out, "q:[]") {
+		t.Errorf("explanation should show the emptied queue state:\n%s", out)
+	}
+}

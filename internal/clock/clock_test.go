@@ -1,0 +1,101 @@
+package clock_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"timebounds/internal/clock"
+	"timebounds/internal/model"
+)
+
+func params(n int) model.Params {
+	return model.Params{
+		N:       n,
+		D:       10 * time.Millisecond,
+		U:       4 * time.Millisecond,
+		Epsilon: 4 * time.Millisecond,
+	}
+}
+
+func TestMaxSkew(t *testing.T) {
+	a := clock.Assignment{0, 3 * time.Millisecond, -time.Millisecond}
+	if got, want := a.MaxSkew(), model.Time(4*time.Millisecond); got != want {
+		t.Errorf("MaxSkew = %s, want %s", got, want)
+	}
+	if clock.Uniform(5).MaxSkew() != 0 {
+		t.Error("uniform assignment should have zero skew")
+	}
+}
+
+func TestTwoPoint(t *testing.T) {
+	a := clock.TwoPoint(4, 2, time.Millisecond)
+	if a[2] != model.Time(time.Millisecond) {
+		t.Errorf("offset[2] = %s", a[2])
+	}
+	if a.MaxSkew() != model.Time(time.Millisecond) {
+		t.Errorf("MaxSkew = %s", a.MaxSkew())
+	}
+}
+
+func TestSynchronizeAchievesOptimalSkew(t *testing.T) {
+	// Against the worst-case adversary the post-sync skew equals exactly
+	// (1-1/n)u (Lundelius–Lynch optimality, used as ε throughout Ch. V).
+	for _, n := range []int{2, 3, 4, 8} {
+		p := params(n)
+		initial := clock.Uniform(n)
+		adjusted, err := clock.Synchronize(p, initial, clock.WorstCaseDelay(p))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		bound := p.OptimalSkew()
+		if got := adjusted.MaxSkew(); got != bound {
+			t.Errorf("n=%d: post-sync skew %s, want exactly (1-1/n)u = %s", n, got, bound)
+		}
+	}
+}
+
+func TestSynchronizeQuickNeverExceedsBound(t *testing.T) {
+	// Property: for arbitrary admissible delays and arbitrary bounded
+	// initial offsets, one synchronization round never exceeds (1-1/n)u.
+	p := params(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		initial := make(clock.Assignment, p.N)
+		for i := range initial {
+			initial[i] = model.Time(rng.Int63n(int64(time.Second)))
+		}
+		delay := func(i, j model.ProcessID) model.Time {
+			return p.MinDelay() + model.Time(rng.Int63n(int64(p.U)+1))
+		}
+		adjusted, err := clock.Synchronize(p, initial, delay)
+		if err != nil {
+			return false
+		}
+		return adjusted.MaxSkew() <= p.OptimalSkew()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynchronizeRejectsBadDelay(t *testing.T) {
+	p := params(3)
+	_, err := clock.Synchronize(p, clock.Uniform(3), func(i, j model.ProcessID) model.Time {
+		return p.D + 1
+	})
+	if err == nil {
+		t.Error("expected rejection of delay > d")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	a := clock.Assignment{0, 2 * time.Millisecond}
+	if err := a.Validate(time.Millisecond); err == nil {
+		t.Error("expected validation failure for skew > ε")
+	}
+	if err := a.Validate(2 * time.Millisecond); err != nil {
+		t.Errorf("unexpected validation failure: %v", err)
+	}
+}

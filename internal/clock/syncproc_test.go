@@ -1,0 +1,94 @@
+package clock_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"timebounds/internal/clock"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+)
+
+func TestRunSyncRoundWorstCase(t *testing.T) {
+	// The in-simulator protocol must match the analytic Synchronize under
+	// the worst-case adversary: post-sync skew exactly (1-1/n)u.
+	for _, n := range []int{2, 3, 4, 6} {
+		p := params(n)
+		adv := clock.WorstCaseDelay(p)
+		delay := sim.FuncDelay(func(from, to model.ProcessID, _ model.Time, _ int) model.Time {
+			return adv(from, to)
+		})
+		out, err := clock.RunSyncRound(p, clock.Uniform(n), delay)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Allow 1ns slack: (1-1/n)u is not an integer for every n, and the
+		// two-sided adjustment truncates toward zero.
+		got, want := out.MaxSkew(), p.OptimalSkew()
+		if diff := got - want; diff < -1 || diff > 1 {
+			t.Errorf("n=%d: post-sync skew %s, want %s (±1ns)", n, got, want)
+		}
+	}
+}
+
+func TestRunSyncRoundFromLargeInitialSkew(t *testing.T) {
+	// Synchronization must erase arbitrary (large) initial offsets.
+	p := params(4)
+	initial := clock.Assignment{0, 700 * time.Millisecond, 150 * time.Millisecond, 420 * time.Millisecond}
+	out, err := clock.RunSyncRound(p, initial, sim.FixedDelay(p.D-p.U/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With exact-midpoint delays the estimates are error-free, so the
+	// adjusted clocks agree perfectly.
+	if got := out.MaxSkew(); got != 0 {
+		t.Errorf("midpoint delays should synchronize exactly; skew %s", got)
+	}
+}
+
+func TestRunSyncRoundRandomDelaysWithinBound(t *testing.T) {
+	p := params(5)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		initial := make(clock.Assignment, p.N)
+		for i := range initial {
+			initial[i] = model.Time(rng.Int63n(int64(50 * time.Millisecond)))
+		}
+		out, err := clock.RunSyncRound(p, initial, sim.NewRandomDelay(int64(trial), p.MinDelay(), p.D))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.MaxSkew(); got > p.OptimalSkew() {
+			t.Errorf("trial %d: post-sync skew %s exceeds (1-1/n)u = %s", trial, got, p.OptimalSkew())
+		}
+	}
+}
+
+func TestRunSyncRoundMatchesAnalytic(t *testing.T) {
+	// The message-level protocol and the closed-form Synchronize must
+	// produce identical assignments for the same delay function.
+	p := params(4)
+	initial := clock.Assignment{
+		3 * time.Millisecond, 9 * time.Millisecond, 0, 6 * time.Millisecond,
+	}
+	delayFn := func(i, j model.ProcessID) model.Time {
+		return p.MinDelay() + model.Time((int64(i)*3+int64(j)*5)%int64(p.U+1))
+	}
+	analytic, err := clock.Synchronize(p, initial, delayFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated, err := clock.RunSyncRound(p, initial, sim.FuncDelay(
+		func(from, to model.ProcessID, _ model.Time, _ int) model.Time {
+			return delayFn(from, to)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range analytic {
+		if analytic[i] != simulated[i] {
+			t.Errorf("process %d: analytic %s vs simulated %s", i, analytic[i], simulated[i])
+		}
+	}
+}

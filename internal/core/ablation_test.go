@@ -1,0 +1,170 @@
+package core
+
+// Ablation tests: each of Algorithm 1's wait rules is load-bearing. For
+// every rule we construct an admissible scenario in which removing (or
+// shortening) just that rule produces a checker-certified violation or
+// replica divergence, while the full algorithm stays correct on the exact
+// same scenario.
+
+import (
+	"testing"
+
+	"timebounds/internal/check"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/types"
+)
+
+// selfAddScenario races two RMWs so that the d-u self-insertion delay is
+// the only thing keeping timestamp order and execution order aligned:
+// p1's clock runs ε behind, it stamps just below p0's stamp, and its
+// message takes the full d.
+func selfAddScenario(t *testing.T, tuning Tuning) *Cluster {
+	t.Helper()
+	p := testParams(3)
+	offsets := []model.Time{0, -p.Epsilon, 0}
+	c := mustCluster(t, Config{Params: p, Tuning: tuning}, types.NewRMWRegister(0), sim.Config{
+		ClockOffsets: offsets,
+		Delay:        sim.FixedDelay(p.D),
+		StrictDelays: true,
+	})
+	base := 4 * p.D
+	// p0 stamps ⟨base, 0⟩; p1 invokes at base+ε-1 and stamps ⟨base-1, 1⟩ —
+	// the smaller timestamp — but its broadcast lands at base+ε-1+d, after
+	// a premature p0 would already have executed its own operation.
+	c.Invoke(base, 0, types.OpRMW, 1)
+	c.Invoke(base+p.Epsilon-1, 1, types.OpRMW, 2)
+	return c
+}
+
+func TestAblationSelfAddDelayIsLoadBearing(t *testing.T) {
+	// Premature: insert own operations immediately instead of waiting d-u.
+	premature := Tuning{SelfAddDelay: OverrideTime{Override: true, Value: 0}}
+	c := selfAddScenario(t, premature)
+	runToQuiescence(t, c)
+	if res := check.Check(c.DataType(), c.History()); res.Linearizable {
+		t.Errorf("removing the d-u self-add delay should break this scenario:\n%s", c.History())
+	}
+
+	// Full algorithm on the identical scenario: correct.
+	c = selfAddScenario(t, Tuning{})
+	runToQuiescence(t, c)
+	if res := check.Check(c.DataType(), c.History()); !res.Linearizable {
+		t.Errorf("full algorithm failed the self-add scenario:\n%s", c.History())
+	}
+}
+
+// executeWaitScenario races a remote operation against the u+ε hold time:
+// an entry arriving via a fast message (d-u) must still wait u+ε, because
+// a smaller-stamped entry may arrive a full u later.
+func executeWaitScenario(t *testing.T, tuning Tuning) *Cluster {
+	t.Helper()
+	p := testParams(3)
+	offsets := []model.Time{0, -p.Epsilon, 0}
+	delay := sim.NewMatrixDelay(p.N, p.D)
+	// p0's broadcasts travel fastest; p1's slowest.
+	delay.Set(0, 2, p.MinDelay())
+	delay.Set(1, 2, p.D)
+	c := mustCluster(t, Config{Params: p, Tuning: tuning}, types.NewRMWRegister(0), sim.Config{
+		ClockOffsets: offsets,
+		Delay:        delay,
+		StrictDelays: true,
+	})
+	base := 4 * p.D
+	// Both stamp near-identical clocks; p1's (smaller ⟨base-1, 1⟩) arrives
+	// at p2 a full u after p0's ⟨base, 0⟩. A p2 that executes p0's entry
+	// without the u+ε hold applies the larger stamp first and diverges.
+	c.Invoke(base, 0, types.OpRMW, 1)
+	c.Invoke(base+p.Epsilon-1, 1, types.OpRMW, 2)
+	// p2 observes the result once everything settles.
+	c.Invoke(base+10*p.D, 2, types.OpRead, nil)
+	return c
+}
+
+func TestAblationExecuteWaitIsLoadBearing(t *testing.T) {
+	premature := Tuning{ExecuteWait: OverrideTime{Override: true, Value: 0}}
+	c := executeWaitScenario(t, premature)
+	runToQuiescence(t, c)
+	_, convErr := c.ConvergedState()
+	res := check.Check(c.DataType(), c.History())
+	if res.Linearizable && convErr == nil {
+		t.Errorf("removing the u+ε hold should break ordering:\n%s", c.History())
+	}
+
+	c = executeWaitScenario(t, Tuning{})
+	runToQuiescence(t, c)
+	if res := check.Check(c.DataType(), c.History()); !res.Linearizable {
+		t.Errorf("full algorithm failed the execute-wait scenario:\n%s", c.History())
+	}
+	if _, err := c.ConvergedState(); err != nil {
+		t.Errorf("full algorithm diverged: %v", err)
+	}
+}
+
+// accessorScenario: a read that responds before d+ε-X may miss a write
+// that completed (ε+X) before the read began — Theorem E.1's mechanism.
+func accessorScenario(t *testing.T, tuning Tuning) *Cluster {
+	t.Helper()
+	p := testParams(3)
+	offsets := []model.Time{-p.Epsilon, 0, 0}
+	c := mustCluster(t, Config{Params: p, Tuning: tuning}, types.NewRegister(0), sim.Config{
+		ClockOffsets: offsets,
+		Delay:        sim.FixedDelay(p.D),
+		StrictDelays: true,
+	})
+	base := 4 * p.D
+	c.Invoke(base, 1, types.OpWrite, 7)
+	// Read begins strictly after the write's ε+X response.
+	c.Invoke(base+p.Epsilon+1, 0, types.OpRead, nil)
+	return c
+}
+
+func TestAblationAccessorResponseIsLoadBearing(t *testing.T) {
+	p := testParams(3)
+	premature := Tuning{AccessorResponse: OverrideTime{Override: true, Value: p.D - p.U}}
+	c := accessorScenario(t, premature)
+	runToQuiescence(t, c)
+	if res := check.Check(c.DataType(), c.History()); res.Linearizable {
+		t.Errorf("shortening the accessor response below d+ε-X should miss the write:\n%s", c.History())
+	}
+
+	c = accessorScenario(t, Tuning{})
+	runToQuiescence(t, c)
+	if res := check.Check(c.DataType(), c.History()); !res.Linearizable {
+		t.Errorf("full algorithm failed the accessor scenario:\n%s", c.History())
+	}
+}
+
+// TestAblationMutatorResponseIsLoadBearing reuses the Theorem E.1 insight
+// directly at the core level: a mutator acknowledging before ε+X lets a
+// same-process accessor pair order incorrectly across processes.
+func TestAblationMutatorResponseIsLoadBearing(t *testing.T) {
+	p := testParams(3)
+	scenario := func(tuning Tuning) *Cluster {
+		offsets := []model.Time{-p.Epsilon, 0, 0}
+		c := mustCluster(t, Config{Params: p, Tuning: tuning}, types.NewQueue(), sim.Config{
+			ClockOffsets: offsets,
+			Delay:        sim.FixedDelay(p.D),
+			StrictDelays: true,
+		})
+		base := 4 * p.D
+		c.Invoke(base, 1, types.OpEnqueue, "x")
+		// Peek begins right after the (possibly premature) enqueue ack.
+		c.Invoke(base+1, 0, types.OpPeek, nil)
+		return c
+	}
+	premature := Tuning{MutatorResponse: OverrideTime{Override: true, Value: 0}}
+	c := scenario(premature)
+	runToQuiescence(t, c)
+	if res := check.Check(c.DataType(), c.History()); res.Linearizable {
+		t.Errorf("zero-latency mutator ack should break the pair:\n%s", c.History())
+	}
+
+	// Full algorithm: the peek at base+1 is concurrent with the enqueue
+	// (which responds at base+ε), so either return is linearizable.
+	c = scenario(Tuning{})
+	runToQuiescence(t, c)
+	if res := check.Check(c.DataType(), c.History()); !res.Linearizable {
+		t.Errorf("full algorithm failed the mutator scenario:\n%s", c.History())
+	}
+}

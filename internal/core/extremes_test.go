@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"timebounds/internal/check"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/types"
+)
+
+func TestXExtremesEndToEnd(t *testing.T) {
+	// At X=0 mutators respond in ε; at X=d+ε-u accessors respond in u —
+	// the two endpoints Chapter V.D calls out — and both extremes stay
+	// linearizable under adversarial delays.
+	p := testParams(4)
+	for _, x := range []model.Time{0, p.D + p.Epsilon - p.U} {
+		dt := types.NewRegister(0)
+		c := mustCluster(t, Config{Params: p, X: x}, dt, sim.Config{
+			ClockOffsets: MaxSkewOffsets(p),
+			Delay:        sim.FixedDelay(p.D),
+			StrictDelays: true,
+		})
+		c.Invoke(p.D, 0, types.OpWrite, 1)
+		c.Invoke(5*p.D, 1, types.OpRead, nil)
+		runToQuiescence(t, c)
+		wantW := p.Epsilon + x
+		wantR := p.D + p.Epsilon - x
+		if got, _ := c.History().MaxLatency(types.OpWrite); got != wantW {
+			t.Errorf("X=%s: write latency %s, want %s", x, got, wantW)
+		}
+		if got, _ := c.History().MaxLatency(types.OpRead); got != wantR {
+			t.Errorf("X=%s: read latency %s, want %s", x, got, wantR)
+		}
+		if res := check.Check(dt, c.History()); !res.Linearizable {
+			t.Errorf("X=%s: not linearizable:\n%s", x, c.History())
+		}
+	}
+	// At X = d+ε-u the accessor latency equals exactly u (§V.D).
+	xMax := p.D + p.Epsilon - p.U
+	if got := p.D + p.Epsilon - xMax; got != p.U {
+		t.Errorf("accessor floor %s, want u = %s", got, p.U)
+	}
+}
+
+func TestDeferredInvocationChain(t *testing.T) {
+	// Scheduling many operations at the same instant on one process must
+	// serialize them back-to-back (one pending op per process) and remain
+	// linearizable.
+	p := testParams(3)
+	dt := types.NewQueue()
+	c := mustCluster(t, Config{Params: p}, dt, sim.Config{
+		Delay:        sim.FixedDelay(p.D),
+		StrictDelays: true,
+	})
+	const n = 5
+	for i := 0; i < n; i++ {
+		c.Invoke(p.D, 0, types.OpEnqueue, i)
+	}
+	c.Invoke(20*p.D, 1, types.OpDequeue, nil)
+	runToQuiescence(t, c)
+
+	ops := c.History().Ops()
+	var prevRespond model.Time
+	count := 0
+	for _, op := range ops {
+		if op.Kind != types.OpEnqueue {
+			continue
+		}
+		if count > 0 && op.Invoke <= prevRespond {
+			t.Errorf("enqueue %d invoked at %s, not after previous response %s",
+				count, op.Invoke, prevRespond)
+		}
+		prevRespond = op.Respond
+		count++
+	}
+	if count != n {
+		t.Fatalf("%d enqueues completed, want %d", count, n)
+	}
+	// FIFO: the dequeue takes the first enqueue's value.
+	for _, op := range ops {
+		if op.Kind == types.OpDequeue && !valueIs(op.Ret, 0) {
+			t.Errorf("dequeue returned %v, want 0", op.Ret)
+		}
+	}
+	if res := check.Check(dt, c.History()); !res.Linearizable {
+		t.Errorf("not linearizable:\n%s", c.History())
+	}
+}
+
+func valueIs(v any, want int) bool {
+	got, ok := v.(int)
+	return ok && got == want
+}
+
+func TestOOPRespondsAtLocalExecution(t *testing.T) {
+	// An OOP operation responds exactly when the invoker's copy executes
+	// it: (d-u) self-add + (u+ε) hold = d+ε with zero skew.
+	p := testParams(3)
+	dt := types.NewRMWRegister(0)
+	c := mustCluster(t, Config{Params: p}, dt, sim.Config{
+		Delay:        sim.FixedDelay(p.D),
+		StrictDelays: true,
+	})
+	c.Invoke(p.D, 0, types.OpRMW, 5)
+	runToQuiescence(t, c)
+	if got, _ := c.History().MaxLatency(types.OpRMW); got != p.D+p.Epsilon {
+		t.Errorf("solo rmw latency %s, want exactly d+ε = %s", got, p.D+p.Epsilon)
+	}
+	if c.Replica(0).Applied() != 1 {
+		t.Errorf("invoker applied %d ops, want 1", c.Replica(0).Applied())
+	}
+}
+
+func TestAppliedCountsConvergeAcrossReplicas(t *testing.T) {
+	p := testParams(3)
+	dt := types.NewQueue()
+	c := mustCluster(t, Config{Params: p}, dt, sim.Config{
+		Delay:        sim.NewRandomDelay(13, p.MinDelay(), p.D),
+		StrictDelays: true,
+	})
+	for i := 0; i < 6; i++ {
+		c.Invoke(model.Time(i)*p.D, model.ProcessID(i%3), types.OpEnqueue, i)
+	}
+	runToQuiescence(t, c)
+	want := c.Replica(0).Applied()
+	for i := 1; i < 3; i++ {
+		if got := c.Replica(i).Applied(); got != want {
+			t.Errorf("replica %d applied %d ops, replica 0 applied %d", i, got, want)
+		}
+	}
+	if want != 6 {
+		t.Errorf("applied %d, want 6", want)
+	}
+}

@@ -1,0 +1,261 @@
+// Package core implements Algorithm 1 of Wang (2011), Chapter V: a fast
+// linearizable implementation of an arbitrary data type over a partially
+// synchronous message-passing system with clocks synchronized to within ε
+// and message delays in [d-u, d].
+//
+// Every process keeps a full copy of the object. Operations are grouped by
+// class (spec.OpClass):
+//
+//   - OOP (mutate-and-observe, e.g. read-modify-write, dequeue, pop):
+//     stamped ⟨local clock, pid⟩, broadcast, buffered in a priority queue
+//     To_Execute and executed everywhere in timestamp order. The invoker
+//     responds when its own copy executes the operation: within d+ε.
+//   - MOP (pure mutators, e.g. write, enqueue, push): same totally ordered
+//     execution, but the invoker acknowledges after only ε+X, before the
+//     operation is applied anywhere.
+//   - AOP (pure accessors, e.g. read, peek): never broadcast. Stamped
+//     ⟨local clock - X, pid⟩ (pretending to be invoked X earlier), and at
+//     d+ε-X after invocation the invoker executes every buffered operation
+//     with a smaller timestamp and then evaluates the accessor locally.
+//
+// X ∈ [0, d+ε-u] trades accessor latency against mutator latency, as in
+// Mavronicolas & Roth.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+)
+
+// Config configures a replica.
+type Config struct {
+	// Params are the system timing parameters (n, d, u, ε).
+	Params model.Params
+	// X is the accessor/mutator tradeoff parameter, in [0, d+ε-u].
+	X model.Time
+	// Tuning optionally overrides the algorithm's wait durations. Zero
+	// value means the proven-correct defaults. Only the adversary
+	// experiments (internal/adversary) set this, to build deliberately
+	// premature implementations.
+	Tuning Tuning
+}
+
+// Tuning overrides Algorithm 1's four wait durations. A nil field (Override
+// == false) keeps the default. Shrinking any wait below its default
+// invalidates the correctness proof — that is exactly what the lower-bound
+// experiments exploit.
+type Tuning struct {
+	// MutatorResponse replaces the ε+X acknowledgment delay of pure
+	// mutators when Override is set.
+	MutatorResponse OverrideTime
+	// AccessorResponse replaces the d+ε-X response delay of pure accessors.
+	AccessorResponse OverrideTime
+	// ExecuteWait replaces the u+ε hold time between enqueueing an
+	// operation into To_Execute and executing it.
+	ExecuteWait OverrideTime
+	// SelfAddDelay replaces the d-u delay before the invoker inserts its
+	// own operation into its To_Execute queue.
+	SelfAddDelay OverrideTime
+}
+
+// OverrideTime is an optional duration override.
+type OverrideTime struct {
+	// Override enables the replacement value.
+	Override bool
+	// Value is the replacement duration.
+	Value model.Time
+}
+
+// Or returns the override value when set, otherwise def.
+func (o OverrideTime) Or(def model.Time) model.Time {
+	if o.Override {
+		return o.Value
+	}
+	return def
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	maxX := c.Params.D + c.Params.Epsilon - c.Params.U
+	if c.X < 0 || c.X > maxX {
+		return fmt.Errorf("core: X=%s outside [0, d+ε-u=%s]", c.X, maxX)
+	}
+	return nil
+}
+
+// entry is one buffered operation in To_Execute: ⟨op, arg, ts⟩.
+type entry struct {
+	ts   model.Timestamp
+	kind spec.OpKind
+	arg  spec.Value
+}
+
+// opMsg is the broadcast payload for MOP/OOP operations.
+type opMsg struct {
+	Entry entry
+}
+
+// Timer payloads.
+type (
+	// addSelfTimer fires d-u after a local MOP/OOP invocation: the invoker
+	// inserts its own operation into its queue, pretending it arrived via
+	// the fastest message (Chapter V.A.1).
+	addSelfTimer struct{ e entry }
+	// executeTimer fires u+ε after an entry joined To_Execute: every
+	// buffered entry with a timestamp ≤ ts is executed in timestamp order.
+	executeTimer struct{ ts model.Timestamp }
+	// mutatorRespondTimer fires ε+X after a pure-mutator invocation.
+	mutatorRespondTimer struct{ id history.OpID }
+	// accessorRespondTimer fires d+ε-X after a pure-accessor invocation.
+	accessorRespondTimer struct {
+		id   history.OpID
+		kind spec.OpKind
+		arg  spec.Value
+		ts   model.Timestamp
+	}
+)
+
+// execHeap is the priority queue To_Execute, keyed by timestamp.
+type execHeap []entry
+
+func (h execHeap) Len() int           { return len(h) }
+func (h execHeap) Less(i, j int) bool { return h[i].ts.Less(h[j].ts) }
+func (h execHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *execHeap) Push(x any)        { *h = append(*h, x.(entry)) }
+func (h *execHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h execHeap) peekMin() (entry, bool) {
+	if len(h) == 0 {
+		return entry{}, false
+	}
+	return h[0], true
+}
+
+// Replica is one process of Algorithm 1. It implements sim.Process.
+type Replica struct {
+	cfg       Config
+	dt        spec.DataType
+	local     spec.State
+	toExecute execHeap
+	// pendingOOP maps the timestamps of locally invoked OOP operations to
+	// their operation ids, so the invoker can respond upon local execution.
+	pendingOOP map[model.Timestamp]history.OpID
+	// applied counts operations executed on the local copy (diagnostics).
+	applied int
+}
+
+var _ sim.Process = (*Replica)(nil)
+
+// NewReplica builds one replica of dt under cfg.
+func NewReplica(cfg Config, dt spec.DataType) *Replica {
+	return &Replica{
+		cfg:        cfg,
+		dt:         dt,
+		local:      dt.InitialState(),
+		pendingOOP: make(map[model.Timestamp]history.OpID),
+	}
+}
+
+// Applied returns the number of operations executed on the local copy.
+func (r *Replica) Applied() int { return r.applied }
+
+// LocalStateEncoding returns the canonical encoding of the local copy.
+func (r *Replica) LocalStateEncoding() string { return r.dt.EncodeState(r.local) }
+
+// OnInvoke implements sim.Process.
+func (r *Replica) OnInvoke(env sim.Env, id history.OpID, kind spec.OpKind, arg spec.Value) {
+	p := r.cfg.Params
+	switch r.dt.Class(kind) {
+	case spec.ClassPureAccessor:
+		// Timestamp ⟨clock - X, pid⟩: pretend to be invoked X earlier.
+		ts := model.Timestamp{Clock: env.ClockTime() - r.cfg.X, Proc: env.Self()}
+		wait := r.cfg.Tuning.AccessorResponse.Or(p.D + p.Epsilon - r.cfg.X)
+		env.SetTimerAfter(wait, accessorRespondTimer{id: id, kind: kind, arg: arg, ts: ts})
+	case spec.ClassPureMutator:
+		r.stampAndBroadcast(env, kind, arg)
+		wait := r.cfg.Tuning.MutatorResponse.Or(p.Epsilon + r.cfg.X)
+		env.SetTimerAfter(wait, mutatorRespondTimer{id: id})
+	default: // OOP
+		e := r.stampAndBroadcast(env, kind, arg)
+		r.pendingOOP[e.ts] = id
+	}
+}
+
+// stampAndBroadcast stamps a MOP/OOP operation, broadcasts it, and starts
+// the d-u self-insertion timer.
+func (r *Replica) stampAndBroadcast(env sim.Env, kind spec.OpKind, arg spec.Value) entry {
+	p := r.cfg.Params
+	e := entry{
+		ts:   model.Timestamp{Clock: env.ClockTime(), Proc: env.Self()},
+		kind: kind,
+		arg:  arg,
+	}
+	env.Broadcast(opMsg{Entry: e})
+	env.SetTimerAfter(r.cfg.Tuning.SelfAddDelay.Or(p.D-p.U), addSelfTimer{e: e})
+	return e
+}
+
+// OnMessage implements sim.Process.
+func (r *Replica) OnMessage(env sim.Env, _ model.ProcessID, payload any) {
+	msg, ok := payload.(opMsg)
+	if !ok {
+		return
+	}
+	r.enqueue(env, msg.Entry)
+}
+
+// enqueue adds an entry to To_Execute and arms its u+ε execution timer.
+func (r *Replica) enqueue(env sim.Env, e entry) {
+	p := r.cfg.Params
+	heap.Push(&r.toExecute, e)
+	env.SetTimerAfter(r.cfg.Tuning.ExecuteWait.Or(p.U+p.Epsilon), executeTimer{ts: e.ts})
+}
+
+// OnTimer implements sim.Process.
+func (r *Replica) OnTimer(env sim.Env, payload any) {
+	switch t := payload.(type) {
+	case addSelfTimer:
+		r.enqueue(env, t.e)
+	case executeTimer:
+		r.executeUpTo(env, t.ts, true)
+	case mutatorRespondTimer:
+		env.Respond(t.id, nil)
+	case accessorRespondTimer:
+		// Execute every buffered operation with a smaller timestamp, then
+		// evaluate the accessor on the local copy.
+		r.executeUpTo(env, t.ts, false)
+		_, ret := r.dt.Apply(r.local, t.kind, t.arg)
+		env.Respond(t.id, ret)
+	}
+}
+
+// executeUpTo applies every buffered entry with timestamp ≤ ts (inclusive)
+// or < ts (when inclusive is false), in timestamp order. Locally invoked
+// OOP operations respond as they are applied.
+func (r *Replica) executeUpTo(env sim.Env, ts model.Timestamp, inclusive bool) {
+	for {
+		e, ok := r.toExecute.peekMin()
+		if !ok {
+			return
+		}
+		cmp := e.ts.Compare(ts)
+		if cmp > 0 || (!inclusive && cmp == 0) {
+			return
+		}
+		heap.Pop(&r.toExecute)
+		next, ret := r.dt.Apply(r.local, e.kind, e.arg)
+		r.local = next
+		r.applied++
+		if id, mine := r.pendingOOP[e.ts]; mine && e.ts.Proc == env.Self() {
+			delete(r.pendingOOP, e.ts)
+			env.Respond(id, ret)
+		}
+	}
+}

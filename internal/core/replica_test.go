@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"timebounds/internal/check"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+func testParams(n int) model.Params {
+	p := model.Params{
+		N: n,
+		D: 10 * time.Millisecond,
+		U: 4 * time.Millisecond,
+	}
+	p.Epsilon = p.OptimalSkew()
+	return p
+}
+
+func mustCluster(t *testing.T, cfg Config, dt spec.DataType, simCfg sim.Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg, dt, simCfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func runToQuiescence(t *testing.T, c *Cluster) {
+	t.Helper()
+	if err := c.Run(model.Time(1000) * c.Simulator().Params().D); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !c.History().Complete() {
+		t.Fatalf("history incomplete: %d pending\n%s", c.History().PendingCount(), c.History())
+	}
+}
+
+func TestRegisterSequentialWriteRead(t *testing.T) {
+	p := testParams(3)
+	dt := types.NewRegister(0)
+	c := mustCluster(t, Config{Params: p}, dt, sim.Config{StrictDelays: true})
+
+	c.Invoke(0, 0, types.OpWrite, 42)
+	c.Invoke(5*p.D, 1, types.OpRead, nil)
+	runToQuiescence(t, c)
+
+	ops := c.History().Ops()
+	if len(ops) != 2 {
+		t.Fatalf("want 2 ops, got %d", len(ops))
+	}
+	read := ops[1]
+	if read.Kind != types.OpRead {
+		t.Fatalf("second op is %s, want read", read.Kind)
+	}
+	if !spec.ValueEqual(read.Ret, 42) {
+		t.Errorf("read returned %v, want 42", read.Ret)
+	}
+	if res := check.Check(dt, c.History()); !res.Linearizable {
+		t.Errorf("history not linearizable:\n%s", c.History())
+	}
+}
+
+func TestLatenciesMatchChapterVFormulas(t *testing.T) {
+	p := testParams(4)
+	x := model.Time(2 * time.Millisecond)
+	dt := types.NewRMWRegister(0)
+	c := mustCluster(t, Config{Params: p, X: x}, dt, sim.Config{
+		ClockOffsets: MaxSkewOffsets(p),
+		Delay:        sim.FixedDelay(p.D),
+		StrictDelays: true,
+	})
+
+	c.Invoke(p.D, 0, types.OpWrite, 1)    // mutator: ε+X
+	c.Invoke(4*p.D, 1, types.OpRead, nil) // accessor: d+ε-X
+	c.Invoke(8*p.D, 2, types.OpRMW, 7)    // OOP: ≤ d+ε
+	runToQuiescence(t, c)
+
+	wantMut := p.Epsilon + x
+	wantAcc := p.D + p.Epsilon - x
+	wantOOP := p.D + p.Epsilon
+
+	if got, _ := c.History().MaxLatency(types.OpWrite); got != wantMut {
+		t.Errorf("write latency = %s, want ε+X = %s", got, wantMut)
+	}
+	if got, _ := c.History().MaxLatency(types.OpRead); got != wantAcc {
+		t.Errorf("read latency = %s, want d+ε-X = %s", got, wantAcc)
+	}
+	if got, _ := c.History().MaxLatency(types.OpRMW); got > wantOOP {
+		t.Errorf("rmw latency = %s, want ≤ d+ε = %s", got, wantOOP)
+	}
+	if res := check.Check(dt, c.History()); !res.Linearizable {
+		t.Errorf("history not linearizable:\n%s", c.History())
+	}
+}
+
+func TestReplicasConverge(t *testing.T) {
+	p := testParams(3)
+	dt := types.NewQueue()
+	c := mustCluster(t, Config{Params: p}, dt, sim.Config{
+		Delay:        sim.NewRandomDelay(7, p.MinDelay(), p.D),
+		StrictDelays: true,
+	})
+	for i := 0; i < 5; i++ {
+		c.Invoke(model.Time(i)*p.D/2, model.ProcessID(i%3), types.OpEnqueue, i)
+	}
+	c.Invoke(20*p.D, 0, types.OpDequeue, nil)
+	runToQuiescence(t, c)
+	// Let stragglers flush: drive remaining timers/messages to quiescence
+	// already done by Run. All replicas must agree.
+	if _, err := c.ConvergedState(); err != nil {
+		t.Fatalf("replicas diverged: %v", err)
+	}
+	if res := check.Check(dt, c.History()); !res.Linearizable {
+		t.Errorf("history not linearizable:\n%s", c.History())
+	}
+}
+
+func TestConcurrentRMWsLinearizable(t *testing.T) {
+	p := testParams(3)
+	dt := types.NewRMWRegister(0)
+	c := mustCluster(t, Config{Params: p}, dt, sim.Config{
+		ClockOffsets: MaxSkewOffsets(p),
+		Delay:        sim.ExtremalDelay{Params: p},
+		StrictDelays: true,
+	})
+	base := 2 * p.D
+	c.Invoke(base, 0, types.OpRMW, 10)
+	c.Invoke(base, 1, types.OpRMW, 20)
+	c.Invoke(base+p.Epsilon/2, 2, types.OpRMW, 30)
+	runToQuiescence(t, c)
+	if res := check.Check(dt, c.History()); !res.Linearizable {
+		t.Fatalf("concurrent RMWs not linearizable:\n%s", c.History())
+	}
+	if _, err := c.ConvergedState(); err != nil {
+		t.Fatalf("replicas diverged: %v", err)
+	}
+}
+
+func TestMutatorsOrderedByRealTimeAcrossProcesses(t *testing.T) {
+	// Two non-overlapping writes from different processes must linearize
+	// in real-time order; a read afterwards sees the later one.
+	p := testParams(3)
+	dt := types.NewRegister(0)
+	c := mustCluster(t, Config{Params: p}, dt, sim.Config{
+		ClockOffsets: MaxSkewOffsets(p),
+		Delay:        sim.FixedDelay(p.D),
+		StrictDelays: true,
+	})
+	c.Invoke(p.D, 0, types.OpWrite, 1)
+	// Write 2 begins after write 1's ε+X response completes.
+	c.Invoke(p.D+p.Epsilon+1, 1, types.OpWrite, 2)
+	c.Invoke(10*p.D, 2, types.OpRead, nil)
+	runToQuiescence(t, c)
+
+	var got spec.Value
+	for _, op := range c.History().Ops() {
+		if op.Kind == types.OpRead {
+			got = op.Ret
+		}
+	}
+	if !spec.ValueEqual(got, 2) {
+		t.Errorf("read returned %v, want 2 (later write wins)", got)
+	}
+	if res := check.Check(dt, c.History()); !res.Linearizable {
+		t.Errorf("history not linearizable:\n%s", c.History())
+	}
+}
+
+func TestValidateRejectsBadX(t *testing.T) {
+	p := testParams(3)
+	cfg := Config{Params: p, X: p.D + p.Epsilon - p.U + 1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted X beyond d+ε-u")
+	}
+	cfg.X = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted negative X")
+	}
+}

@@ -1,0 +1,321 @@
+// Package experiments packages the paper's evaluation artifacts as callable
+// experiments: measured Tables I–IV, the X tradeoff sweep, the n → (1-1/n)u
+// skew sweep, and the Algorithm-1-vs-baseline comparison. cmd/tbtables,
+// cmd/tbsweep and bench_test.go are thin wrappers over this package, so the
+// numbers in EXPERIMENTS.md are reproducible from one place.
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"timebounds/internal/baseline"
+	"timebounds/internal/bounds"
+	"timebounds/internal/core"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+	"timebounds/internal/workload"
+)
+
+// TableMix returns a representative operation mix for one of the paper's
+// table objects.
+func TableMix(dt spec.DataType) workload.OpMix {
+	intArg := func(i int) spec.Value { return i }
+	switch dt.Name() {
+	case "register", "rmw-register":
+		return workload.OpMix{
+			{Kind: types.OpWrite, Weight: 3, Arg: intArg},
+			{Kind: types.OpRead, Weight: 3},
+			{Kind: types.OpRMW, Weight: 2, Arg: intArg},
+		}
+	case "queue":
+		return workload.OpMix{
+			{Kind: types.OpEnqueue, Weight: 4, Arg: intArg},
+			{Kind: types.OpDequeue, Weight: 2},
+			{Kind: types.OpPeek, Weight: 2},
+		}
+	case "stack":
+		return workload.OpMix{
+			{Kind: types.OpPush, Weight: 4, Arg: intArg},
+			{Kind: types.OpPop, Weight: 2},
+			{Kind: types.OpTop, Weight: 2},
+		}
+	case "tree":
+		return workload.OpMix{
+			{Kind: types.OpTreeInsert, Weight: 4, Arg: func(i int) spec.Value {
+				parent := types.TreeRoot
+				if i > 0 {
+					parent = "n" + strconv.Itoa((i-1)/2)
+				}
+				return types.Edge{Node: "n" + strconv.Itoa(i), Parent: parent}
+			}},
+			{Kind: types.OpTreeDelete, Weight: 1, Arg: func(i int) spec.Value {
+				return "n" + strconv.Itoa(i*3)
+			}},
+			{Kind: types.OpTreeSearch, Weight: 2, Arg: func(i int) spec.Value {
+				return "n" + strconv.Itoa(i)
+			}},
+			{Kind: types.OpTreeDepth, Weight: 1},
+		}
+	case "dict":
+		keys := []string{"a", "b", "c", "d"}
+		return workload.OpMix{
+			{Kind: types.OpPut, Weight: 4, Arg: func(i int) spec.Value {
+				return types.KV{Key: keys[i%len(keys)], Value: i}
+			}},
+			{Kind: types.OpDelete, Weight: 1, Arg: func(i int) spec.Value { return keys[i%len(keys)] }},
+			{Kind: types.OpDictGet, Weight: 2, Arg: func(i int) spec.Value { return keys[i%len(keys)] }},
+			{Kind: types.OpSize, Weight: 1},
+		}
+	case "pqueue":
+		return workload.OpMix{
+			{Kind: types.OpPQInsert, Weight: 4, Arg: intArg},
+			{Kind: types.OpPQDeleteMin, Weight: 2},
+			{Kind: types.OpPQMin, Weight: 2},
+		}
+	case "set":
+		return workload.OpMix{
+			{Kind: types.OpInsert, Weight: 3, Arg: intArg},
+			{Kind: types.OpRemove, Weight: 1, Arg: intArg},
+			{Kind: types.OpContains, Weight: 2, Arg: intArg},
+		}
+	case "counter":
+		return workload.OpMix{
+			{Kind: types.OpIncrement, Weight: 3, Arg: intArg},
+			{Kind: types.OpGet, Weight: 2},
+		}
+	case "account":
+		return workload.OpMix{
+			{Kind: types.OpDeposit, Weight: 3, Arg: func(i int) spec.Value { return 50 + i }},
+			{Kind: types.OpWithdraw, Weight: 2, Arg: func(i int) spec.Value { return 40 + i*7 }},
+			{Kind: types.OpBalance, Weight: 2},
+		}
+	default:
+		kinds := dt.Kinds()
+		mix := make(workload.OpMix, 0, len(kinds))
+		for _, k := range kinds {
+			mix = append(mix, workload.WeightedOp{Kind: k, Weight: 1, Arg: intArg})
+		}
+		return mix
+	}
+}
+
+// MeasureOptions configures a table measurement.
+type MeasureOptions struct {
+	// X is Algorithm 1's tradeoff parameter.
+	X model.Time
+	// Seed drives workload generation and random delays.
+	Seed int64
+	// OpsPerProcess sizes the workload (default 20).
+	OpsPerProcess int
+	// WorstCaseDelays uses the slowest admissible delay (d) everywhere
+	// instead of seeded random delays, to surface worst-case latencies.
+	WorstCaseDelays bool
+	// Verify runs the linearizability checker (only for small workloads).
+	Verify bool
+}
+
+// MeasureTable runs the table's object under a mixed workload and returns
+// the measured worst-case latency per table-row label (pair rows get the
+// sum of the two worst cases), plus the full report.
+func MeasureTable(t bounds.Table, p model.Params, opt MeasureOptions) (map[string]model.Time, workload.Report, error) {
+	if opt.OpsPerProcess == 0 {
+		opt.OpsPerProcess = 20
+	}
+	simCfg := workload.NewSimConfig(p, opt.Seed)
+	if opt.WorstCaseDelays {
+		simCfg.Delay = sim.FixedDelay(p.D)
+	}
+	cluster, err := core.NewCluster(core.Config{Params: p, X: opt.X}, t.Object, simCfg)
+	if err != nil {
+		return nil, workload.Report{}, err
+	}
+	sched, err := workload.Generate(p, TableMix(t.Object), workload.Options{
+		Seed:          opt.Seed,
+		OpsPerProcess: opt.OpsPerProcess,
+		Spacing:       2 * p.D,
+		Start:         p.D,
+	})
+	if err != nil {
+		return nil, workload.Report{}, err
+	}
+	rep, err := workload.Run(cluster, sched, workload.RunOptions{Verify: opt.Verify})
+	if err != nil {
+		return nil, workload.Report{}, err
+	}
+	measured := make(map[string]model.Time, len(t.Rows))
+	for _, row := range t.Rows {
+		switch row.Kind {
+		case bounds.RowSingle:
+			measured[row.Label] = rep.PerKind[row.Ops[0]].Max
+		case bounds.RowPair:
+			measured[row.Label] = rep.PerKind[row.Ops[0]].Max + rep.PerKind[row.Ops[1]].Max
+		}
+	}
+	return measured, rep, nil
+}
+
+// TradeoffPoint is one X-sweep sample (experiment E13).
+type TradeoffPoint struct {
+	X        model.Time
+	Mutator  model.Time // measured worst-case pure-mutator latency (ε+X)
+	Accessor model.Time // measured worst-case pure-accessor latency (d+ε-X)
+	Pair     model.Time // their sum (d+2ε, constant in X)
+}
+
+// XSweep measures the accessor/mutator tradeoff across steps X values
+// spanning [0, d+ε-u] on a register.
+func XSweep(p model.Params, steps int, seed int64) ([]TradeoffPoint, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("experiments: steps must be ≥ 2")
+	}
+	maxX := p.D + p.Epsilon - p.U
+	out := make([]TradeoffPoint, 0, steps)
+	for i := 0; i < steps; i++ {
+		x := model.Time(int64(maxX) * int64(i) / int64(steps-1))
+		measured, _, err := MeasureTable(bounds.TableI(), p, MeasureOptions{
+			X: x, Seed: seed, WorstCaseDelays: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TradeoffPoint{
+			X:        x,
+			Mutator:  measured["write"],
+			Accessor: measured["read"],
+			Pair:     measured["write"] + measured["read"],
+		})
+	}
+	return out, nil
+}
+
+// SkewPoint is one n-sweep sample (experiment E14).
+type SkewPoint struct {
+	N int
+	// OptimalSkew is (1-1/n)u.
+	OptimalSkew model.Time
+	// MutatorBound is the matching (1-1/n)u mutator lower bound.
+	MutatorBound model.Time
+	// MeasuredMutator is the measured worst-case mutator latency at X=0
+	// with optimal ε; tightness means it equals OptimalSkew.
+	MeasuredMutator model.Time
+}
+
+// NSweep measures mutator latency against (1-1/n)u for n = 2 … maxN.
+func NSweep(d, u model.Time, maxN int, seed int64) ([]SkewPoint, error) {
+	var out []SkewPoint
+	for n := 2; n <= maxN; n++ {
+		p := model.Params{N: n, D: d, U: u}
+		p.Epsilon = p.OptimalSkew()
+		measured, _, err := MeasureTable(bounds.TableI(), p, MeasureOptions{
+			Seed: seed, WorstCaseDelays: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SkewPoint{
+			N:               n,
+			OptimalSkew:     p.OptimalSkew(),
+			MutatorBound:    bounds.PermuteLower(n, u),
+			MeasuredMutator: measured["write"],
+		})
+	}
+	return out, nil
+}
+
+// BaselineComparison holds worst-case latencies of the three
+// implementations on the same register workload (experiment E12).
+type BaselineComparison struct {
+	// Fast holds Algorithm 1's per-kind worst cases.
+	Fast map[spec.OpKind]workload.Stats
+	// AllOOP holds the folklore total-order-broadcast worst cases
+	// (every operation ≤ d+ε).
+	AllOOP map[spec.OpKind]workload.Stats
+	// Centralized holds the coordinator round-trip worst cases (≤ 2d).
+	Centralized map[spec.OpKind]workload.Stats
+}
+
+// CompareBaselines runs the same register workload on Algorithm 1, the
+// all-OOP folklore implementation, and the centralized baseline.
+func CompareBaselines(p model.Params, x model.Time, seed int64, opsPerProcess int) (BaselineComparison, error) {
+	if opsPerProcess == 0 {
+		opsPerProcess = 20
+	}
+	dt := types.NewRMWRegister(0)
+	mix := TableMix(dt)
+	sched, err := workload.Generate(p, mix, workload.Options{
+		Seed:          seed,
+		OpsPerProcess: opsPerProcess,
+		Spacing:       2 * p.D,
+		Start:         p.D,
+	})
+	if err != nil {
+		return BaselineComparison{}, err
+	}
+	var cmp BaselineComparison
+
+	// Algorithm 1.
+	fast, err := core.NewCluster(core.Config{Params: p, X: x}, dt, simCfgWorst(p, seed))
+	if err != nil {
+		return BaselineComparison{}, err
+	}
+	rep, err := workload.Run(fast, sched, workload.RunOptions{})
+	if err != nil {
+		return BaselineComparison{}, fmt.Errorf("fast: %w", err)
+	}
+	cmp.Fast = rep.PerKind
+
+	// Folklore all-OOP.
+	oop, err := core.NewCluster(core.Config{Params: p, X: x}, baseline.AllOOP{Inner: dt}, simCfgWorst(p, seed))
+	if err != nil {
+		return BaselineComparison{}, err
+	}
+	rep, err = workload.Run(oop, sched, workload.RunOptions{})
+	if err != nil {
+		return BaselineComparison{}, fmt.Errorf("all-oop: %w", err)
+	}
+	cmp.AllOOP = rep.PerKind
+
+	// Centralized.
+	procs := make([]sim.Process, p.N)
+	for i := range procs {
+		procs[i] = baseline.NewCentralized(0, dt)
+	}
+	s, err := sim.New(simCfgWithParams(p, seed), procs)
+	if err != nil {
+		return BaselineComparison{}, err
+	}
+	for _, inv := range sched.Invocations {
+		s.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
+	}
+	if err := s.Run(model.Infinity); err != nil {
+		return BaselineComparison{}, fmt.Errorf("centralized: %w", err)
+	}
+	if !s.History().Complete() {
+		return BaselineComparison{}, fmt.Errorf("centralized: pending operations")
+	}
+	cmp.Centralized = workload.Summarize(s.History())
+	return cmp, nil
+}
+
+func simCfgWorst(p model.Params, seed int64) sim.Config {
+	cfg := workload.NewSimConfig(p, seed)
+	cfg.Delay = sim.FixedDelay(p.D)
+	return cfg
+}
+
+func simCfgWithParams(p model.Params, seed int64) sim.Config {
+	cfg := simCfgWorst(p, seed)
+	cfg.Params = p
+	return cfg
+}
+
+// DefaultParams returns the parameter set used throughout EXPERIMENTS.md:
+// n processes, d = 10ms, u = 4ms, optimal ε.
+func DefaultParams(n int) model.Params {
+	p := model.Params{N: n, D: 10_000_000, U: 4_000_000}
+	p.Epsilon = p.OptimalSkew()
+	return p
+}

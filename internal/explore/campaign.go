@@ -1,0 +1,135 @@
+package explore
+
+import (
+	"fmt"
+
+	"timebounds/internal/core"
+	"timebounds/internal/experiments"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+	"timebounds/internal/workload"
+)
+
+// CampaignConfig configures a randomized correctness campaign.
+type CampaignConfig struct {
+	Params model.Params
+	// X is Algorithm 1's tradeoff parameter.
+	X model.Time
+	// Objects are the data types to exercise.
+	Objects []spec.DataType
+	// Seeds is how many seeds to run per object × policy.
+	Seeds int
+	// OpsPerProcess sizes each workload; keep small enough for the
+	// checker (it is exhaustive in concurrency).
+	OpsPerProcess int
+	// Verify runs the linearizability checker on every history.
+	Verify bool
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	// Runs is the number of workloads executed.
+	Runs int
+	// Ops is the total number of operations completed.
+	Ops int
+	// Failures lists human-readable descriptions of every failure.
+	Failures []string
+	// WorstLatency is the largest completed-operation latency seen.
+	WorstLatency model.Time
+}
+
+// OK reports whether the campaign saw no failures.
+func (r CampaignResult) OK() bool { return len(r.Failures) == 0 }
+
+// policies returns the delay-policy constructors exercised per seed.
+func policies(p model.Params) map[string]func(seed int64) sim.DelayPolicy {
+	return map[string]func(seed int64) sim.DelayPolicy{
+		"random": func(seed int64) sim.DelayPolicy {
+			return sim.NewRandomDelay(seed, p.MinDelay(), p.D)
+		},
+		"slowest":  func(int64) sim.DelayPolicy { return sim.FixedDelay(p.D) },
+		"fastest":  func(int64) sim.DelayPolicy { return sim.FixedDelay(p.MinDelay()) },
+		"extremal": func(int64) sim.DelayPolicy { return sim.ExtremalDelay{Params: p} },
+	}
+}
+
+// Campaign runs the randomized sweep: every object × policy × seed gets a
+// generated workload; every history must complete, respect the class
+// latency bounds, converge across replicas, and (optionally) linearize.
+func Campaign(cfg CampaignConfig) (CampaignResult, error) {
+	p := cfg.Params
+	if err := p.Validate(); err != nil {
+		return CampaignResult{}, err
+	}
+	if cfg.Seeds == 0 {
+		cfg.Seeds = 5
+	}
+	if cfg.OpsPerProcess == 0 {
+		cfg.OpsPerProcess = 4
+	}
+	var res CampaignResult
+	fail := func(format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+	}
+	for _, dt := range cfg.Objects {
+		mix := experiments.TableMix(dt)
+		for polName, mkPolicy := range policies(p) {
+			for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+				tag := fmt.Sprintf("%s/%s/seed=%d", dt.Name(), polName, seed)
+				cluster, err := core.NewCluster(core.Config{Params: p, X: cfg.X}, dt, sim.Config{
+					ClockOffsets: core.MaxSkewOffsets(p),
+					Delay:        mkPolicy(seed),
+					StrictDelays: true,
+				})
+				if err != nil {
+					return res, fmt.Errorf("%s: %w", tag, err)
+				}
+				sched, err := workload.Generate(p, mix, workload.Options{
+					Seed:          seed,
+					OpsPerProcess: cfg.OpsPerProcess,
+					Spacing:       2 * p.D,
+					Start:         p.D,
+				})
+				if err != nil {
+					return res, fmt.Errorf("%s: %w", tag, err)
+				}
+				rep, err := workload.Run(cluster, sched, workload.RunOptions{Verify: cfg.Verify})
+				if err != nil {
+					fail("%s: %v", tag, err)
+					continue
+				}
+				res.Runs++
+				res.Ops += rep.History.Len()
+				if cfg.Verify && !rep.Linearizable {
+					fail("%s: history not linearizable", tag)
+				}
+				if _, err := cluster.ConvergedState(); err != nil {
+					fail("%s: %v", tag, err)
+				}
+				for kind, st := range rep.PerKind {
+					bound := classBound(dt, kind, p, cfg.X)
+					if st.Max > bound {
+						fail("%s: %s worst latency %s exceeds bound %s", tag, kind, st.Max, bound)
+					}
+					if st.Max > res.WorstLatency {
+						res.WorstLatency = st.Max
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// classBound returns Algorithm 1's per-class latency bound.
+func classBound(dt spec.DataType, kind spec.OpKind, p model.Params, x model.Time) model.Time {
+	switch dt.Class(kind) {
+	case spec.ClassPureMutator:
+		return p.Epsilon + x
+	case spec.ClassPureAccessor:
+		return p.D + p.Epsilon - x
+	default:
+		return p.D + p.Epsilon
+	}
+}

@@ -1,0 +1,197 @@
+// Package explore provides two systematic correctness harnesses over the
+// simulator:
+//
+//   - Exhaustive: enumerate the *entire* adversary lattice of a small
+//     scenario — every combination of per-message delays drawn from a
+//     finite menu (e.g. {d-u, d-u/2, d}) and per-process clock offsets
+//     drawn from a finite menu within ε — run the implementation in every
+//     resulting admissible world, and check each history for
+//     linearizability and each replica set for convergence. For premature
+//     implementations it returns the violating worlds; for Algorithm 1 it
+//     proves correctness over the whole finite lattice.
+//
+//   - Campaign: a seeded randomized sweep (seeds × delay policies × skews ×
+//     objects) for breadth beyond what exhaustive enumeration can afford.
+//
+// Both are used by tests and by cmd/tbstress.
+package explore
+
+import (
+	"fmt"
+
+	"timebounds/internal/check"
+	"timebounds/internal/core"
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+)
+
+// Invocation is one scheduled operation of a scenario.
+type Invocation struct {
+	At   model.Time
+	Proc model.ProcessID
+	Kind spec.OpKind
+	Arg  spec.Value
+}
+
+// Scenario is a fixed operation schedule explored across adversary worlds.
+type Scenario struct {
+	Params model.Params
+	// Config is the Algorithm 1 configuration (X, tuning).
+	Config core.Config
+	// DataType is the replicated object.
+	DataType spec.DataType
+	// Invocations is the schedule.
+	Invocations []Invocation
+	// DelayMenu lists the admissible delays each message may take.
+	// Empty defaults to {d-u, d}.
+	DelayMenu []model.Time
+	// OffsetMenu lists candidate clock offsets per process (assignments
+	// whose spread exceeds ε are skipped). Empty defaults to {0, -ε}.
+	OffsetMenu []model.Time
+	// MaxMessages bounds the per-world message count that gets an
+	// independent delay choice; messages beyond the bound reuse the menu
+	// cyclically. This caps the lattice at |DelayMenu|^MaxMessages.
+	// Zero defaults to 8.
+	MaxMessages int
+}
+
+// World identifies one point of the adversary lattice.
+type World struct {
+	// DelayChoice[i] indexes DelayMenu for the i-th message (messages
+	// beyond len(DelayChoice) wrap around).
+	DelayChoice []int
+	// Offsets are the per-process clock offsets.
+	Offsets []model.Time
+}
+
+// Violation reports one failing world.
+type Violation struct {
+	World   World
+	History *history.History
+	// Diverged is non-nil when replicas disagreed after quiescence.
+	Diverged error
+}
+
+// Report summarizes an exhaustive exploration.
+type Report struct {
+	// Worlds is the number of adversary worlds executed.
+	Worlds int
+	// Violations lists every failing world (non-linearizable history or
+	// diverged replicas).
+	Violations []Violation
+}
+
+// OK reports whether no world failed.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Exhaustive enumerates and checks every world of the scenario's lattice.
+func Exhaustive(sc Scenario) (Report, error) {
+	p := sc.Params
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	delayMenu := sc.DelayMenu
+	if len(delayMenu) == 0 {
+		delayMenu = []model.Time{p.MinDelay(), p.D}
+	}
+	for _, d := range delayMenu {
+		if d < p.MinDelay() || d > p.D {
+			return Report{}, fmt.Errorf("explore: menu delay %s outside [%s, %s]", d, p.MinDelay(), p.D)
+		}
+	}
+	offsetMenu := sc.OffsetMenu
+	if len(offsetMenu) == 0 {
+		offsetMenu = []model.Time{0, -p.Epsilon}
+	}
+	maxMsgs := sc.MaxMessages
+	if maxMsgs == 0 {
+		maxMsgs = 8
+	}
+
+	var rep Report
+	offsets := make([]model.Time, p.N)
+	var enumOffsets func(i int) error
+	var enumDelays func(choice []int) error
+
+	runWorld := func(choice []int) error {
+		world := World{
+			DelayChoice: append([]int(nil), choice...),
+			Offsets:     append([]model.Time(nil), offsets...),
+		}
+		delay := sim.FuncDelay(func(_, _ model.ProcessID, _ model.Time, seq int) model.Time {
+			return delayMenu[choice[seq%len(choice)]]
+		})
+		cluster, err := core.NewCluster(sc.Config, sc.DataType, sim.Config{
+			ClockOffsets: world.Offsets,
+			Delay:        delay,
+			StrictDelays: true,
+		})
+		if err != nil {
+			return err
+		}
+		for _, inv := range sc.Invocations {
+			cluster.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
+		}
+		if err := cluster.Run(model.Infinity); err != nil {
+			return err
+		}
+		h := cluster.History()
+		if !h.Complete() {
+			return fmt.Errorf("explore: pending operations in world %v", world)
+		}
+		rep.Worlds++
+		_, convErr := cluster.ConvergedState()
+		res := check.Check(sc.DataType, h)
+		if !res.Linearizable || convErr != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				World: world, History: h, Diverged: convErr,
+			})
+		}
+		return nil
+	}
+
+	enumDelays = func(choice []int) error {
+		if len(choice) == maxMsgs {
+			return runWorld(choice)
+		}
+		for i := range delayMenu {
+			if err := enumDelays(append(choice, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	enumOffsets = func(i int) error {
+		if i == p.N {
+			// Skip assignments whose spread exceeds ε.
+			minO, maxO := offsets[0], offsets[0]
+			for _, o := range offsets[1:] {
+				if o < minO {
+					minO = o
+				}
+				if o > maxO {
+					maxO = o
+				}
+			}
+			if maxO-minO > p.Epsilon {
+				return nil
+			}
+			return enumDelays(make([]int, 0, maxMsgs))
+		}
+		for _, o := range offsetMenu {
+			offsets[i] = o
+			if err := enumOffsets(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := enumOffsets(0); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}

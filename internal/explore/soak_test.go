@@ -1,0 +1,78 @@
+package explore_test
+
+import (
+	"testing"
+
+	"timebounds/internal/core"
+	"timebounds/internal/explore"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+// TestSoakCampaign is the wide randomized sweep: every bundled object ×
+// every delay policy × many seeds. Skipped under -short.
+func TestSoakCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	p := params(4)
+	res, err := explore.Campaign(explore.CampaignConfig{
+		Params: p,
+		Objects: []spec.DataType{
+			types.NewRMWRegister(0),
+			types.NewQueue(),
+			types.NewStack(),
+			types.NewTree(),
+			types.NewSet(),
+			types.NewCounter(),
+			types.NewDict(),
+			types.NewPQueue(),
+			types.NewAccount(),
+		},
+		Seeds:         6,
+		OpsPerProcess: 4,
+		Verify:        true,
+	})
+	if err != nil {
+		t.Fatalf("Campaign: %v", err)
+	}
+	if !res.OK() {
+		for _, f := range res.Failures {
+			t.Error(f)
+		}
+	}
+	t.Logf("soak: %d runs, %d ops, worst latency %s", res.Runs, res.Ops, res.WorstLatency)
+}
+
+// TestSoakExhaustiveWiderLattice enumerates a larger lattice (3-delay menu)
+// for the RMW race. Skipped under -short.
+func TestSoakExhaustiveWiderLattice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	p := params(3)
+	sc := explore.Scenario{
+		Params:   p,
+		Config:   core.Config{Params: p},
+		DataType: types.NewRMWRegister(0),
+		Invocations: []explore.Invocation{
+			{At: 2 * p.D, Proc: 0, Kind: types.OpRMW, Arg: 1},
+			{At: 2*p.D + p.Epsilon - 1, Proc: 1, Kind: types.OpRMW, Arg: 2},
+			{At: 8 * p.D, Proc: 2, Kind: types.OpRead},
+		},
+		// Three-point delay menu: fastest, midpoint, slowest.
+		DelayMenu:   []model.Time{p.MinDelay(), p.D - p.U/2, p.D},
+		MaxMessages: 6,
+	}
+	rep, err := explore.Exhaustive(sc)
+	if err != nil {
+		t.Fatalf("Exhaustive: %v", err)
+	}
+	if !rep.OK() {
+		v := rep.Violations[0]
+		t.Fatalf("%d/%d worlds violated; first world %+v:\n%s",
+			len(rep.Violations), rep.Worlds, v.World, v.History)
+	}
+	t.Logf("soak: %d worlds, all correct", rep.Worlds)
+}

@@ -1,0 +1,147 @@
+// Package history records operation invocations and responses observed at
+// the application layer of a run (Chapter III.A), in real time. Histories
+// are the input to the linearizability checker (internal/check) and the
+// latency harness (internal/workload).
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+)
+
+// OpID identifies an operation within one history.
+type OpID int
+
+// Record is one operation execution: an invocation and, unless the
+// operation is still pending, a matching response.
+type Record struct {
+	ID   OpID
+	Proc model.ProcessID
+	Kind spec.OpKind
+	Arg  spec.Value
+	// Ret is the response value; meaningless while Pending.
+	Ret spec.Value
+	// Invoke is the real time of the invocation.
+	Invoke model.Time
+	// Respond is the real time of the response; meaningless while Pending.
+	Respond model.Time
+	// Pending is true if no response has been recorded.
+	Pending bool
+}
+
+// Latency returns the operation's response time (Respond - Invoke).
+func (r Record) Latency() model.Time {
+	if r.Pending {
+		return model.Infinity
+	}
+	return r.Respond - r.Invoke
+}
+
+// String implements fmt.Stringer.
+func (r Record) String() string {
+	if r.Pending {
+		return fmt.Sprintf("#%d %s %s(%v) @%s pending", r.ID, r.Proc, r.Kind, r.Arg, r.Invoke)
+	}
+	return fmt.Sprintf("#%d %s %s(%v)→%v [%s,%s]",
+		r.ID, r.Proc, r.Kind, r.Arg, r.Ret, r.Invoke, r.Respond)
+}
+
+// History is a set of operation records collected from one run.
+type History struct {
+	ops    []Record
+	nextID OpID
+}
+
+// New returns an empty history.
+func New() *History { return &History{} }
+
+// Invoke records a new invocation and returns its id.
+func (h *History) Invoke(proc model.ProcessID, kind spec.OpKind, arg spec.Value, at model.Time) OpID {
+	id := h.nextID
+	h.nextID++
+	h.ops = append(h.ops, Record{
+		ID: id, Proc: proc, Kind: kind, Arg: arg, Invoke: at, Pending: true,
+	})
+	return id
+}
+
+// Respond records the response of a previously invoked operation.
+func (h *History) Respond(id OpID, ret spec.Value, at model.Time) error {
+	for i := range h.ops {
+		if h.ops[i].ID != id {
+			continue
+		}
+		if !h.ops[i].Pending {
+			return fmt.Errorf("history: duplicate response for op #%d", id)
+		}
+		if at < h.ops[i].Invoke {
+			return fmt.Errorf("history: response at %s before invocation at %s", at, h.ops[i].Invoke)
+		}
+		h.ops[i].Pending = false
+		h.ops[i].Ret = ret
+		h.ops[i].Respond = at
+		return nil
+	}
+	return fmt.Errorf("history: response for unknown op #%d", id)
+}
+
+// Ops returns a copy of the records, sorted by invocation time then id.
+func (h *History) Ops() []Record {
+	out := make([]Record, len(h.ops))
+	copy(out, h.ops)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Invoke != out[j].Invoke {
+			return out[i].Invoke < out[j].Invoke
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.ops) }
+
+// PendingCount returns the number of operations without a response.
+func (h *History) PendingCount() int {
+	n := 0
+	for _, op := range h.ops {
+		if op.Pending {
+			n++
+		}
+	}
+	return n
+}
+
+// Complete reports whether every invocation has a matching response.
+func (h *History) Complete() bool { return h.PendingCount() == 0 }
+
+// MaxLatency returns the largest completed-operation latency for the given
+// kind ("" means all kinds) and whether any such operation exists.
+func (h *History) MaxLatency(kind spec.OpKind) (model.Time, bool) {
+	var maxL model.Time
+	found := false
+	for _, op := range h.ops {
+		if op.Pending || (kind != "" && op.Kind != kind) {
+			continue
+		}
+		if l := op.Latency(); !found || l > maxL {
+			maxL = l
+		}
+		found = true
+	}
+	return maxL, found
+}
+
+// String implements fmt.Stringer.
+func (h *History) String() string {
+	ops := h.Ops()
+	lines := make([]string, len(ops))
+	for i, op := range ops {
+		lines[i] = op.String()
+	}
+	return strings.Join(lines, "\n")
+}

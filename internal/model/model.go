@@ -1,0 +1,122 @@
+// Package model defines the primitive vocabulary shared by every layer of
+// the timebounds library: process identifiers, model time, and the
+// ⟨clock time, process id⟩ timestamps used by Algorithm 1 (Wang 2011,
+// Chapter V) to totally order operations.
+//
+// All times are "model time": integer nanoseconds inside the deterministic
+// discrete-event simulation, not wall-clock time. Real time and clock time
+// are both expressed as Time; a process's clock time is its real time plus a
+// constant offset (clocks run at the rate of real time, Chapter III.B.2).
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// ProcessID identifies one of the n processes in the system. IDs are dense,
+// starting at 0, so they double as slice indices.
+type ProcessID int
+
+// String implements fmt.Stringer.
+func (p ProcessID) String() string { return fmt.Sprintf("p%d", int(p)) }
+
+// Time is a point in model time (real time or clock time, depending on
+// context). It is a time.Duration offset from the simulation epoch.
+type Time = time.Duration
+
+// Infinity is a time later than any event in a finite simulation. It is used
+// as the horizon for "run forever" and as the initial minimum in scans.
+const Infinity Time = 1<<63 - 1
+
+// Timestamp is the logical timestamp ⟨clock time, process id⟩ attached to
+// every broadcast operation in Algorithm 1. Timestamps are totally ordered
+// lexicographically: first by clock time, then by process id.
+type Timestamp struct {
+	// Clock is the local clock time at which the operation was stamped.
+	// Pure accessors stamp with (invocation clock time - X), pretending to
+	// have been invoked X earlier (Chapter V.A.2).
+	Clock Time
+	// Proc is the invoking process, used as the tie-breaker.
+	Proc ProcessID
+}
+
+// Less reports whether t orders strictly before o.
+func (t Timestamp) Less(o Timestamp) bool {
+	if t.Clock != o.Clock {
+		return t.Clock < o.Clock
+	}
+	return t.Proc < o.Proc
+}
+
+// Compare returns -1, 0 or +1 as t orders before, equal to or after o.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Less(o):
+		return -1
+	case o.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (t Timestamp) String() string {
+	return fmt.Sprintf("⟨%s,%s⟩", t.Clock, t.Proc)
+}
+
+// Params bundles the timing parameters of the partially synchronous system
+// model (Chapter III): message delays fall in [D-U, D] and the pairwise
+// clock skew is bounded by Epsilon.
+type Params struct {
+	// N is the number of processes.
+	N int
+	// D is the message delay upper bound (d in the paper).
+	D Time
+	// U is the message delay uncertainty (u in the paper); delays are drawn
+	// from [D-U, D]. Requires 0 <= U <= D.
+	U Time
+	// Epsilon is the bound on pairwise clock skew (ε in the paper).
+	Epsilon Time
+}
+
+// Validate reports whether the parameters describe a well-formed system.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 1:
+		return fmt.Errorf("model: N must be >= 1, got %d", p.N)
+	case p.D <= 0:
+		return fmt.Errorf("model: D must be > 0, got %s", p.D)
+	case p.U < 0 || p.U > p.D:
+		return fmt.Errorf("model: U must be in [0, D=%s], got %s", p.D, p.U)
+	case p.Epsilon < 0:
+		return fmt.Errorf("model: Epsilon must be >= 0, got %s", p.Epsilon)
+	}
+	return nil
+}
+
+// MinDelay returns the smallest admissible message delay, D-U.
+func (p Params) MinDelay() Time { return p.D - p.U }
+
+// OptimalSkew returns the optimal achievable clock skew (1-1/n)·u proved by
+// Lundelius and Lynch (1984) and assumed by Chapter V.
+func (p Params) OptimalSkew() Time {
+	if p.N == 0 {
+		return 0
+	}
+	return Time(int64(p.U) * int64(p.N-1) / int64(p.N))
+}
+
+// MinOf3 returns min{a, b, c}; used for the recurring bound term
+// min{ε, u, d/3}.
+func MinOf3(a, b, c Time) Time {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

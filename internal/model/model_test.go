@@ -1,0 +1,132 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimestampOrdering(t *testing.T) {
+	tests := []struct {
+		a, b Timestamp
+		less bool
+	}{
+		{Timestamp{1, 0}, Timestamp{2, 0}, true},
+		{Timestamp{2, 0}, Timestamp{1, 0}, false},
+		{Timestamp{1, 0}, Timestamp{1, 1}, true},
+		{Timestamp{1, 1}, Timestamp{1, 0}, false},
+		{Timestamp{1, 1}, Timestamp{1, 1}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.less)
+		}
+	}
+}
+
+func TestTimestampCompareConsistentWithLess(t *testing.T) {
+	f := func(c1, c2 int32, p1, p2 uint8) bool {
+		a := Timestamp{Clock: Time(c1), Proc: ProcessID(p1)}
+		b := Timestamp{Clock: Time(c2), Proc: ProcessID(p2)}
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b) && !b.Less(a)
+		case 1:
+			return b.Less(a) && !a.Less(b)
+		default:
+			return !a.Less(b) && !b.Less(a)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimestampTotalOrder(t *testing.T) {
+	// Antisymmetry + transitivity on a small grid.
+	var all []Timestamp
+	for c := 0; c < 3; c++ {
+		for p := 0; p < 3; p++ {
+			all = append(all, Timestamp{Clock: Time(c), Proc: ProcessID(p)})
+		}
+	}
+	for _, a := range all {
+		for _, b := range all {
+			if a.Less(b) && b.Less(a) {
+				t.Fatalf("both %v < %v and %v < %v", a, b, b, a)
+			}
+			for _, c := range all {
+				if a.Less(b) && b.Less(c) && !a.Less(c) {
+					t.Fatalf("transitivity broken: %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	ok := Params{N: 3, D: 10 * time.Millisecond, U: 4 * time.Millisecond, Epsilon: time.Millisecond}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{N: 0, D: time.Millisecond},
+		{N: 1, D: 0},
+		{N: 1, D: time.Millisecond, U: -1},
+		{N: 1, D: time.Millisecond, U: 2 * time.Millisecond},
+		{N: 1, D: time.Millisecond, Epsilon: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestOptimalSkew(t *testing.T) {
+	tests := []struct {
+		n    int
+		u    Time
+		want Time
+	}{
+		{2, 4 * time.Millisecond, 2 * time.Millisecond},
+		{4, 4 * time.Millisecond, 3 * time.Millisecond},
+		{8, 4 * time.Millisecond, 3500 * time.Microsecond},
+		{1, 4 * time.Millisecond, 0},
+	}
+	for _, tt := range tests {
+		p := Params{N: tt.n, U: tt.u}
+		if got := p.OptimalSkew(); got != tt.want {
+			t.Errorf("n=%d: OptimalSkew = %s, want %s", tt.n, got, tt.want)
+		}
+	}
+	if (Params{}).OptimalSkew() != 0 {
+		t.Error("zero params should yield zero skew")
+	}
+}
+
+func TestMinOf3(t *testing.T) {
+	if MinOf3(3, 1, 2) != 1 || MinOf3(1, 2, 3) != 1 || MinOf3(2, 3, 1) != 1 {
+		t.Error("MinOf3 wrong")
+	}
+	if MinOf3(5, 5, 5) != 5 {
+		t.Error("MinOf3 equal case wrong")
+	}
+}
+
+func TestMinDelay(t *testing.T) {
+	p := Params{N: 2, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
+	if p.MinDelay() != 6*time.Millisecond {
+		t.Errorf("MinDelay = %s", p.MinDelay())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ProcessID(3).String() != "p3" {
+		t.Errorf("ProcessID stringer: %s", ProcessID(3))
+	}
+	ts := Timestamp{Clock: time.Millisecond, Proc: 1}
+	if ts.String() == "" {
+		t.Error("empty timestamp string")
+	}
+}

@@ -1,0 +1,125 @@
+// Package sim is a deterministic discrete-event simulator realizing the
+// system model of Chapter III: n processes modeled as state machines driven
+// by operation invocations, message receipts and timer expirations; a
+// reliable message-passing layer whose delays lie in [d-u, d]; and
+// drift-free local clocks offset from real time by at most ε pairwise.
+//
+// Determinism: events are ordered by (real time, sequence number), and all
+// randomness comes from explicitly seeded policies, so a run is a pure
+// function of its configuration.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"timebounds/internal/model"
+)
+
+// DelayPolicy chooses the delay of each message. Implementations must be
+// deterministic functions of their own state and the call arguments.
+type DelayPolicy interface {
+	// Delay returns the message delay for the seq-th message overall, sent
+	// from one process to another at the given real time.
+	Delay(from, to model.ProcessID, sentAt model.Time, seq int) model.Time
+}
+
+// FixedDelay delays every message by the same amount.
+type FixedDelay model.Time
+
+var _ DelayPolicy = FixedDelay(0)
+
+// Delay implements DelayPolicy.
+func (f FixedDelay) Delay(_, _ model.ProcessID, _ model.Time, _ int) model.Time {
+	return model.Time(f)
+}
+
+// MatrixDelay assigns pairwise-uniform delays: every message from i to j
+// takes M[i][j]. This is the delay shape used throughout the lower-bound
+// constructions of Chapter IV.
+type MatrixDelay struct {
+	M [][]model.Time
+}
+
+var _ DelayPolicy = MatrixDelay{}
+
+// NewMatrixDelay builds an n×n matrix with every entry set to def.
+func NewMatrixDelay(n int, def model.Time) MatrixDelay {
+	m := make([][]model.Time, n)
+	for i := range m {
+		m[i] = make([]model.Time, n)
+		for j := range m[i] {
+			m[i][j] = def
+		}
+	}
+	return MatrixDelay{M: m}
+}
+
+// Set assigns the delay from process i to process j and returns the policy
+// for chaining.
+func (m MatrixDelay) Set(i, j model.ProcessID, d model.Time) MatrixDelay {
+	m.M[i][j] = d
+	return m
+}
+
+// Delay implements DelayPolicy.
+func (m MatrixDelay) Delay(from, to model.ProcessID, _ model.Time, _ int) model.Time {
+	return m.M[from][to]
+}
+
+// RandomDelay draws each delay independently and uniformly from
+// [Min, Max], using a deterministic seeded source.
+type RandomDelay struct {
+	Min, Max model.Time
+	rng      *rand.Rand
+}
+
+var _ DelayPolicy = (*RandomDelay)(nil)
+
+// NewRandomDelay returns a seeded uniform-delay policy over [min, max].
+func NewRandomDelay(seed int64, min, max model.Time) *RandomDelay {
+	return &RandomDelay{Min: min, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay implements DelayPolicy.
+func (r *RandomDelay) Delay(_, _ model.ProcessID, _ model.Time, _ int) model.Time {
+	if r.Max <= r.Min {
+		return r.Min
+	}
+	return r.Min + model.Time(r.rng.Int63n(int64(r.Max-r.Min)+1))
+}
+
+// FuncDelay adapts a function to a DelayPolicy.
+type FuncDelay func(from, to model.ProcessID, sentAt model.Time, seq int) model.Time
+
+var _ DelayPolicy = FuncDelay(nil)
+
+// Delay implements DelayPolicy.
+func (f FuncDelay) Delay(from, to model.ProcessID, sentAt model.Time, seq int) model.Time {
+	return f(from, to, sentAt, seq)
+}
+
+// ExtremalDelay alternates deterministically between the fastest (d-u) and
+// slowest (d) admissible delays based on message parity of the (from, to)
+// pair, exercising maximal reordering without randomness.
+type ExtremalDelay struct {
+	Params model.Params
+}
+
+var _ DelayPolicy = ExtremalDelay{}
+
+// Delay implements DelayPolicy.
+func (e ExtremalDelay) Delay(from, to model.ProcessID, _ model.Time, seq int) model.Time {
+	if (int(from)+int(to)+seq)%2 == 0 {
+		return e.Params.D
+	}
+	return e.Params.MinDelay()
+}
+
+// ValidateDelay checks that a chosen delay is admissible under p.
+func ValidateDelay(p model.Params, d model.Time) error {
+	if d < p.MinDelay() || d > p.D {
+		return fmt.Errorf("sim: delay %s outside admissible range [%s, %s]", d, p.MinDelay(), p.D)
+	}
+	return nil
+}

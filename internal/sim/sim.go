@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+)
+
+// Process is the state-machine interface implemented by shared-object
+// implementations (Chapter III.B.1). The simulator calls exactly one
+// handler per step; handlers interact with the world only through Env.
+type Process interface {
+	// OnInvoke delivers an operation invocation from the application layer.
+	OnInvoke(env Env, id history.OpID, kind spec.OpKind, arg spec.Value)
+	// OnMessage delivers a message from another process.
+	OnMessage(env Env, from model.ProcessID, payload any)
+	// OnTimer fires a timer previously set via Env.SetTimer*.
+	OnTimer(env Env, payload any)
+}
+
+// Env is the narrow world interface handed to Process handlers during a
+// step. Processes see only their local clock, never real time.
+type Env interface {
+	// Self returns the process's own id.
+	Self() model.ProcessID
+	// N returns the number of processes.
+	N() int
+	// ClockTime returns the local clock time of the current step.
+	ClockTime() model.Time
+	// Send transmits a message to another process (not to self).
+	Send(to model.ProcessID, payload any)
+	// Broadcast transmits a message to every other process.
+	Broadcast(payload any)
+	// SetTimerAfter schedules OnTimer(payload) after the given local-clock
+	// duration and returns a handle for cancellation.
+	SetTimerAfter(d model.Time, payload any) TimerID
+	// CancelTimer cancels a pending timer; canceling an already-fired or
+	// unknown timer is a no-op.
+	CancelTimer(id TimerID)
+	// Respond completes the operation with the given id and return value.
+	Respond(id history.OpID, ret spec.Value)
+}
+
+// TimerID is a cancellation handle for a pending timer.
+type TimerID int64
+
+type eventKind int
+
+const (
+	evInvoke eventKind = iota + 1
+	evDeliver
+	evTimer
+)
+
+type event struct {
+	at   model.Time // real time
+	seq  int64      // tie-breaker: creation order
+	kind eventKind
+	proc model.ProcessID
+
+	// evInvoke
+	opID   history.OpID
+	opKind spec.OpKind
+	opArg  spec.Value
+
+	// evDeliver
+	from    model.ProcessID
+	payload any
+	sentAt  model.Time
+	msgSeq  int
+
+	// evTimer
+	timerID  TimerID
+	canceled *bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// MessageTrace records one delivered (or in-flight) message, for the run
+// machinery of internal/runs.
+type MessageTrace struct {
+	Seq      int
+	From, To model.ProcessID
+	SentAt   model.Time // real time
+	RecvAt   model.Time // real time; model.Infinity if never delivered
+	Delay    model.Time
+}
+
+// StepTrace records one process step (Chapter III.B.1: a quintuple; we
+// record the observable coordinates).
+type StepTrace struct {
+	Proc      model.ProcessID
+	RealTime  model.Time
+	ClockTime model.Time
+	Kind      string // "invoke", "deliver", "timer"
+}
+
+// Config configures a Simulator.
+type Config struct {
+	// Params are the system timing parameters.
+	Params model.Params
+	// ClockOffsets holds each process's clock offset c_j (clock time = real
+	// time + c_j, Chapter III.B.2). Nil means all zeros. Pairwise
+	// differences must be bounded by Params.Epsilon.
+	ClockOffsets []model.Time
+	// Delay chooses message delays. Nil defaults to FixedDelay(Params.D).
+	Delay DelayPolicy
+	// StrictDelays makes the simulator return an error from Run if the
+	// policy ever emits a delay outside [D-U, D]. Adversary experiments
+	// that intentionally model inadmissible runs leave this false and
+	// inspect the trace instead.
+	StrictDelays bool
+}
+
+// Simulator drives n processes through a single run.
+type Simulator struct {
+	cfg     Config
+	procs   []Process
+	queue   eventHeap
+	seq     int64
+	msgSeq  int
+	now     model.Time
+	hist    *history.History
+	msgs    []MessageTrace
+	steps   []StepTrace
+	pending []bool // per-process: has an operation in flight
+	// deferred invocations waiting for the previous op of the process to
+	// respond (the application layer invokes back-to-back, Chapter III.A).
+	deferred [][]deferredInvoke
+	timers   map[TimerID]*bool
+	nextTID  TimerID
+	err      error
+}
+
+type deferredInvoke struct {
+	kind spec.OpKind
+	arg  spec.Value
+}
+
+// New creates a simulator for the given processes. len(procs) must equal
+// cfg.Params.N.
+func New(cfg Config, procs []Process) (*Simulator, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(procs) != cfg.Params.N {
+		return nil, fmt.Errorf("sim: %d processes for N=%d", len(procs), cfg.Params.N)
+	}
+	if cfg.ClockOffsets == nil {
+		cfg.ClockOffsets = make([]model.Time, cfg.Params.N)
+	}
+	if len(cfg.ClockOffsets) != cfg.Params.N {
+		return nil, fmt.Errorf("sim: %d clock offsets for N=%d", len(cfg.ClockOffsets), cfg.Params.N)
+	}
+	for i, ci := range cfg.ClockOffsets {
+		for j, cj := range cfg.ClockOffsets {
+			skew := ci - cj
+			if skew < 0 {
+				skew = -skew
+			}
+			if skew > cfg.Params.Epsilon {
+				return nil, fmt.Errorf("sim: clock skew |c%d-c%d|=%s exceeds ε=%s",
+					i, j, skew, cfg.Params.Epsilon)
+			}
+		}
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = FixedDelay(cfg.Params.D)
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		procs:    procs,
+		hist:     history.New(),
+		pending:  make([]bool, cfg.Params.N),
+		deferred: make([][]deferredInvoke, cfg.Params.N),
+		timers:   make(map[TimerID]*bool),
+	}
+	return s, nil
+}
+
+// Params returns the simulator's timing parameters.
+func (s *Simulator) Params() model.Params { return s.cfg.Params }
+
+// History returns the history recorded so far.
+func (s *Simulator) History() *history.History { return s.hist }
+
+// Messages returns the message trace recorded so far.
+func (s *Simulator) Messages() []MessageTrace {
+	out := make([]MessageTrace, len(s.msgs))
+	copy(out, s.msgs)
+	return out
+}
+
+// Steps returns the step trace recorded so far.
+func (s *Simulator) Steps() []StepTrace {
+	out := make([]StepTrace, len(s.steps))
+	copy(out, s.steps)
+	return out
+}
+
+// ClockOffset returns process p's clock offset c_p.
+func (s *Simulator) ClockOffset(p model.ProcessID) model.Time {
+	return s.cfg.ClockOffsets[p]
+}
+
+// Invoke schedules an operation invocation at the given real time. If the
+// process still has a pending operation at that time, the invocation is
+// deferred until immediately after the pending operation responds,
+// preserving the one-pending-operation-per-process rule (Chapter III.A).
+func (s *Simulator) Invoke(at model.Time, proc model.ProcessID, kind spec.OpKind, arg spec.Value) {
+	s.push(&event{
+		at: at, kind: evInvoke, proc: proc,
+		opKind: kind, opArg: arg,
+	})
+}
+
+func (s *Simulator) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// Run processes events until the queue drains (quiescence) or the horizon
+// is reached. It returns the first configuration error encountered.
+func (s *Simulator) Run(horizon model.Time) error {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.at > horizon {
+			return s.err
+		}
+		if e.at < s.now {
+			return fmt.Errorf("sim: time went backwards: %s < %s", e.at, s.now)
+		}
+		s.now = e.at
+		s.dispatch(e)
+		if s.err != nil {
+			return s.err
+		}
+	}
+	return s.err
+}
+
+func (s *Simulator) dispatch(e *event) {
+	env := &procEnv{sim: s, proc: e.proc, real: e.at}
+	switch e.kind {
+	case evInvoke:
+		if s.pending[e.proc] {
+			// Defer until the current operation responds.
+			s.deferred[e.proc] = append(s.deferred[e.proc], deferredInvoke{kind: e.opKind, arg: e.opArg})
+			return
+		}
+		s.pending[e.proc] = true
+		id := s.hist.Invoke(e.proc, e.opKind, e.opArg, e.at)
+		s.record(e.proc, e.at, "invoke")
+		s.procs[e.proc].OnInvoke(env, id, e.opKind, e.opArg)
+	case evDeliver:
+		s.record(e.proc, e.at, "deliver")
+		s.procs[e.proc].OnMessage(env, e.from, e.payload)
+	case evTimer:
+		if e.canceled != nil && *e.canceled {
+			return
+		}
+		delete(s.timers, e.timerID)
+		s.record(e.proc, e.at, "timer")
+		s.procs[e.proc].OnTimer(env, e.payload)
+	}
+}
+
+func (s *Simulator) record(p model.ProcessID, real model.Time, kind string) {
+	s.steps = append(s.steps, StepTrace{
+		Proc:      p,
+		RealTime:  real,
+		ClockTime: real + s.cfg.ClockOffsets[p],
+		Kind:      kind,
+	})
+}
+
+// procEnv implements Env for one step of one process.
+type procEnv struct {
+	sim  *Simulator
+	proc model.ProcessID
+	real model.Time
+}
+
+var _ Env = (*procEnv)(nil)
+
+func (e *procEnv) Self() model.ProcessID { return e.proc }
+func (e *procEnv) N() int                { return e.sim.cfg.Params.N }
+
+func (e *procEnv) ClockTime() model.Time {
+	return e.real + e.sim.cfg.ClockOffsets[e.proc]
+}
+
+func (e *procEnv) Send(to model.ProcessID, payload any) {
+	if to == e.proc {
+		e.sim.err = fmt.Errorf("sim: %s attempted to send to itself", e.proc)
+		return
+	}
+	seq := e.sim.msgSeq
+	e.sim.msgSeq++
+	delay := e.sim.cfg.Delay.Delay(e.proc, to, e.real, seq)
+	if e.sim.cfg.StrictDelays {
+		if err := ValidateDelay(e.sim.cfg.Params, delay); err != nil {
+			e.sim.err = fmt.Errorf("sim: message %d %s→%s: %w", seq, e.proc, to, err)
+			return
+		}
+	}
+	recv := e.real + delay
+	e.sim.msgs = append(e.sim.msgs, MessageTrace{
+		Seq: seq, From: e.proc, To: to, SentAt: e.real, RecvAt: recv, Delay: delay,
+	})
+	e.sim.push(&event{
+		at: recv, kind: evDeliver, proc: to,
+		from: e.proc, payload: payload, sentAt: e.real, msgSeq: seq,
+	})
+}
+
+func (e *procEnv) Broadcast(payload any) {
+	for p := 0; p < e.sim.cfg.Params.N; p++ {
+		if model.ProcessID(p) != e.proc {
+			e.Send(model.ProcessID(p), payload)
+		}
+	}
+}
+
+func (e *procEnv) SetTimerAfter(d model.Time, payload any) TimerID {
+	if d < 0 {
+		d = 0
+	}
+	id := e.sim.nextTID
+	e.sim.nextTID++
+	canceled := new(bool)
+	e.sim.timers[id] = canceled
+	e.sim.push(&event{
+		at: e.real + d, kind: evTimer, proc: e.proc,
+		timerID: id, payload: payload, canceled: canceled,
+	})
+	return id
+}
+
+func (e *procEnv) CancelTimer(id TimerID) {
+	if flag, ok := e.sim.timers[id]; ok {
+		*flag = true
+		delete(e.sim.timers, id)
+	}
+}
+
+func (e *procEnv) Respond(id history.OpID, ret spec.Value) {
+	if err := e.sim.hist.Respond(id, ret, e.real); err != nil {
+		e.sim.err = err
+		return
+	}
+	s := e.sim
+	p := e.proc
+	s.pending[p] = false
+	if len(s.deferred[p]) > 0 {
+		next := s.deferred[p][0]
+		s.deferred[p] = s.deferred[p][1:]
+		// Invoke immediately after the response, as the paper's
+		// back-to-back operation sequences do. "After" is strict in the
+		// continuous-time model (Chapter III.B.2: increasing clock times),
+		// so the deferred invocation lands one tick later.
+		s.push(&event{
+			at: e.real + 1, kind: evInvoke, proc: p,
+			opKind: next.kind, opArg: next.arg,
+		})
+	}
+}

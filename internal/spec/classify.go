@@ -1,0 +1,348 @@
+// Classification predicates of Chapter II: immediate / eventual
+// (non-)commutativity, non-self-permuting, mutator / accessor / overwriter.
+// Each property has (a) a witness type plus a Verify function that checks a
+// concrete witness mechanically, and (b) a bounded brute-force Find function
+// that searches a small instance domain for a witness. The property tests
+// use Find to re-derive the catalog's declared properties.
+
+package spec
+
+import "fmt"
+
+// Domain bounds a brute-force search over operation instances: candidate
+// prefixes (as invocation lists) and candidate arguments per operation kind.
+type Domain struct {
+	// Prefixes are candidate ρ prefixes, given as invocations; returns are
+	// derived by replay.
+	Prefixes [][]Invocation
+	// Args maps each operation kind to candidate argument values.
+	Args map[OpKind][]Value
+}
+
+// argsFor returns the candidate arguments for kind, defaulting to {nil}.
+func (d Domain) argsFor(kind OpKind) []Value {
+	if vs, ok := d.Args[kind]; ok && len(vs) > 0 {
+		return vs
+	}
+	return []Value{nil}
+}
+
+// completions enumerates every legal op instance of the given kind after
+// prefix state s: for each candidate argument the unique legal return is
+// derived from the specification.
+func completions(dt DataType, s State, kind OpKind, dom Domain) []Op {
+	args := dom.argsFor(kind)
+	ops := make([]Op, 0, len(args))
+	for _, arg := range args {
+		_, ret := dt.Apply(s, kind, arg)
+		ops = append(ops, Op{Kind: kind, Arg: arg, Ret: ret})
+	}
+	return ops
+}
+
+// CommuteWitness is a witness for immediate non-commutativity
+// (Definition B.1): ρ∘op1 and ρ∘op2 are legal but ρ∘op1∘op2 or ρ∘op2∘op1
+// is not.
+type CommuteWitness struct {
+	Prefix   Sequence
+	Op1, Op2 Op
+	// BothIllegal records whether both orders are illegal, i.e. whether the
+	// witness additionally establishes the "strongly" variant
+	// (Definition B.3) when Op1.Kind == Op2.Kind.
+	BothIllegal bool
+}
+
+// String implements fmt.Stringer.
+func (w CommuteWitness) String() string {
+	return fmt.Sprintf("ρ=%v op1=%v op2=%v bothIllegal=%v", w.Prefix, w.Op1, w.Op2, w.BothIllegal)
+}
+
+// VerifyImmediatelyNonCommuting checks a CommuteWitness against the
+// definition. It returns an error naming the first failing condition.
+func VerifyImmediatelyNonCommuting(dt DataType, w CommuteWitness) error {
+	if !Legal(dt, w.Prefix.Append(w.Op1)) {
+		return fmt.Errorf("spec: ρ∘op1 is illegal")
+	}
+	if !Legal(dt, w.Prefix.Append(w.Op2)) {
+		return fmt.Errorf("spec: ρ∘op2 is illegal")
+	}
+	l12 := Legal(dt, w.Prefix.Append(w.Op1, w.Op2))
+	l21 := Legal(dt, w.Prefix.Append(w.Op2, w.Op1))
+	if l12 && l21 {
+		return fmt.Errorf("spec: both orders legal; operations commute after ρ")
+	}
+	if w.BothIllegal && (l12 || l21) {
+		return fmt.Errorf("spec: witness claims both orders illegal but one is legal")
+	}
+	return nil
+}
+
+// FindImmediatelyNonCommuting searches dom for a witness that kinds k1 and
+// k2 are immediately non-commuting (Definition B.1; B.2 when k1 == k2).
+func FindImmediatelyNonCommuting(dt DataType, k1, k2 OpKind, dom Domain) (CommuteWitness, bool) {
+	return findCommuteWitness(dt, k1, k2, dom, false)
+}
+
+// FindStronglyImmediatelyNonSelfCommuting searches dom for a witness that
+// kind k is strongly immediately non-self-commuting (Definition B.3): both
+// ρ∘op1∘op2 and ρ∘op2∘op1 are illegal.
+func FindStronglyImmediatelyNonSelfCommuting(dt DataType, k OpKind, dom Domain) (CommuteWitness, bool) {
+	return findCommuteWitness(dt, k, k, dom, true)
+}
+
+func findCommuteWitness(dt DataType, k1, k2 OpKind, dom Domain, needBoth bool) (CommuteWitness, bool) {
+	for _, pre := range dom.Prefixes {
+		rho, s := Build(dt, pre...)
+		for _, op1 := range completions(dt, s, k1, dom) {
+			for _, op2 := range completions(dt, s, k2, dom) {
+				l12 := Legal(dt, rho.Append(op1, op2))
+				l21 := Legal(dt, rho.Append(op2, op1))
+				if needBoth {
+					if !l12 && !l21 {
+						return CommuteWitness{Prefix: rho, Op1: op1, Op2: op2, BothIllegal: true}, true
+					}
+					continue
+				}
+				if !l12 || !l21 {
+					return CommuteWitness{
+						Prefix: rho, Op1: op1, Op2: op2,
+						BothIllegal: !l12 && !l21,
+					}, true
+				}
+			}
+		}
+	}
+	return CommuteWitness{}, false
+}
+
+// EventualWitness is a witness for eventual non-self-commutativity
+// (Definition C.3): ρ∘op1 and ρ∘op2 legal but ρ∘op1∘op2 ≢ ρ∘op2∘op1.
+type EventualWitness struct {
+	Prefix   Sequence
+	Op1, Op2 Op
+}
+
+// VerifyEventuallyNonSelfCommuting checks an EventualWitness.
+func VerifyEventuallyNonSelfCommuting(dt DataType, w EventualWitness) error {
+	if !Legal(dt, w.Prefix.Append(w.Op1)) || !Legal(dt, w.Prefix.Append(w.Op2)) {
+		return fmt.Errorf("spec: ρ∘op1 or ρ∘op2 is illegal")
+	}
+	if Equivalent(dt, w.Prefix.Append(w.Op1, w.Op2), w.Prefix.Append(w.Op2, w.Op1)) {
+		return fmt.Errorf("spec: the two orders are equivalent")
+	}
+	return nil
+}
+
+// FindEventuallyNonSelfCommuting searches dom for an EventualWitness for
+// kind k.
+func FindEventuallyNonSelfCommuting(dt DataType, k OpKind, dom Domain) (EventualWitness, bool) {
+	for _, pre := range dom.Prefixes {
+		rho, s := Build(dt, pre...)
+		for _, op1 := range completions(dt, s, k, dom) {
+			for _, op2 := range completions(dt, s, k, dom) {
+				if !Equivalent(dt, rho.Append(op1, op2), rho.Append(op2, op1)) {
+					return EventualWitness{Prefix: rho, Op1: op1, Op2: op2}, true
+				}
+			}
+		}
+	}
+	return EventualWitness{}, false
+}
+
+// EventuallySelfCommuting reports whether, over the whole domain, every pair
+// of legal instances of kind k commutes eventually (Definition C.6,
+// restricted to dom). It is the bounded complement of
+// FindEventuallyNonSelfCommuting.
+func EventuallySelfCommuting(dt DataType, k OpKind, dom Domain) bool {
+	_, found := FindEventuallyNonSelfCommuting(dt, k, dom)
+	return !found
+}
+
+// PermuteWitness is a witness for the non-self-permuting properties
+// (Definitions C.4 and C.5): k legal instances such that distinct legal
+// permutations are pairwise non-equivalent (any-permuting) or non-equivalent
+// whenever their last operations differ (last-permuting).
+type PermuteWitness struct {
+	Prefix Sequence
+	Ops    []Op
+}
+
+// VerifyNonSelfLastPermuting checks that w witnesses eventual
+// non-self-last-permuting behaviour: (1) each ρ∘opᵢ is legal, (2) at least
+// two permutations are legal, and (3) any two legal permutations with
+// different last operations are not equivalent.
+func VerifyNonSelfLastPermuting(dt DataType, w PermuteWitness) error {
+	return verifyPermuteWitness(dt, w, false)
+}
+
+// VerifyNonSelfAnyPermuting checks the stronger Definition C.4: any two
+// *different* legal permutations are not equivalent.
+func VerifyNonSelfAnyPermuting(dt DataType, w PermuteWitness) error {
+	return verifyPermuteWitness(dt, w, true)
+}
+
+func verifyPermuteWitness(dt DataType, w PermuteWitness, anyPermuting bool) error {
+	for _, op := range w.Ops {
+		if !Legal(dt, w.Prefix.Append(op)) {
+			return fmt.Errorf("spec: ρ∘%v is illegal", op)
+		}
+	}
+	type perm struct {
+		ops  []Op
+		code string
+	}
+	var legals []perm
+	Permutations(w.Ops, func(ops []Op) bool {
+		seq := w.Prefix.Append(ops...)
+		if Legal(dt, seq) {
+			cp := make([]Op, len(ops))
+			copy(cp, ops)
+			legals = append(legals, perm{ops: cp, code: EncodeAfter(dt, seq)})
+		}
+		return true
+	})
+	if len(legals) < 2 {
+		return fmt.Errorf("spec: fewer than two legal permutations (%d)", len(legals))
+	}
+	for i := range legals {
+		for j := i + 1; j < len(legals); j++ {
+			a, b := legals[i], legals[j]
+			differentLast := !sameOp(a.ops[len(a.ops)-1], b.ops[len(b.ops)-1])
+			mustDiffer := anyPermuting || differentLast
+			if mustDiffer && a.code == b.code {
+				return fmt.Errorf("spec: permutations %v and %v are equivalent", a.ops, b.ops)
+			}
+		}
+	}
+	return nil
+}
+
+func sameOp(a, b Op) bool {
+	return a.Kind == b.Kind && ValueEqual(a.Arg, b.Arg) && ValueEqual(a.Ret, b.Ret)
+}
+
+// FindNonSelfLastPermuting searches for a PermuteWitness of size k for
+// operation kind op, trying every k-subset of the candidate instances
+// after each prefix in the domain.
+func FindNonSelfLastPermuting(dt DataType, op OpKind, k int, dom Domain) (PermuteWitness, bool) {
+	var found PermuteWitness
+	ok := false
+	for _, pre := range dom.Prefixes {
+		if ok {
+			break
+		}
+		rho, s := Build(dt, pre...)
+		cands := completions(dt, s, op, dom)
+		if len(cands) < k {
+			continue
+		}
+		combinations(len(cands), k, func(idx []int) bool {
+			ops := make([]Op, k)
+			for i, j := range idx {
+				ops[i] = cands[j]
+			}
+			w := PermuteWitness{Prefix: rho, Ops: ops}
+			if VerifyNonSelfLastPermuting(dt, w) == nil {
+				found, ok = w, true
+				return false
+			}
+			return true
+		})
+	}
+	return found, ok
+}
+
+// combinations calls fn with every k-subset of {0..n-1} (indices in
+// increasing order), stopping early when fn returns false. The slice
+// passed to fn is reused between calls.
+func combinations(n, k int, fn func([]int) bool) {
+	idx := make([]int, k)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		if depth == k {
+			return fn(idx)
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			idx[depth] = i
+			if !rec(i+1, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if k >= 0 && k <= n {
+		rec(0, 0)
+	}
+}
+
+// IsMutator reports whether kind k mutates the object somewhere in dom
+// (Definition D.1): ∃ρ, op with ρ∘op ≢ ρ.
+func IsMutator(dt DataType, k OpKind, dom Domain) bool {
+	for _, pre := range dom.Prefixes {
+		rho, s := Build(dt, pre...)
+		for _, op := range completions(dt, s, k, dom) {
+			if !Equivalent(dt, rho.Append(op), rho) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsAccessor reports whether kind k returns information about the object
+// somewhere in dom (Definition D.2). For deterministic objects this holds
+// exactly when the return value of some instance depends on the prior
+// state: then recording the "wrong" return yields an illegal ρ∘op.
+func IsAccessor(dt DataType, k OpKind, dom Domain) bool {
+	seen := make(map[string]string) // arg encoding -> ret encoding
+	for _, pre := range dom.Prefixes {
+		_, s := Build(dt, pre...)
+		for _, arg := range dom.argsFor(k) {
+			_, ret := dt.Apply(s, k, arg)
+			key := fmt.Sprintf("%#v", arg)
+			enc := fmt.Sprintf("%#v", ret)
+			if prev, ok := seen[key]; ok && prev != enc {
+				return true
+			}
+			seen[key] = enc
+		}
+	}
+	return false
+}
+
+// IsPureMutator reports mutator-and-not-accessor over dom (Definition D.3).
+func IsPureMutator(dt DataType, k OpKind, dom Domain) bool {
+	return IsMutator(dt, k, dom) && !IsAccessor(dt, k, dom)
+}
+
+// IsPureAccessor reports accessor-and-not-mutator over dom (Definition D.4).
+func IsPureAccessor(dt DataType, k OpKind, dom Domain) bool {
+	return IsAccessor(dt, k, dom) && !IsMutator(dt, k, dom)
+}
+
+// IsNonOverwriter reports whether mutator kind k fails to overwrite the
+// whole state somewhere in dom (Definition D.5): ∃ρ, op1, op2 with
+// ρ∘op1∘op2 ≢ ρ∘op2.
+func IsNonOverwriter(dt DataType, k OpKind, dom Domain) bool {
+	for _, pre := range dom.Prefixes {
+		rho, s := Build(dt, pre...)
+		for _, op1 := range completions(dt, s, k, dom) {
+			s1, ok := Replay(dt, s, Sequence{op1})
+			if !ok {
+				continue
+			}
+			for _, arg2 := range dom.argsFor(k) {
+				_, ret12 := dt.Apply(s1, k, arg2)
+				op2after1 := Op{Kind: k, Arg: arg2, Ret: ret12}
+				_, ret2 := dt.Apply(s, k, arg2)
+				op2alone := Op{Kind: k, Arg: arg2, Ret: ret2}
+				if !Equivalent(dt,
+					rho.Append(op1, op2after1),
+					rho.Append(op2alone)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

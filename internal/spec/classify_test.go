@@ -1,0 +1,249 @@
+package spec_test
+
+// Property tests: re-derive every classification the paper claims in
+// Chapters I–II and VI from the sequential specifications alone, using the
+// brute-force searchers over the default domains. If internal/types' Class
+// declarations ever drift from the algebra, these tests fail.
+
+import (
+	"testing"
+
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+func TestStronglyImmediatelyNonSelfCommuting(t *testing.T) {
+	// Chapter II.B: RMW, pop and dequeue are strongly immediately
+	// non-self-commuting.
+	cases := []struct {
+		dt   spec.DataType
+		kind spec.OpKind
+	}{
+		{types.NewRMWRegister(0), types.OpRMW},
+		{types.NewStack(), types.OpPop},
+		{types.NewQueue(), types.OpDequeue},
+	}
+	for _, c := range cases {
+		t.Run(c.dt.Name()+"/"+string(c.kind), func(t *testing.T) {
+			dom := types.DefaultDomain(c.dt)
+			w, ok := spec.FindStronglyImmediatelyNonSelfCommuting(c.dt, c.kind, dom)
+			if !ok {
+				t.Fatalf("no strongly-INSC witness found for %s", c.kind)
+			}
+			if err := spec.VerifyImmediatelyNonCommuting(c.dt, w); err != nil {
+				t.Fatalf("witness fails verification: %v (%v)", err, w)
+			}
+			if !w.BothIllegal {
+				t.Fatalf("witness is not strong: %v", w)
+			}
+		})
+	}
+}
+
+func TestUpdateNextIsINSCButNotStrongly(t *testing.T) {
+	// Chapter II.B's UpdateNext example: immediately non-self-commuting
+	// but not strongly so.
+	dt := types.NewPairArray(3, 5)
+	dom := types.DefaultDomain(dt)
+	if _, ok := spec.FindImmediatelyNonCommuting(dt, types.OpUpdateNext, types.OpUpdateNext, dom); !ok {
+		t.Error("UpdateNext should be immediately non-self-commuting")
+	}
+	if w, ok := spec.FindStronglyImmediatelyNonSelfCommuting(dt, types.OpUpdateNext, dom); ok {
+		t.Errorf("UpdateNext must not be strongly immediately non-self-commuting; got witness %v", w)
+	}
+}
+
+func TestReadWriteImmediatelyNonCommuting(t *testing.T) {
+	// Chapter II.B's first example: read and write immediately do not
+	// commute.
+	dt := types.NewRegister(0)
+	dom := types.DefaultDomain(dt)
+	w, ok := spec.FindImmediatelyNonCommuting(dt, types.OpRead, types.OpWrite, dom)
+	if !ok {
+		t.Fatal("read and write should be immediately non-commuting")
+	}
+	if err := spec.VerifyImmediatelyNonCommuting(dt, w); err != nil {
+		t.Fatalf("witness fails verification: %v", err)
+	}
+}
+
+func TestWriteEventuallyNonSelfCommuting(t *testing.T) {
+	// Definition C.3's example: two different writes do not eventually
+	// commute.
+	dt := types.NewRegister(0)
+	dom := types.DefaultDomain(dt)
+	w, ok := spec.FindEventuallyNonSelfCommuting(dt, types.OpWrite, dom)
+	if !ok {
+		t.Fatal("write should be eventually non-self-commuting")
+	}
+	if err := spec.VerifyEventuallyNonSelfCommuting(dt, w); err != nil {
+		t.Fatalf("witness fails verification: %v", err)
+	}
+}
+
+func TestInsertAndIncrementEventuallySelfCommute(t *testing.T) {
+	// Definition C.6's examples: set insert/remove; plus increment
+	// (Chapter I.C item 3).
+	set := types.NewSet()
+	setDom := types.DefaultDomain(set)
+	if !spec.EventuallySelfCommuting(set, types.OpInsert, setDom) {
+		t.Error("set insert should eventually self-commute")
+	}
+	if !spec.EventuallySelfCommuting(set, types.OpRemove, setDom) {
+		t.Error("set remove should eventually self-commute")
+	}
+	ctr := types.NewCounter()
+	if !spec.EventuallySelfCommuting(ctr, types.OpIncrement, types.DefaultDomain(ctr)) {
+		t.Error("increment should eventually self-commute")
+	}
+}
+
+func TestNonSelfLastPermuting(t *testing.T) {
+	// Chapter II.C: write, push, enqueue are eventually
+	// non-self-last-permuting for any k.
+	cases := []struct {
+		dt   spec.DataType
+		kind spec.OpKind
+	}{
+		{types.NewRegister(0), types.OpWrite},
+		{types.NewStack(), types.OpPush},
+		{types.NewQueue(), types.OpEnqueue},
+	}
+	for _, c := range cases {
+		for _, k := range []int{2, 3, 4} {
+			w, ok := spec.FindNonSelfLastPermuting(c.dt, c.kind, k, types.DefaultDomain(c.dt))
+			if !ok {
+				t.Errorf("%s: no k=%d non-self-last-permuting witness", c.kind, k)
+				continue
+			}
+			if err := spec.VerifyNonSelfLastPermuting(c.dt, w); err != nil {
+				t.Errorf("%s k=%d witness fails: %v", c.kind, k, err)
+			}
+		}
+	}
+}
+
+func TestWriteIsLastPermutingButNotAnyPermuting(t *testing.T) {
+	// Chapter II.C: write is eventually non-self-last-permuting but NOT
+	// non-self-any-permuting (permutations agreeing on the last write are
+	// equivalent).
+	dt := types.NewRegister(0)
+	dom := types.DefaultDomain(dt)
+	w, ok := spec.FindNonSelfLastPermuting(dt, types.OpWrite, 3, dom)
+	if !ok {
+		t.Fatal("write should have a k=3 last-permuting witness")
+	}
+	if err := spec.VerifyNonSelfAnyPermuting(dt, w); err == nil {
+		t.Error("write witness should NOT satisfy any-permuting")
+	}
+}
+
+func TestPushIsAnyPermuting(t *testing.T) {
+	// Chapter II.C: push (and enqueue) are eventually
+	// non-self-any-permuting.
+	for _, c := range []struct {
+		dt   spec.DataType
+		kind spec.OpKind
+	}{
+		{types.NewStack(), types.OpPush},
+		{types.NewQueue(), types.OpEnqueue},
+	} {
+		dom := types.DefaultDomain(c.dt)
+		w, ok := spec.FindNonSelfLastPermuting(c.dt, c.kind, 3, dom)
+		if !ok {
+			t.Fatalf("%s: no witness", c.kind)
+		}
+		if err := spec.VerifyNonSelfAnyPermuting(c.dt, w); err != nil {
+			t.Errorf("%s should be any-permuting: %v", c.kind, err)
+		}
+	}
+}
+
+func TestMutatorAccessorClassification(t *testing.T) {
+	// Chapter VI: the class declared in each data type's catalog must
+	// match the algebraic definitions over the default domain.
+	dts := []spec.DataType{
+		types.NewRMWRegister(0),
+		types.NewCounter(),
+		types.NewQueue(),
+		types.NewStack(),
+		types.NewSet(),
+		types.NewTree(),
+	}
+	for _, dt := range dts {
+		dom := types.DefaultDomain(dt)
+		for _, kind := range dt.Kinds() {
+			kind := kind
+			t.Run(dt.Name()+"/"+string(kind), func(t *testing.T) {
+				mut := spec.IsMutator(dt, kind, dom)
+				acc := spec.IsAccessor(dt, kind, dom)
+				switch dt.Class(kind) {
+				case spec.ClassPureMutator:
+					if !mut || acc {
+						t.Errorf("declared MOP but mutator=%v accessor=%v", mut, acc)
+					}
+				case spec.ClassPureAccessor:
+					if mut || !acc {
+						t.Errorf("declared AOP but mutator=%v accessor=%v", mut, acc)
+					}
+				case spec.ClassOther:
+					if !mut || !acc {
+						t.Errorf("declared OOP but mutator=%v accessor=%v", mut, acc)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestOverwriterClassification(t *testing.T) {
+	// Chapter I.C / IV.E: write overwrites the whole state; increment,
+	// push and enqueue do not.
+	reg := types.NewRegister(0)
+	if spec.IsNonOverwriter(reg, types.OpWrite, types.DefaultDomain(reg)) {
+		t.Error("write should be an overwriter")
+	}
+	ctr := types.NewCounter()
+	if !spec.IsNonOverwriter(ctr, types.OpIncrement, types.DefaultDomain(ctr)) {
+		t.Error("increment should be a non-overwriter")
+	}
+	st := types.NewStack()
+	if !spec.IsNonOverwriter(st, types.OpPush, types.DefaultDomain(st)) {
+		t.Error("push should be a non-overwriter")
+	}
+	q := types.NewQueue()
+	if !spec.IsNonOverwriter(q, types.OpEnqueue, types.DefaultDomain(q)) {
+		t.Error("enqueue should be a non-overwriter")
+	}
+}
+
+func TestTheoremE1AssumptionsHoldForQueue(t *testing.T) {
+	// The assumptions A, B, C of Theorem E.1 hold for (enqueue, peek) with
+	// ρ empty, op1 = enq(a), op2 = enq(b), aop = peek.
+	q := types.NewQueue()
+	enq := func(v spec.Value) spec.Op { return spec.Op{Kind: types.OpEnqueue, Arg: v} }
+	peek := func(v spec.Value) spec.Op { return spec.Op{Kind: types.OpPeek, Ret: v} }
+	op1, op2 := enq("a"), enq("b")
+
+	// A: ρ∘op1∘peek(a) legal; ρ∘op2∘op1∘peek(a) illegal (head is b).
+	if !spec.Legal(q, spec.Sequence{op1, peek("a")}) {
+		t.Error("A: enq(a)∘peek(a) should be legal")
+	}
+	if spec.Legal(q, spec.Sequence{op2, op1, peek("a")}) {
+		t.Error("A: enq(b)∘enq(a)∘peek(a) should be illegal")
+	}
+	// B: symmetric.
+	if !spec.Legal(q, spec.Sequence{op2, peek("b")}) {
+		t.Error("B: enq(b)∘peek(b) should be legal")
+	}
+	if spec.Legal(q, spec.Sequence{op1, op2, peek("b")}) {
+		t.Error("B: enq(a)∘enq(b)∘peek(b) should be illegal")
+	}
+	// C: the two orders disagree on peek's return.
+	if !spec.Legal(q, spec.Sequence{op1, op2, peek("a")}) {
+		t.Error("C: enq(a)∘enq(b)∘peek(a) should be legal")
+	}
+	if spec.Legal(q, spec.Sequence{op2, op1, peek("a")}) {
+		t.Error("C: enq(b)∘enq(a)∘peek(a) should be illegal")
+	}
+}

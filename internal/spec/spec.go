@@ -1,0 +1,247 @@
+// Package spec implements the sequential-specification framework and the
+// operation algebra of Wang (2011), Chapter II.
+//
+// A shared object's data type is modeled as a deterministic state machine
+// (DataType): applying an operation kind with an argument to a state yields
+// a unique next state and return value (Definition A.1, deterministic
+// object). An operation instance op = OP(arg, ret) records both the argument
+// and the return value; a sequence ρ = op₁∘op₂∘… is legal iff replaying it
+// from the initial state reproduces every recorded return value.
+//
+// On top of legality the package provides the algebraic relations of the
+// paper — "looks like", equivalence, immediate/eventual (non-)commutativity,
+// non-self-last/any-permuting, mutator/accessor/overwriter — both as
+// witness verifiers and as bounded brute-force searchers used by the
+// property-based tests.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an operation argument or return value. Values used by the bundled
+// data types are comparable Go values (ints, strings, bools, small structs)
+// or nil for "no value"/"ack".
+type Value = any
+
+// State is an immutable object state. Implementations of DataType must
+// never mutate a State in Apply; they return fresh values instead.
+type State = any
+
+// OpKind names an operation type on a data type, e.g. "read", "enqueue".
+type OpKind string
+
+// OpClass partitions operation kinds the way Chapter V does: pure mutators
+// (MOP) get the ε+X fast path, pure accessors (AOP) the d+ε-X local path,
+// and everything else (OOP) the totally ordered d+ε path.
+type OpClass int
+
+// Operation classes, Chapter V.
+const (
+	// ClassOther is OOP: operations that both mutate and observe (or that
+	// the catalog chooses to run on the slow path), e.g. read-modify-write,
+	// dequeue, pop.
+	ClassOther OpClass = iota + 1
+	// ClassPureMutator is MOP: mutators that return nothing about the
+	// object, e.g. write, enqueue, push, insert.
+	ClassPureMutator
+	// ClassPureAccessor is AOP: accessors that do not modify the object,
+	// e.g. read, peek, search, depth.
+	ClassPureAccessor
+)
+
+// String implements fmt.Stringer.
+func (c OpClass) String() string {
+	switch c {
+	case ClassOther:
+		return "OOP"
+	case ClassPureMutator:
+		return "MOP"
+	case ClassPureAccessor:
+		return "AOP"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(c))
+	}
+}
+
+// DataType is a deterministic sequential specification (Definition A.1).
+type DataType interface {
+	// Name returns the human-readable type name, e.g. "queue".
+	Name() string
+	// InitialState returns the initial object state.
+	InitialState() State
+	// Apply applies one operation to a state, returning the next state and
+	// the operation's return value. Apply must be pure: it must not mutate
+	// s, and equal (state, kind, arg) triples must yield equal results.
+	Apply(s State, kind OpKind, arg Value) (State, Value)
+	// Kinds lists the operation kinds of the type, in a stable order.
+	Kinds() []OpKind
+	// Class reports the Chapter V class of an operation kind.
+	Class(kind OpKind) OpClass
+	// EncodeState returns a canonical string encoding of a state; two
+	// states are behaviourally equivalent iff their encodings are equal.
+	EncodeState(s State) string
+}
+
+// Op is an operation instance op = OP(arg, ret) (Chapter II.A).
+type Op struct {
+	Kind OpKind
+	Arg  Value
+	Ret  Value
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	return fmt.Sprintf("%s(%v)→%v", o.Kind, o.Arg, o.Ret)
+}
+
+// Invocation is an operation invocation (kind, argument) whose return value
+// is not yet known. Build derives the returns by replay.
+type Invocation struct {
+	Kind OpKind
+	Arg  Value
+}
+
+// Sequence is an operation sequence ρ.
+type Sequence []Op
+
+// String implements fmt.Stringer.
+func (s Sequence) String() string {
+	parts := make([]string, len(s))
+	for i, op := range s {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, "∘")
+}
+
+// Append returns a new sequence s∘ops without mutating s.
+func (s Sequence) Append(ops ...Op) Sequence {
+	out := make(Sequence, 0, len(s)+len(ops))
+	out = append(out, s...)
+	out = append(out, ops...)
+	return out
+}
+
+// ValueEqual reports whether two operation values are equal. It treats nil
+// as equal only to nil and otherwise uses canonical formatting, which is
+// sound for the comparable value kinds used by the bundled data types.
+func ValueEqual(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return fmt.Sprintf("%#v", a) == fmt.Sprintf("%#v", b)
+}
+
+// Replay applies seq from state s, checking recorded return values.
+// It returns the resulting state and false as soon as a recorded return
+// value disagrees with the specification.
+func Replay(dt DataType, s State, seq Sequence) (State, bool) {
+	cur := s
+	for _, op := range seq {
+		next, ret := dt.Apply(cur, op.Kind, op.Arg)
+		if !ValueEqual(ret, op.Ret) {
+			return nil, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// Legal reports whether seq is a legal operation sequence of dt from the
+// initial state (Chapter II.A).
+func Legal(dt DataType, seq Sequence) bool {
+	_, ok := Replay(dt, dt.InitialState(), seq)
+	return ok
+}
+
+// ResultState returns the state after replaying a legal sequence from the
+// initial state. The boolean is false if the sequence is illegal.
+func ResultState(dt DataType, seq Sequence) (State, bool) {
+	return Replay(dt, dt.InitialState(), seq)
+}
+
+// Build turns invocations into a legal sequence by deriving each return
+// value from the specification, starting at the initial state. It also
+// returns the final state.
+func Build(dt DataType, invs ...Invocation) (Sequence, State) {
+	seq := make(Sequence, 0, len(invs))
+	cur := dt.InitialState()
+	for _, inv := range invs {
+		next, ret := dt.Apply(cur, inv.Kind, inv.Arg)
+		seq = append(seq, Op{Kind: inv.Kind, Arg: inv.Arg, Ret: ret})
+		cur = next
+	}
+	return seq, cur
+}
+
+// LooksLike reports whether ρ1 looks like ρ2 (Definition C.1): every legal
+// continuation of ρ1 is a legal continuation of ρ2.
+//
+// For deterministic state-machine specifications with canonical state
+// encodings this is decidable exactly: if ρ1 is illegal it vacuously looks
+// like anything; otherwise ρ2 must be legal and lead to a state with the
+// same canonical encoding, because any continuation distinguishing two
+// distinct encodings exists by construction of EncodeState.
+func LooksLike(dt DataType, rho1, rho2 Sequence) bool {
+	s1, ok1 := ResultState(dt, rho1)
+	if !ok1 {
+		return true
+	}
+	s2, ok2 := ResultState(dt, rho2)
+	if !ok2 {
+		return false
+	}
+	return dt.EncodeState(s1) == dt.EncodeState(s2)
+}
+
+// Equivalent reports whether ρ1 and ρ2 are equivalent (Definition C.2):
+// each looks like the other.
+func Equivalent(dt DataType, rho1, rho2 Sequence) bool {
+	return LooksLike(dt, rho1, rho2) && LooksLike(dt, rho2, rho1)
+}
+
+// EncodeAfter returns the canonical encoding of the state reached by seq,
+// or "⊥" if seq is illegal.
+func EncodeAfter(dt DataType, seq Sequence) string {
+	s, ok := ResultState(dt, seq)
+	if !ok {
+		return "⊥"
+	}
+	return dt.EncodeState(s)
+}
+
+// Permutations calls fn with every permutation of ops, stopping early if fn
+// returns false. The slice passed to fn is reused between calls.
+func Permutations(ops []Op, fn func([]Op) bool) {
+	n := len(ops)
+	buf := make([]Op, n)
+	copy(buf, ops)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return fn(buf)
+		}
+		for i := k; i < n; i++ {
+			buf[k], buf[i] = buf[i], buf[k]
+			if !rec(k + 1) {
+				return false
+			}
+			buf[k], buf[i] = buf[i], buf[k]
+		}
+		return true
+	}
+	rec(0)
+}
+
+// CanonicalValues renders a slice of values deterministically, sorting the
+// rendered forms; useful for EncodeState implementations over sets/maps.
+func CanonicalValues(vs []Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,66 @@
+package spec_test
+
+import (
+	"testing"
+
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+func TestClassifyMatchesIndividualPredicates(t *testing.T) {
+	q := types.NewQueue()
+	dom := types.DefaultDomain(q)
+	byKind := make(map[spec.OpKind]spec.Classification)
+	for _, c := range spec.ClassifyAll(q, dom) {
+		byKind[c.Kind] = c
+	}
+	enq := byKind[types.OpEnqueue]
+	if !enq.Mutator || enq.Accessor || enq.Overwriter {
+		t.Errorf("enqueue: %+v", enq)
+	}
+	if !enq.ENSC || !enq.LastPermuting3 || enq.INSC {
+		t.Errorf("enqueue commutativity: %+v", enq)
+	}
+	deq := byKind[types.OpDequeue]
+	if !deq.INSC || !deq.StronglyINSC {
+		t.Errorf("dequeue: %+v", deq)
+	}
+	peek := byKind[types.OpPeek]
+	if peek.Mutator || !peek.Accessor {
+		t.Errorf("peek: %+v", peek)
+	}
+}
+
+func TestClassifyAllConsistentEverywhere(t *testing.T) {
+	dts := []spec.DataType{
+		types.NewRMWRegister(0),
+		types.NewCounter(),
+		types.NewQueue(),
+		types.NewStack(),
+		types.NewSet(),
+		types.NewTree(),
+		types.NewDict(),
+		types.NewPQueue(),
+		types.NewAccount(),
+		types.NewPairArray(3, 5),
+	}
+	for _, dt := range dts {
+		dom := types.DefaultDomain(dt)
+		for _, c := range spec.ClassifyAll(dt, dom) {
+			if ok, reason := c.ConsistentWithClass(); !ok {
+				t.Errorf("%s/%s: %s (%+v)", dt.Name(), c.Kind, reason, c)
+			}
+		}
+	}
+}
+
+func TestClassifyWriteOverwrites(t *testing.T) {
+	reg := types.NewRegister(0)
+	c := spec.Classify(reg, types.OpWrite, types.DefaultDomain(reg))
+	if !c.Overwriter {
+		t.Error("write should be an overwriter")
+	}
+	if c.StronglyINSC {
+		t.Error("write is not strongly INSC")
+	}
+}

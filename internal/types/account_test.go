@@ -1,0 +1,98 @@
+package types_test
+
+import (
+	"testing"
+
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+func TestAccountSemantics(t *testing.T) {
+	a := types.NewAccount()
+	s := a.InitialState()
+	s, _ = apply(t, a, s, types.OpDeposit, 100)
+	_, bal := apply(t, a, s, types.OpBalance, nil)
+	if !spec.ValueEqual(bal, 100) {
+		t.Errorf("balance = %v, want 100", bal)
+	}
+	s, ok := apply(t, a, s, types.OpWithdraw, 70)
+	if !spec.ValueEqual(ok, true) {
+		t.Errorf("withdraw(70) = %v, want true", ok)
+	}
+	s2, ok := apply(t, a, s, types.OpWithdraw, 70)
+	if !spec.ValueEqual(ok, false) {
+		t.Errorf("overdraft withdraw = %v, want false", ok)
+	}
+	if a.EncodeState(s2) != a.EncodeState(s) {
+		t.Error("failed withdrawal changed the balance")
+	}
+	// Negative amounts are rejected as no-ops.
+	s3, _ := apply(t, a, s, types.OpDeposit, -5)
+	if a.EncodeState(s3) != a.EncodeState(s) {
+		t.Error("negative deposit changed the balance")
+	}
+	if _, ok := apply(t, a, s, types.OpWithdraw, -5); !spec.ValueEqual(ok, false) {
+		t.Error("negative withdrawal should fail")
+	}
+}
+
+func TestWithdrawStronglyINSC(t *testing.T) {
+	// Two withdrawals of the full balance: each alone succeeds, but no
+	// order allows both — the Theorem C.1 shape on an applied object.
+	a := types.NewAccount()
+	dom := types.DefaultDomain(a)
+	w, ok := spec.FindStronglyImmediatelyNonSelfCommuting(a, types.OpWithdraw, dom)
+	if !ok {
+		t.Fatal("withdraw should be strongly immediately non-self-commuting")
+	}
+	if err := spec.VerifyImmediatelyNonCommuting(a, w); err != nil {
+		t.Fatalf("witness fails: %v", err)
+	}
+}
+
+func TestDepositEventuallySelfCommutes(t *testing.T) {
+	a := types.NewAccount()
+	dom := types.DefaultDomain(a)
+	if !spec.EventuallySelfCommuting(a, types.OpDeposit, dom) {
+		t.Error("deposits should eventually self-commute")
+	}
+	if !spec.IsNonOverwriter(a, types.OpDeposit, dom) {
+		t.Error("deposit should be a non-overwriter")
+	}
+	if !spec.IsPureMutator(a, types.OpDeposit, dom) {
+		t.Error("deposit should be a pure mutator")
+	}
+	if !spec.IsPureAccessor(a, types.OpBalance, dom) {
+		t.Error("balance should be a pure accessor")
+	}
+}
+
+func TestAccountMoneyConservation(t *testing.T) {
+	// Property: balance equals deposits minus successful withdrawals and
+	// never goes negative, over random scripts.
+	a := types.NewAccount()
+	s := a.InitialState()
+	deposited, withdrawn := 0, 0
+	amounts := []int{10, 25, 40, 100}
+	for i := 0; i < 200; i++ {
+		amt := amounts[i%len(amounts)]
+		if i%3 == 0 {
+			s, _ = a.Apply(s, types.OpDeposit, amt)
+			deposited += amt
+		} else {
+			var ok spec.Value
+			s, ok = a.Apply(s, types.OpWithdraw, amt)
+			if b, _ := ok.(bool); b {
+				withdrawn += amt
+			}
+		}
+		_, bal := a.Apply(s, types.OpBalance, nil)
+		b, _ := bal.(int)
+		if b != deposited-withdrawn {
+			t.Fatalf("step %d: balance %d != %d-%d", i, b, deposited, withdrawn)
+		}
+		if b < 0 {
+			t.Fatalf("step %d: negative balance %d", i, b)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package types
+
+import (
+	"strconv"
+
+	"timebounds/internal/spec"
+)
+
+// Operation kinds on counters.
+const (
+	// OpIncrement adds the (int) argument to the counter and returns nil.
+	// Pure mutator, eventually self-commuting, non-overwriter — the
+	// increment example of Chapter I.C.
+	OpIncrement spec.OpKind = "increment"
+	// OpGet returns the counter value. Pure accessor.
+	OpGet spec.OpKind = "get"
+)
+
+// Counter is a shared integer counter supporting increment and get. It is
+// the paper's running example of a mutator that commutes with itself yet
+// does not overwrite the whole state (Chapter I.C, item 3).
+type Counter struct{}
+
+var _ spec.DataType = Counter{}
+
+// NewCounter returns a counter starting at zero.
+func NewCounter() Counter { return Counter{} }
+
+// Name implements spec.DataType.
+func (Counter) Name() string { return "counter" }
+
+// InitialState implements spec.DataType.
+func (Counter) InitialState() spec.State { return int(0) }
+
+// Apply implements spec.DataType.
+func (Counter) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State, spec.Value) {
+	cur, _ := s.(int)
+	switch kind {
+	case OpIncrement:
+		delta, _ := arg.(int)
+		return cur + delta, nil
+	case OpGet:
+		return cur, cur
+	default:
+		return cur, nil
+	}
+}
+
+// Kinds implements spec.DataType.
+func (Counter) Kinds() []spec.OpKind { return []spec.OpKind{OpIncrement, OpGet} }
+
+// Class implements spec.DataType.
+func (Counter) Class(kind spec.OpKind) spec.OpClass {
+	switch kind {
+	case OpIncrement:
+		return spec.ClassPureMutator
+	case OpGet:
+		return spec.ClassPureAccessor
+	default:
+		return spec.ClassOther
+	}
+}
+
+// EncodeState implements spec.DataType.
+func (Counter) EncodeState(s spec.State) string {
+	cur, _ := s.(int)
+	return "ctr:" + strconv.Itoa(cur)
+}

@@ -1,0 +1,121 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timebounds/internal/spec"
+)
+
+// Operation kinds on dictionaries.
+const (
+	// OpPut maps a key to a value (argument is a KV) and returns nil.
+	// Pure mutator; overwrites only its own key, so it is a non-overwriter
+	// of the whole dictionary state.
+	OpPut spec.OpKind = "put"
+	// OpDelete removes a key and returns nil. Pure mutator.
+	OpDelete spec.OpKind = "delete"
+	// OpDictGet returns the value mapped to a key, or nil. Pure accessor.
+	OpDictGet spec.OpKind = "dict-get"
+	// OpSize returns the number of keys. Pure accessor.
+	OpSize spec.OpKind = "size"
+)
+
+// KV is the argument of OpPut.
+type KV struct {
+	Key   string
+	Value spec.Value
+}
+
+// dictState is an immutable key → value snapshot.
+type dictState map[string]spec.Value
+
+// Dict is a map/dictionary shared object. It is not one of the paper's
+// Table objects but exercises the same algebra: put is an eventually
+// non-self-commuting (per key) pure mutator, get/size are pure accessors,
+// and the (put, get) pair falls under Theorem E.1's non-overwriting case
+// because a put does not erase other keys.
+type Dict struct{}
+
+var _ spec.DataType = Dict{}
+
+// NewDict returns an initially empty dictionary.
+func NewDict() Dict { return Dict{} }
+
+// Name implements spec.DataType.
+func (Dict) Name() string { return "dict" }
+
+// InitialState implements spec.DataType.
+func (Dict) InitialState() spec.State { return dictState(nil) }
+
+func (d dictState) clone() dictState {
+	next := make(dictState, len(d)+1)
+	for k, v := range d {
+		next[k] = v
+	}
+	return next
+}
+
+// Apply implements spec.DataType.
+func (Dict) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State, spec.Value) {
+	d, _ := s.(dictState)
+	switch kind {
+	case OpPut:
+		kv, ok := arg.(KV)
+		if !ok {
+			return d, nil
+		}
+		next := d.clone()
+		next[kv.Key] = kv.Value
+		return next, nil
+	case OpDelete:
+		key, ok := arg.(string)
+		if !ok {
+			return d, nil
+		}
+		if _, exists := d[key]; !exists {
+			return d, nil
+		}
+		next := d.clone()
+		delete(next, key)
+		return next, nil
+	case OpDictGet:
+		key, _ := arg.(string)
+		v, exists := d[key]
+		if !exists {
+			return d, nil
+		}
+		return d, v
+	case OpSize:
+		return d, len(d)
+	default:
+		return d, nil
+	}
+}
+
+// Kinds implements spec.DataType.
+func (Dict) Kinds() []spec.OpKind { return []spec.OpKind{OpPut, OpDelete, OpDictGet, OpSize} }
+
+// Class implements spec.DataType.
+func (Dict) Class(kind spec.OpKind) spec.OpClass {
+	switch kind {
+	case OpPut, OpDelete:
+		return spec.ClassPureMutator
+	case OpDictGet, OpSize:
+		return spec.ClassPureAccessor
+	default:
+		return spec.ClassOther
+	}
+}
+
+// EncodeState implements spec.DataType.
+func (Dict) EncodeState(s spec.State) string {
+	d, _ := s.(dictState)
+	parts := make([]string, 0, len(d))
+	for k, v := range d {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+	}
+	sort.Strings(parts)
+	return "dict:{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,210 @@
+package types
+
+import "timebounds/internal/spec"
+
+// DefaultDomain returns a small, representative search domain for the given
+// data type, sufficient for the brute-force classifiers in internal/spec to
+// rediscover every property the paper claims for its operations. The
+// domains are deliberately tiny — the classifiers enumerate prefixes ×
+// arguments × permutations — but each contains the witnesses used in
+// Chapters I–II.
+func DefaultDomain(dt spec.DataType) spec.Domain {
+	switch dt.Name() {
+	case "register", "rmw-register":
+		return registerDomain()
+	case "counter":
+		return counterDomain()
+	case "queue":
+		return queueDomain()
+	case "stack":
+		return stackDomain()
+	case "set":
+		return setDomain()
+	case "tree":
+		return treeDomain()
+	case "pair-array":
+		return pairArrayDomain()
+	case "dict":
+		return dictDomain()
+	case "pqueue":
+		return pqueueDomain()
+	case "account":
+		return accountDomain()
+	default:
+		return spec.Domain{Prefixes: [][]spec.Invocation{nil}}
+	}
+}
+
+func registerDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpWrite, Arg: 0}},
+			{{Kind: OpWrite, Arg: 1}},
+			{{Kind: OpWrite, Arg: 0}, {Kind: OpWrite, Arg: 1}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpWrite: {0, 1, 2, 3},
+			OpRead:  {nil},
+			OpRMW:   {1, 2, 3},
+		},
+	}
+}
+
+func counterDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpIncrement, Arg: 1}},
+			{{Kind: OpIncrement, Arg: 2}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpIncrement: {1, 2},
+			OpGet:       {nil},
+		},
+	}
+}
+
+func queueDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpEnqueue, Arg: 10}},
+			{{Kind: OpEnqueue, Arg: 10}, {Kind: OpEnqueue, Arg: 20}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpEnqueue: {1, 2, 3, 4},
+			OpDequeue: {nil},
+			OpPeek:    {nil},
+		},
+	}
+}
+
+func stackDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpPush, Arg: 10}},
+			{{Kind: OpPush, Arg: 10}, {Kind: OpPush, Arg: 20}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpPush: {1, 2, 3, 4},
+			OpPop:  {nil},
+			OpTop:  {nil},
+		},
+	}
+}
+
+func setDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpInsert, Arg: 1}},
+			{{Kind: OpInsert, Arg: 1}, {Kind: OpInsert, Arg: 2}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpInsert:   {1, 2},
+			OpRemove:   {1, 2},
+			OpContains: {1, 2},
+		},
+	}
+}
+
+func treeDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpTreeInsert, Arg: Edge{Node: "a", Parent: TreeRoot}}},
+			{
+				{Kind: OpTreeInsert, Arg: Edge{Node: "a", Parent: TreeRoot}},
+				{Kind: OpTreeInsert, Arg: Edge{Node: "b", Parent: "a"}},
+			},
+			// Two siblings plus a deeper node: placements of x under
+			// root/a/c form the last-wins witness family for Definition
+			// C.5 (insert moves an existing node).
+			{
+				{Kind: OpTreeInsert, Arg: Edge{Node: "a", Parent: TreeRoot}},
+				{Kind: OpTreeInsert, Arg: Edge{Node: "c", Parent: TreeRoot}},
+			},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpTreeInsert: {
+				Edge{Node: "x", Parent: TreeRoot},
+				Edge{Node: "x", Parent: "a"},
+				Edge{Node: "x", Parent: "c"},
+				Edge{Node: "y", Parent: "a"},
+			},
+			OpTreeDelete: {"a", "b", "x"},
+			OpTreeSearch: {"a", "x"},
+			OpTreeDepth:  {nil},
+		},
+	}
+}
+
+func dictDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpPut, Arg: KV{Key: "a", Value: 1}}},
+			{{Kind: OpPut, Arg: KV{Key: "a", Value: 1}}, {Kind: OpPut, Arg: KV{Key: "b", Value: 2}}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpPut: {
+				KV{Key: "a", Value: 1},
+				KV{Key: "a", Value: 2},
+				KV{Key: "b", Value: 3},
+			},
+			OpDelete:  {"a", "b"},
+			OpDictGet: {"a", "b"},
+			OpSize:    {nil},
+		},
+	}
+}
+
+func pqueueDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpPQInsert, Arg: 5}},
+			{{Kind: OpPQInsert, Arg: 5}, {Kind: OpPQInsert, Arg: 2}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpPQInsert:    {1, 2, 3},
+			OpPQDeleteMin: {nil},
+			OpPQMin:       {nil},
+		},
+	}
+}
+
+func accountDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			{{Kind: OpDeposit, Arg: 100}},
+			{{Kind: OpDeposit, Arg: 100}, {Kind: OpWithdraw, Arg: 30}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpDeposit:  {50, 100},
+			OpWithdraw: {70, 100},
+			OpBalance:  {nil},
+		},
+	}
+}
+
+func pairArrayDomain() spec.Domain {
+	return spec.Domain{
+		Prefixes: [][]spec.Invocation{
+			nil,
+			// A prefix that changes element 2, so later UpdateNext(2,…)
+			// returns differ across prefixes (accessor detection).
+			{{Kind: OpUpdateNext, Arg: UpdateNextArg{I: 1, B: 9}}},
+		},
+		Args: map[spec.OpKind][]spec.Value{
+			OpUpdateNext: {
+				UpdateNextArg{I: 1, B: 7},
+				UpdateNextArg{I: 1, B: 9},
+				UpdateNextArg{I: 2, B: 7},
+			},
+		},
+	}
+}

@@ -1,0 +1,157 @@
+package types_test
+
+// Tests for the extension data types (dict, priority queue) and their
+// classification properties beyond the paper's Table objects.
+
+import (
+	"testing"
+
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+func TestDictSemantics(t *testing.T) {
+	d := types.NewDict()
+	s := d.InitialState()
+	s, _ = apply(t, d, s, types.OpPut, types.KV{Key: "a", Value: 1})
+	s, _ = apply(t, d, s, types.OpPut, types.KV{Key: "b", Value: 2})
+	s, _ = apply(t, d, s, types.OpPut, types.KV{Key: "a", Value: 3}) // overwrite a
+	_, got := apply(t, d, s, types.OpDictGet, "a")
+	if !spec.ValueEqual(got, 3) {
+		t.Errorf("get(a) = %v, want 3", got)
+	}
+	_, size := apply(t, d, s, types.OpSize, nil)
+	if !spec.ValueEqual(size, 2) {
+		t.Errorf("size = %v, want 2", size)
+	}
+	s, _ = apply(t, d, s, types.OpDelete, "a")
+	_, got = apply(t, d, s, types.OpDictGet, "a")
+	if got != nil {
+		t.Errorf("get(a) after delete = %v, want nil", got)
+	}
+	// Deleting a missing key is a no-op.
+	s2, _ := apply(t, d, s, types.OpDelete, "zzz")
+	if d.EncodeState(s2) != d.EncodeState(s) {
+		t.Error("delete of missing key changed state")
+	}
+}
+
+func TestDictEncodingCanonical(t *testing.T) {
+	d := types.NewDict()
+	a := d.InitialState()
+	a, _ = d.Apply(a, types.OpPut, types.KV{Key: "x", Value: 1})
+	a, _ = d.Apply(a, types.OpPut, types.KV{Key: "y", Value: 2})
+	b := d.InitialState()
+	b, _ = d.Apply(b, types.OpPut, types.KV{Key: "y", Value: 2})
+	b, _ = d.Apply(b, types.OpPut, types.KV{Key: "x", Value: 1})
+	if d.EncodeState(a) != d.EncodeState(b) {
+		t.Error("dict encoding depends on insertion order")
+	}
+}
+
+func TestPQueueSemantics(t *testing.T) {
+	pq := types.NewPQueue()
+	s := pq.InitialState()
+	for _, v := range []int{5, 1, 3} {
+		s, _ = apply(t, pq, s, types.OpPQInsert, v)
+	}
+	_, min := apply(t, pq, s, types.OpPQMin, nil)
+	if !spec.ValueEqual(min, 1) {
+		t.Errorf("min = %v, want 1", min)
+	}
+	for _, want := range []int{1, 3, 5} {
+		var got spec.Value
+		s, got = apply(t, pq, s, types.OpPQDeleteMin, nil)
+		if !spec.ValueEqual(got, want) {
+			t.Fatalf("delete-min = %v, want %d", got, want)
+		}
+	}
+	_, got := apply(t, pq, s, types.OpPQDeleteMin, nil)
+	if got != nil {
+		t.Errorf("delete-min on empty = %v, want nil", got)
+	}
+}
+
+func TestPQInsertEventuallySelfCommutes(t *testing.T) {
+	// Contrast with push/enqueue: the priority queue forgets insertion
+	// order, so insert eventually self-commutes and the (1-1/k)u
+	// last-permuting bound does not apply to it.
+	pq := types.NewPQueue()
+	dom := types.DefaultDomain(pq)
+	if !spec.EventuallySelfCommuting(pq, types.OpPQInsert, dom) {
+		t.Error("pq-insert should eventually self-commute")
+	}
+	if _, ok := spec.FindNonSelfLastPermuting(pq, types.OpPQInsert, 3, dom); ok {
+		t.Error("pq-insert must not be non-self-last-permuting")
+	}
+}
+
+func TestPQDeleteMinStronglyINSC(t *testing.T) {
+	// delete-min behaves like dequeue/pop: the d+min{ε,u,d/3} bound
+	// applies via strongly immediate non-self-commutativity.
+	pq := types.NewPQueue()
+	dom := types.DefaultDomain(pq)
+	w, ok := spec.FindStronglyImmediatelyNonSelfCommuting(pq, types.OpPQDeleteMin, dom)
+	if !ok {
+		t.Fatal("pq-delete-min should be strongly immediately non-self-commuting")
+	}
+	if err := spec.VerifyImmediatelyNonCommuting(pq, w); err != nil {
+		t.Fatalf("witness fails: %v", err)
+	}
+}
+
+func TestDictPutNonOverwriterOfWholeState(t *testing.T) {
+	// put(a,·) after put(b,·) keeps b — unlike write on a register, put
+	// does not overwrite the whole state, so the Theorem E.1 pair bound
+	// d+min{ε,u,d/3} applies to (put, get).
+	d := types.NewDict()
+	dom := types.DefaultDomain(d)
+	if !spec.IsNonOverwriter(d, types.OpPut, dom) {
+		t.Error("put should be a non-overwriter")
+	}
+}
+
+func TestExtendedClassifications(t *testing.T) {
+	for _, dt := range []spec.DataType{types.NewDict(), types.NewPQueue()} {
+		dom := types.DefaultDomain(dt)
+		for _, kind := range dt.Kinds() {
+			mut := spec.IsMutator(dt, kind, dom)
+			acc := spec.IsAccessor(dt, kind, dom)
+			switch dt.Class(kind) {
+			case spec.ClassPureMutator:
+				if !mut || acc {
+					t.Errorf("%s/%s declared MOP but mutator=%v accessor=%v", dt.Name(), kind, mut, acc)
+				}
+			case spec.ClassPureAccessor:
+				if mut || !acc {
+					t.Errorf("%s/%s declared AOP but mutator=%v accessor=%v", dt.Name(), kind, mut, acc)
+				}
+			case spec.ClassOther:
+				if !mut || !acc {
+					t.Errorf("%s/%s declared OOP but mutator=%v accessor=%v", dt.Name(), kind, mut, acc)
+				}
+			}
+		}
+	}
+}
+
+func TestDictPutGetPairTheoremE1Assumptions(t *testing.T) {
+	// A, B, C of Theorem E.1 hold for (put, get) on distinct keys with
+	// distinct values observed via get of one key… put(a,1)/put(a,2):
+	// order determines get(a), and neither put erases the other.
+	d := types.NewDict()
+	put := func(k string, v int) spec.Op {
+		return spec.Op{Kind: types.OpPut, Arg: types.KV{Key: k, Value: v}}
+	}
+	get := func(k string, v spec.Value) spec.Op {
+		return spec.Op{Kind: types.OpDictGet, Arg: k, Ret: v}
+	}
+	op1, op2 := put("a", 1), put("a", 2)
+	// C: the two orders disagree on get(a).
+	if !spec.Legal(d, spec.Sequence{op1, op2, get("a", 2)}) {
+		t.Error("C: put1∘put2∘get(2) should be legal")
+	}
+	if spec.Legal(d, spec.Sequence{op2, op1, get("a", 2)}) {
+		t.Error("C: put2∘put1∘get(2) should be illegal")
+	}
+}

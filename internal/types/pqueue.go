@@ -1,0 +1,103 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timebounds/internal/spec"
+)
+
+// Operation kinds on priority queues.
+const (
+	// OpPQInsert inserts an integer priority and returns nil. Pure
+	// mutator — and, unlike push/enqueue, eventually SELF-COMMUTING:
+	// the multiset does not remember insertion order, so the (1-1/k)u
+	// last-permuting lower bound does not apply to it.
+	OpPQInsert spec.OpKind = "pq-insert"
+	// OpPQDeleteMin removes and returns the smallest element (nil when
+	// empty). Strongly immediately non-self-commuting, like dequeue/pop.
+	OpPQDeleteMin spec.OpKind = "pq-delete-min"
+	// OpPQMin returns the smallest element without removing it. Pure
+	// accessor.
+	OpPQMin spec.OpKind = "pq-min"
+)
+
+// pqState is an immutable sorted multiset of int priorities.
+type pqState []int
+
+// PQueue is a min-priority queue. It rounds out the classification matrix:
+// its mutator commutes with itself (contrast enqueue/push) while its
+// delete-min is strongly immediately non-self-commuting (like
+// dequeue/pop), so the d+min{ε,u,d/3} bound applies to delete-min but the
+// (1-1/k)u last-permuting bound does not apply to insert.
+type PQueue struct{}
+
+var _ spec.DataType = PQueue{}
+
+// NewPQueue returns an initially empty priority queue.
+func NewPQueue() PQueue { return PQueue{} }
+
+// Name implements spec.DataType.
+func (PQueue) Name() string { return "pqueue" }
+
+// InitialState implements spec.DataType.
+func (PQueue) InitialState() spec.State { return pqState(nil) }
+
+// Apply implements spec.DataType.
+func (PQueue) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State, spec.Value) {
+	pq, _ := s.(pqState)
+	switch kind {
+	case OpPQInsert:
+		v, ok := arg.(int)
+		if !ok {
+			return pq, nil
+		}
+		next := make(pqState, 0, len(pq)+1)
+		next = append(next, pq...)
+		next = append(next, v)
+		sort.Ints(next)
+		return next, nil
+	case OpPQDeleteMin:
+		if len(pq) == 0 {
+			return pq, nil
+		}
+		next := make(pqState, len(pq)-1)
+		copy(next, pq[1:])
+		return next, pq[0]
+	case OpPQMin:
+		if len(pq) == 0 {
+			return pq, nil
+		}
+		return pq, pq[0]
+	default:
+		return pq, nil
+	}
+}
+
+// Kinds implements spec.DataType.
+func (PQueue) Kinds() []spec.OpKind {
+	return []spec.OpKind{OpPQInsert, OpPQDeleteMin, OpPQMin}
+}
+
+// Class implements spec.DataType.
+func (PQueue) Class(kind spec.OpKind) spec.OpClass {
+	switch kind {
+	case OpPQInsert:
+		return spec.ClassPureMutator
+	case OpPQMin:
+		return spec.ClassPureAccessor
+	default:
+		return spec.ClassOther
+	}
+}
+
+// EncodeState implements spec.DataType.
+func (PQueue) EncodeState(s spec.State) string {
+	pq, _ := s.(pqState)
+	parts := make([]string, len(pq))
+	for i, v := range pq {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "pq:[" + strings.Join(parts, " ") + "]"
+}

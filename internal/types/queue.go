@@ -1,0 +1,89 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"timebounds/internal/spec"
+)
+
+// Operation kinds on queues.
+const (
+	// OpEnqueue appends the argument to the tail and returns nil.
+	// Pure mutator; eventually non-self-any-permuting (Chapter II.C).
+	OpEnqueue spec.OpKind = "enqueue"
+	// OpDequeue removes and returns the head, or nil when empty.
+	// Strongly immediately non-self-commuting (Chapter II.B).
+	OpDequeue spec.OpKind = "dequeue"
+	// OpPeek returns the head without removing it, or nil when empty.
+	// Pure accessor.
+	OpPeek spec.OpKind = "peek"
+)
+
+// queueState is an immutable FIFO snapshot.
+type queueState []spec.Value
+
+// Queue is a FIFO queue with enqueue/dequeue/peek (Chapter VI.B).
+type Queue struct{}
+
+var _ spec.DataType = Queue{}
+
+// NewQueue returns an initially empty queue.
+func NewQueue() Queue { return Queue{} }
+
+// Name implements spec.DataType.
+func (Queue) Name() string { return "queue" }
+
+// InitialState implements spec.DataType.
+func (Queue) InitialState() spec.State { return queueState(nil) }
+
+// Apply implements spec.DataType.
+func (Queue) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State, spec.Value) {
+	q, _ := s.(queueState)
+	switch kind {
+	case OpEnqueue:
+		next := make(queueState, 0, len(q)+1)
+		next = append(next, q...)
+		next = append(next, arg)
+		return next, nil
+	case OpDequeue:
+		if len(q) == 0 {
+			return q, nil
+		}
+		next := make(queueState, len(q)-1)
+		copy(next, q[1:])
+		return next, q[0]
+	case OpPeek:
+		if len(q) == 0 {
+			return q, nil
+		}
+		return q, q[0]
+	default:
+		return q, nil
+	}
+}
+
+// Kinds implements spec.DataType.
+func (Queue) Kinds() []spec.OpKind { return []spec.OpKind{OpEnqueue, OpDequeue, OpPeek} }
+
+// Class implements spec.DataType.
+func (Queue) Class(kind spec.OpKind) spec.OpClass {
+	switch kind {
+	case OpEnqueue:
+		return spec.ClassPureMutator
+	case OpPeek:
+		return spec.ClassPureAccessor
+	default:
+		return spec.ClassOther
+	}
+}
+
+// EncodeState implements spec.DataType.
+func (Queue) EncodeState(s spec.State) string {
+	q, _ := s.(queueState)
+	parts := make([]string, len(q))
+	for i, v := range q {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return "q:[" + strings.Join(parts, " ") + "]"
+}

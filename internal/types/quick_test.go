@@ -1,0 +1,208 @@
+package types_test
+
+// Property-based tests (testing/quick) on the sequential data types: purity
+// of Apply, determinism, canonical encodings, and structural invariants
+// under random operation sequences.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+// opScript is a compact random program over a data type: each byte selects
+// an operation kind and a small argument.
+type opScript []byte
+
+// Generate implements quick.Generator.
+func (opScript) Generate(r *rand.Rand, size int) []byte {
+	n := r.Intn(size + 1)
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+// decode maps a script byte onto one of the type's kinds plus an argument.
+func decode(dt spec.DataType, b byte) (spec.OpKind, spec.Value) {
+	kinds := dt.Kinds()
+	kind := kinds[int(b)%len(kinds)]
+	arg := int(b >> 4)
+	switch kind {
+	case types.OpTreeInsert:
+		nodes := []string{"a", "b", "c", "d"}
+		return kind, types.Edge{Node: nodes[arg%4], Parent: nodes[(arg+1)%4]}
+	case types.OpTreeDelete, types.OpTreeSearch:
+		nodes := []string{"a", "b", "c", types.TreeRoot}
+		return kind, nodes[arg%4]
+	case types.OpUpdateNext:
+		return kind, types.UpdateNextArg{I: 1 + arg%2, B: arg}
+	case types.OpPut:
+		keys := []string{"a", "b", "c"}
+		return kind, types.KV{Key: keys[arg%3], Value: arg}
+	case types.OpDelete, types.OpDictGet:
+		keys := []string{"a", "b", "c"}
+		return kind, keys[arg%3]
+	case types.OpRead, types.OpPeek, types.OpTop, types.OpPop,
+		types.OpDequeue, types.OpGet, types.OpTreeDepth,
+		types.OpSize, types.OpPQDeleteMin, types.OpPQMin:
+		return kind, nil
+	default:
+		return kind, arg
+	}
+}
+
+func run(dt spec.DataType, script []byte) (spec.State, []spec.Value) {
+	s := dt.InitialState()
+	rets := make([]spec.Value, 0, len(script))
+	for _, b := range script {
+		kind, arg := decode(dt, b)
+		var ret spec.Value
+		s, ret = dt.Apply(s, kind, arg)
+		rets = append(rets, ret)
+	}
+	return s, rets
+}
+
+func allTypes() []spec.DataType {
+	return []spec.DataType{
+		types.NewRMWRegister(0),
+		types.NewCounter(),
+		types.NewQueue(),
+		types.NewStack(),
+		types.NewSet(),
+		types.NewTree(),
+		types.NewPairArray(1, 2),
+		types.NewDict(),
+		types.NewPQueue(),
+	}
+}
+
+// TestQuickDeterminism: replaying the same script twice yields identical
+// final encodings and identical return values (Definition A.1).
+func TestQuickDeterminism(t *testing.T) {
+	for _, dt := range allTypes() {
+		dt := dt
+		f := func(script opScript) bool {
+			s1, r1 := run(dt, script)
+			s2, r2 := run(dt, script)
+			if dt.EncodeState(s1) != dt.EncodeState(s2) {
+				return false
+			}
+			for i := range r1 {
+				if !spec.ValueEqual(r1[i], r2[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", dt.Name(), err)
+		}
+	}
+}
+
+// TestQuickPurity: applying an extra operation never disturbs the
+// pre-application state's encoding (states are immutable values).
+func TestQuickPurity(t *testing.T) {
+	for _, dt := range allTypes() {
+		dt := dt
+		f := func(script opScript, extra byte) bool {
+			s, _ := run(dt, script)
+			before := dt.EncodeState(s)
+			kind, arg := decode(dt, extra)
+			dt.Apply(s, kind, arg)
+			return dt.EncodeState(s) == before
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", dt.Name(), err)
+		}
+	}
+}
+
+// TestQuickBuiltSequencesLegal: sequences built by deriving returns from
+// the specification are always legal.
+func TestQuickBuiltSequencesLegal(t *testing.T) {
+	for _, dt := range allTypes() {
+		dt := dt
+		f := func(script opScript) bool {
+			invs := make([]spec.Invocation, len(script))
+			for i, b := range script {
+				kind, arg := decode(dt, b)
+				invs[i] = spec.Invocation{Kind: kind, Arg: arg}
+			}
+			seq, _ := spec.Build(dt, invs...)
+			return spec.Legal(dt, seq)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", dt.Name(), err)
+		}
+	}
+}
+
+// TestQuickQueueStackSizeInvariant: the number of elements equals
+// successful inserts minus successful removals, and never goes negative.
+func TestQuickQueueStackSizeInvariant(t *testing.T) {
+	q := types.NewQueue()
+	f := func(script opScript) bool {
+		s := q.InitialState()
+		size := 0
+		for _, b := range script {
+			kind, arg := decode(q, b)
+			var ret spec.Value
+			s, ret = q.Apply(s, kind, arg)
+			switch kind {
+			case types.OpEnqueue:
+				size++
+			case types.OpDequeue:
+				if ret != nil {
+					size--
+				}
+			}
+			if size < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTreeParentsExist: every non-root node's parent is in the tree
+// (no dangling edges survive any operation sequence).
+func TestQuickTreeParentsExist(t *testing.T) {
+	tr := types.NewTree()
+	f := func(script opScript) bool {
+		s := tr.InitialState()
+		for _, b := range script {
+			kind, arg := decode(tr, b)
+			s, _ = tr.Apply(s, kind, arg)
+			// Depth must never report a malformed (cyclic/dangling) tree.
+			if _, d := tr.Apply(s, types.OpTreeDepth, nil); d == -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSetIdempotent: inserting an element twice equals inserting once.
+func TestQuickSetIdempotent(t *testing.T) {
+	set := types.NewSet()
+	f := func(script opScript, v uint8) bool {
+		s, _ := run(set, script)
+		s1, _ := set.Apply(s, types.OpInsert, int(v))
+		s2, _ := set.Apply(s1, types.OpInsert, int(v))
+		return set.EncodeState(s1) == set.EncodeState(s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

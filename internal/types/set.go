@@ -1,0 +1,104 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timebounds/internal/spec"
+)
+
+// Operation kinds on sets.
+const (
+	// OpInsert adds the argument to the set and returns nil.
+	// Pure mutator, eventually self-commuting (Definition C.6 example).
+	OpInsert spec.OpKind = "insert"
+	// OpRemove removes the argument from the set and returns nil.
+	// Pure mutator, eventually self-commuting.
+	OpRemove spec.OpKind = "remove"
+	// OpContains reports whether the argument is in the set. Pure accessor.
+	OpContains spec.OpKind = "contains"
+)
+
+// setState is an immutable sorted-by-encoding element list.
+type setState []spec.Value
+
+// Set is a mathematical set with insert/remove/contains; the paper's
+// example of eventually self-commuting mutators (Chapter II.C).
+type Set struct{}
+
+var _ spec.DataType = Set{}
+
+// NewSet returns an initially empty set.
+func NewSet() Set { return Set{} }
+
+// Name implements spec.DataType.
+func (Set) Name() string { return "set" }
+
+// InitialState implements spec.DataType.
+func (Set) InitialState() spec.State { return setState(nil) }
+
+func encodeElem(v spec.Value) string { return fmt.Sprintf("%#v", v) }
+
+// Apply implements spec.DataType.
+func (Set) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State, spec.Value) {
+	set, _ := s.(setState)
+	switch kind {
+	case OpInsert:
+		key := encodeElem(arg)
+		for _, v := range set {
+			if encodeElem(v) == key {
+				return set, nil
+			}
+		}
+		next := make(setState, 0, len(set)+1)
+		next = append(next, set...)
+		next = append(next, arg)
+		sort.Slice(next, func(i, j int) bool { return encodeElem(next[i]) < encodeElem(next[j]) })
+		return next, nil
+	case OpRemove:
+		key := encodeElem(arg)
+		next := make(setState, 0, len(set))
+		for _, v := range set {
+			if encodeElem(v) != key {
+				next = append(next, v)
+			}
+		}
+		return next, nil
+	case OpContains:
+		key := encodeElem(arg)
+		for _, v := range set {
+			if encodeElem(v) == key {
+				return set, true
+			}
+		}
+		return set, false
+	default:
+		return set, nil
+	}
+}
+
+// Kinds implements spec.DataType.
+func (Set) Kinds() []spec.OpKind { return []spec.OpKind{OpInsert, OpRemove, OpContains} }
+
+// Class implements spec.DataType.
+func (Set) Class(kind spec.OpKind) spec.OpClass {
+	switch kind {
+	case OpInsert, OpRemove:
+		return spec.ClassPureMutator
+	case OpContains:
+		return spec.ClassPureAccessor
+	default:
+		return spec.ClassOther
+	}
+}
+
+// EncodeState implements spec.DataType.
+func (Set) EncodeState(s spec.State) string {
+	set, _ := s.(setState)
+	parts := make([]string, len(set))
+	for i, v := range set {
+		parts[i] = encodeElem(v)
+	}
+	return "set:{" + strings.Join(parts, ",") + "}"
+}

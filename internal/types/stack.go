@@ -1,0 +1,89 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"timebounds/internal/spec"
+)
+
+// Operation kinds on stacks.
+const (
+	// OpPush pushes the argument and returns nil. Pure mutator;
+	// eventually non-self-any-permuting (Chapter II.C).
+	OpPush spec.OpKind = "push"
+	// OpPop removes and returns the top element, or nil when empty.
+	// Strongly immediately non-self-commuting (Chapter II.B).
+	OpPop spec.OpKind = "pop"
+	// OpTop returns the top element without removing it, or nil when
+	// empty. Pure accessor (called "peek" on stacks in Chapter VI.B).
+	OpTop spec.OpKind = "top"
+)
+
+// stackState is an immutable LIFO snapshot; the last element is the top.
+type stackState []spec.Value
+
+// Stack is a LIFO stack with push/pop/top (Chapter VI.B).
+type Stack struct{}
+
+var _ spec.DataType = Stack{}
+
+// NewStack returns an initially empty stack.
+func NewStack() Stack { return Stack{} }
+
+// Name implements spec.DataType.
+func (Stack) Name() string { return "stack" }
+
+// InitialState implements spec.DataType.
+func (Stack) InitialState() spec.State { return stackState(nil) }
+
+// Apply implements spec.DataType.
+func (Stack) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State, spec.Value) {
+	st, _ := s.(stackState)
+	switch kind {
+	case OpPush:
+		next := make(stackState, 0, len(st)+1)
+		next = append(next, st...)
+		next = append(next, arg)
+		return next, nil
+	case OpPop:
+		if len(st) == 0 {
+			return st, nil
+		}
+		next := make(stackState, len(st)-1)
+		copy(next, st[:len(st)-1])
+		return next, st[len(st)-1]
+	case OpTop:
+		if len(st) == 0 {
+			return st, nil
+		}
+		return st, st[len(st)-1]
+	default:
+		return st, nil
+	}
+}
+
+// Kinds implements spec.DataType.
+func (Stack) Kinds() []spec.OpKind { return []spec.OpKind{OpPush, OpPop, OpTop} }
+
+// Class implements spec.DataType.
+func (Stack) Class(kind spec.OpKind) spec.OpClass {
+	switch kind {
+	case OpPush:
+		return spec.ClassPureMutator
+	case OpTop:
+		return spec.ClassPureAccessor
+	default:
+		return spec.ClassOther
+	}
+}
+
+// EncodeState implements spec.DataType.
+func (Stack) EncodeState(s spec.State) string {
+	st, _ := s.(stackState)
+	parts := make([]string, len(st))
+	for i, v := range st {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return "s:[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,182 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timebounds/internal/spec"
+)
+
+// Operation kinds on rooted trees (Chapter VI.C).
+const (
+	// OpTreeInsert places a node under a parent (argument is an Edge) and
+	// returns nil: a new node is attached, an existing node is moved. The
+	// last placement of a node wins, which makes insert eventually
+	// non-self-last-permuting (Table IV's (1-1/n)u row). No-op if the
+	// parent is absent or the move would create a cycle. Pure mutator.
+	OpTreeInsert spec.OpKind = "tree-insert"
+	// OpTreeDelete removes a leaf node (argument is the node name) and
+	// returns nil. No-op if the node is absent, is the root, or has
+	// children. Pure mutator.
+	OpTreeDelete spec.OpKind = "tree-delete"
+	// OpTreeSearch reports whether a node is present. Pure accessor.
+	OpTreeSearch spec.OpKind = "tree-search"
+	// OpTreeDepth returns the depth of the tree (root alone = 0).
+	// Pure accessor.
+	OpTreeDepth spec.OpKind = "tree-depth"
+)
+
+// Edge is the argument of OpTreeInsert: attach Node under Parent.
+type Edge struct {
+	Node   string
+	Parent string
+}
+
+// TreeRoot is the name of the fixed root node.
+const TreeRoot = "root"
+
+// treeState maps node name -> parent name; the root maps to itself.
+// States are immutable: Apply always copies.
+type treeState map[string]string
+
+// Tree is a rooted tree with insert/delete (pure mutators) and search/depth
+// (pure accessors); there is no operation that is both mutator and
+// accessor (Chapter VI.C).
+type Tree struct{}
+
+var _ spec.DataType = Tree{}
+
+// NewTree returns a tree containing only the root.
+func NewTree() Tree { return Tree{} }
+
+// Name implements spec.DataType.
+func (Tree) Name() string { return "tree" }
+
+// InitialState implements spec.DataType.
+func (Tree) InitialState() spec.State {
+	return treeState{TreeRoot: TreeRoot}
+}
+
+func (t treeState) clone() treeState {
+	next := make(treeState, len(t))
+	for k, v := range t {
+		next[k] = v
+	}
+	return next
+}
+
+func (t treeState) hasChildren(node string) bool {
+	for n, p := range t {
+		if p == node && n != node {
+			return true
+		}
+	}
+	return false
+}
+
+// inSubtree reports whether candidate lies in the subtree rooted at node
+// (inclusive of node itself when they are equal).
+func (t treeState) inSubtree(candidate, node string) bool {
+	if candidate == node {
+		return true
+	}
+	cur := candidate
+	for i := 0; i <= len(t); i++ {
+		parent, ok := t[cur]
+		if !ok || parent == cur {
+			return false
+		}
+		if parent == node {
+			return true
+		}
+		cur = parent
+	}
+	return false
+}
+
+func (t treeState) depthOf(node string) int {
+	depth := 0
+	for node != TreeRoot {
+		node = t[node]
+		depth++
+		if depth > len(t) { // defensive: malformed state
+			return -1
+		}
+	}
+	return depth
+}
+
+// Apply implements spec.DataType.
+func (Tree) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State, spec.Value) {
+	t, _ := s.(treeState)
+	switch kind {
+	case OpTreeInsert:
+		e, ok := arg.(Edge)
+		if !ok || e.Node == TreeRoot {
+			return t, nil
+		}
+		if _, parentExists := t[e.Parent]; !parentExists {
+			return t, nil
+		}
+		if t.inSubtree(e.Parent, e.Node) {
+			return t, nil // moving a node under its own descendant
+		}
+		next := t.clone()
+		next[e.Node] = e.Parent
+		return next, nil
+	case OpTreeDelete:
+		node, ok := arg.(string)
+		if !ok || node == TreeRoot {
+			return t, nil
+		}
+		if _, exists := t[node]; !exists || t.hasChildren(node) {
+			return t, nil
+		}
+		next := t.clone()
+		delete(next, node)
+		return next, nil
+	case OpTreeSearch:
+		node, _ := arg.(string)
+		_, exists := t[node]
+		return t, exists
+	case OpTreeDepth:
+		maxDepth := 0
+		for n := range t {
+			if d := t.depthOf(n); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		return t, maxDepth
+	default:
+		return t, nil
+	}
+}
+
+// Kinds implements spec.DataType.
+func (Tree) Kinds() []spec.OpKind {
+	return []spec.OpKind{OpTreeInsert, OpTreeDelete, OpTreeSearch, OpTreeDepth}
+}
+
+// Class implements spec.DataType.
+func (Tree) Class(kind spec.OpKind) spec.OpClass {
+	switch kind {
+	case OpTreeInsert, OpTreeDelete:
+		return spec.ClassPureMutator
+	case OpTreeSearch, OpTreeDepth:
+		return spec.ClassPureAccessor
+	default:
+		return spec.ClassOther
+	}
+}
+
+// EncodeState implements spec.DataType.
+func (Tree) EncodeState(s spec.State) string {
+	t, _ := s.(treeState)
+	parts := make([]string, 0, len(t))
+	for n, p := range t {
+		parts = append(parts, fmt.Sprintf("%s<%s", n, p))
+	}
+	sort.Strings(parts)
+	return "tree:{" + strings.Join(parts, ",") + "}"
+}

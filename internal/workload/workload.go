@@ -1,0 +1,220 @@
+// Package workload generates operation schedules, runs them through an
+// implementation, and measures per-kind latency statistics. It is the
+// engine behind the measured columns of Tables I–IV (cmd/tbtables) and the
+// benchmarks in bench_test.go.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"timebounds/internal/check"
+	"timebounds/internal/core"
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+)
+
+// OpMix selects operation kinds with weights.
+type OpMix []WeightedOp
+
+// WeightedOp pairs an operation kind, its relative weight, and an argument
+// generator.
+type WeightedOp struct {
+	Kind spec.OpKind
+	// Weight is the relative selection weight (> 0).
+	Weight int
+	// Arg produces the argument for the i-th generated operation of this
+	// kind. Nil means nil arguments.
+	Arg func(i int) spec.Value
+}
+
+// Schedule is a list of timed invocations for a cluster.
+type Schedule struct {
+	Invocations []Invocation
+}
+
+// Invocation is one scheduled operation.
+type Invocation struct {
+	At   model.Time
+	Proc model.ProcessID
+	Kind spec.OpKind
+	Arg  spec.Value
+}
+
+// Options configures schedule generation.
+type Options struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// OpsPerProcess is how many operations each process issues.
+	OpsPerProcess int
+	// Spacing is the mean gap between consecutive invocations of one
+	// process; actual gaps are uniform in [Spacing/2, 3·Spacing/2].
+	Spacing model.Time
+	// Start is the real time of the first wave of invocations.
+	Start model.Time
+}
+
+// Generate builds a random closed-loop schedule: each process issues
+// OpsPerProcess operations drawn from the mix, with jittered spacing.
+// Invocations landing while a previous operation is pending are deferred by
+// the simulator, so the schedule is a lower bound on invocation times.
+func Generate(p model.Params, mix OpMix, opt Options) (Schedule, error) {
+	if len(mix) == 0 {
+		return Schedule{}, fmt.Errorf("workload: empty mix")
+	}
+	total := 0
+	for _, w := range mix {
+		if w.Weight <= 0 {
+			return Schedule{}, fmt.Errorf("workload: weight %d for %q", w.Weight, w.Kind)
+		}
+		total += w.Weight
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	counts := make(map[spec.OpKind]int, len(mix))
+	var sched Schedule
+	for proc := 0; proc < p.N; proc++ {
+		at := opt.Start
+		for i := 0; i < opt.OpsPerProcess; i++ {
+			pick := rng.Intn(total)
+			var chosen WeightedOp
+			for _, w := range mix {
+				if pick < w.Weight {
+					chosen = w
+					break
+				}
+				pick -= w.Weight
+			}
+			var arg spec.Value
+			if chosen.Arg != nil {
+				arg = chosen.Arg(counts[chosen.Kind])
+			}
+			counts[chosen.Kind]++
+			sched.Invocations = append(sched.Invocations, Invocation{
+				At:   at,
+				Proc: model.ProcessID(proc),
+				Kind: chosen.Kind,
+				Arg:  arg,
+			})
+			half := int64(opt.Spacing) / 2
+			jitter := model.Time(0)
+			if half > 0 {
+				jitter = model.Time(rng.Int63n(2*half+1) - half)
+			}
+			at += opt.Spacing + jitter
+		}
+	}
+	return sched, nil
+}
+
+// Stats summarizes the latency distribution of one operation kind.
+type Stats struct {
+	Kind  spec.OpKind
+	Count int
+	Min   model.Time
+	Max   model.Time
+	Mean  model.Time
+	P99   model.Time
+}
+
+// Report is the outcome of one measured run.
+type Report struct {
+	// PerKind holds the latency statistics per operation kind.
+	PerKind map[spec.OpKind]Stats
+	// History is the raw history.
+	History *history.History
+	// Checked is true if the linearizability checker ran.
+	Checked bool
+	// Linearizable is the checker verdict (meaningful when Checked).
+	Linearizable bool
+}
+
+// WorstPair returns the sum of the worst-case latencies of two kinds.
+func (r Report) WorstPair(a, b spec.OpKind) model.Time {
+	return r.PerKind[a].Max + r.PerKind[b].Max
+}
+
+// RunOptions configures Run.
+type RunOptions struct {
+	// Horizon bounds the simulation; zero defaults to a generous multiple
+	// of the schedule span.
+	Horizon model.Time
+	// Verify runs the linearizability checker on the resulting history.
+	// Only use for histories small enough for exhaustive search.
+	Verify bool
+}
+
+// Run executes a schedule on a fresh cluster and collects statistics.
+func Run(cluster *core.Cluster, sched Schedule, opt RunOptions) (Report, error) {
+	horizon := opt.Horizon
+	if horizon == 0 {
+		var last model.Time
+		for _, inv := range sched.Invocations {
+			if inv.At > last {
+				last = inv.At
+			}
+		}
+		horizon = last + 1000*cluster.Simulator().Params().D
+	}
+	for _, inv := range sched.Invocations {
+		cluster.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
+	}
+	if err := cluster.Run(horizon); err != nil {
+		return Report{}, err
+	}
+	h := cluster.History()
+	if !h.Complete() {
+		return Report{}, fmt.Errorf("workload: %d operations still pending at horizon", h.PendingCount())
+	}
+	rep := Report{PerKind: Summarize(h), History: h}
+	if opt.Verify {
+		rep.Checked = true
+		rep.Linearizable = check.Check(cluster.DataType(), h).Linearizable
+	}
+	return rep, nil
+}
+
+// Summarize computes per-kind latency statistics from a history.
+func Summarize(h *history.History) map[spec.OpKind]Stats {
+	byKind := make(map[spec.OpKind][]model.Time)
+	for _, op := range h.Ops() {
+		if op.Pending {
+			continue
+		}
+		byKind[op.Kind] = append(byKind[op.Kind], op.Latency())
+	}
+	out := make(map[spec.OpKind]Stats, len(byKind))
+	for kind, ls := range byKind {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		var sum int64
+		for _, l := range ls {
+			sum += int64(l)
+		}
+		idx := (len(ls)*99 + 99) / 100
+		if idx >= len(ls) {
+			idx = len(ls) - 1
+		}
+		out[kind] = Stats{
+			Kind:  kind,
+			Count: len(ls),
+			Min:   ls[0],
+			Max:   ls[len(ls)-1],
+			Mean:  model.Time(sum / int64(len(ls))),
+			P99:   ls[idx],
+		}
+	}
+	return out
+}
+
+// NewSimConfig builds a sim.Config with a seeded random delay policy over
+// the admissible range and evenly spread clock offsets within ε.
+func NewSimConfig(p model.Params, seed int64) sim.Config {
+	return sim.Config{
+		Params:       p,
+		ClockOffsets: core.MaxSkewOffsets(p),
+		Delay:        sim.NewRandomDelay(seed, p.MinDelay(), p.D),
+		StrictDelays: true,
+	}
+}

@@ -1,0 +1,257 @@
+// Package timebounds is a faithful, executable reproduction of
+// "Time Bounds for Shared Objects in Partially Synchronous Systems"
+// (Jiaqi Wang, Texas A&M, 2011; PODC'11 brief announcement).
+//
+// It provides:
+//
+//   - Algorithm 1 (Chapter V): a fast linearizable replication algorithm
+//     for arbitrary data types in which pure mutators respond in ε+X, pure
+//     accessors in d+ε-X, and all other operations in at most d+ε — all
+//     well below the folklore 2d — run over a deterministic discrete-event
+//     simulation of the partially synchronous model (delays in [d-u, d],
+//     clock skew ≤ ε).
+//   - The operation algebra of Chapter II (commutativity / permutation /
+//     mutator / accessor / overwriter classification) with brute-force
+//     classifiers.
+//   - A linearizability checker, the time-shift/chop proof machinery of
+//     Chapters III–IV, and executable versions of the lower-bound
+//     constructions of Theorems C.1, D.1 and E.1.
+//   - The per-object bound summaries of Chapter VI (Tables I–IV).
+//
+// Quick start:
+//
+//	cfg := timebounds.Config{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
+//	cluster, err := timebounds.NewCluster(cfg, timebounds.NewRegister(0))
+//	// schedule operations, run, inspect history…
+package timebounds
+
+import (
+	"time"
+
+	"timebounds/internal/bounds"
+	"timebounds/internal/check"
+	"timebounds/internal/core"
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+// Re-exported fundamental types. Aliases keep the internal packages as the
+// single source of truth while giving users one import.
+type (
+	// DataType is a deterministic sequential specification (Chapter II).
+	DataType = spec.DataType
+	// OpKind names an operation type, e.g. OpRead, OpEnqueue.
+	OpKind = spec.OpKind
+	// Value is an operation argument or return value.
+	Value = spec.Value
+	// ProcessID identifies a process (0 … N-1).
+	ProcessID = model.ProcessID
+	// Time is a point or duration in model time (integer nanoseconds).
+	Time = model.Time
+	// History is an invocation/response history.
+	History = history.History
+	// CheckResult is a linearizability verdict with a witness order.
+	CheckResult = check.Result
+	// Table is one of the paper's Tables I–IV.
+	Table = bounds.Table
+	// DelayPolicy chooses per-message delays for a simulation.
+	DelayPolicy = sim.DelayPolicy
+)
+
+// Operation kinds of the bundled data types (Chapter VI).
+const (
+	OpWrite      = types.OpWrite
+	OpRead       = types.OpRead
+	OpRMW        = types.OpRMW
+	OpEnqueue    = types.OpEnqueue
+	OpDequeue    = types.OpDequeue
+	OpPeek       = types.OpPeek
+	OpPush       = types.OpPush
+	OpPop        = types.OpPop
+	OpTop        = types.OpTop
+	OpIncrement  = types.OpIncrement
+	OpGet        = types.OpGet
+	OpInsert     = types.OpInsert
+	OpRemove     = types.OpRemove
+	OpContains   = types.OpContains
+	OpTreeInsert = types.OpTreeInsert
+	OpTreeDelete = types.OpTreeDelete
+	OpTreeSearch = types.OpTreeSearch
+	OpTreeDepth  = types.OpTreeDepth
+	OpPut        = types.OpPut
+	OpDelete     = types.OpDelete
+	OpDictGet    = types.OpDictGet
+	OpSize       = types.OpSize
+	OpPQInsert   = types.OpPQInsert
+	OpPQDelMin   = types.OpPQDeleteMin
+	OpPQMin      = types.OpPQMin
+	OpDeposit    = types.OpDeposit
+	OpWithdraw   = types.OpWithdraw
+	OpBalance    = types.OpBalance
+)
+
+// Edge is the argument of OpTreeInsert.
+type Edge = types.Edge
+
+// KV is the argument of OpPut.
+type KV = types.KV
+
+// Data type constructors (Chapter VI objects).
+
+// NewRegister returns a read/write register with the given initial value.
+func NewRegister(initial Value) DataType { return types.NewRegister(initial) }
+
+// NewRMWRegister returns a read/write/read-modify-write register.
+func NewRMWRegister(initial Value) DataType { return types.NewRMWRegister(initial) }
+
+// NewQueue returns an empty FIFO queue (enqueue/dequeue/peek).
+func NewQueue() DataType { return types.NewQueue() }
+
+// NewStack returns an empty LIFO stack (push/pop/top).
+func NewStack() DataType { return types.NewStack() }
+
+// NewSet returns an empty set (insert/remove/contains).
+func NewSet() DataType { return types.NewSet() }
+
+// NewTree returns a rooted tree (insert/delete/search/depth).
+func NewTree() DataType { return types.NewTree() }
+
+// NewCounter returns a counter (increment/get).
+func NewCounter() DataType { return types.NewCounter() }
+
+// NewDict returns a dictionary (put/delete/dict-get/size).
+func NewDict() DataType { return types.NewDict() }
+
+// NewPQueue returns a min-priority queue (pq-insert/pq-delete-min/pq-min).
+func NewPQueue() DataType { return types.NewPQueue() }
+
+// NewAccount returns a bank account (deposit/withdraw/balance).
+func NewAccount() DataType { return types.NewAccount() }
+
+// Config configures a cluster of Algorithm 1 replicas.
+type Config struct {
+	// N is the number of processes (≥ 1; the lower bounds need ≥ 3).
+	N int
+	// D is the message delay upper bound d.
+	D time.Duration
+	// U is the message delay uncertainty u; delays lie in [D-U, D].
+	U time.Duration
+	// Epsilon is the clock skew bound ε. Zero means the optimal
+	// (1-1/n)·U of Lundelius–Lynch, which Chapter V assumes.
+	Epsilon time.Duration
+	// X is the accessor/mutator latency tradeoff in [0, D+Epsilon-U]:
+	// pure mutators respond in Epsilon+X, pure accessors in D+Epsilon-X.
+	X time.Duration
+	// Seed drives the random delay policy when Delay is nil.
+	Seed int64
+	// Delay optionally fixes the message delay policy. Nil means seeded
+	// uniform-random delays over [D-U, D].
+	Delay DelayPolicy
+	// ClockOffsets optionally fixes per-process clock offsets (pairwise
+	// within Epsilon). Nil means offsets spread evenly across [−ε/2, +ε/2].
+	ClockOffsets []time.Duration
+}
+
+// params converts the public config to model parameters.
+func (c Config) params() model.Params {
+	p := model.Params{N: c.N, D: c.D, U: c.U, Epsilon: c.Epsilon}
+	if p.Epsilon == 0 {
+		p.Epsilon = p.OptimalSkew()
+	}
+	return p
+}
+
+// Params exposes the resolved model parameters (with defaulted ε).
+func (c Config) Params() model.Params { return c.params() }
+
+// Cluster is a set of Algorithm 1 replicas of one data type wired through
+// the deterministic simulator.
+type Cluster struct {
+	inner *core.Cluster
+}
+
+// NewCluster builds a cluster of cfg.N replicas of dt.
+func NewCluster(cfg Config, dt DataType) (*Cluster, error) {
+	p := cfg.params()
+	simCfg := sim.Config{StrictDelays: true}
+	if cfg.Delay != nil {
+		simCfg.Delay = cfg.Delay
+	} else {
+		simCfg.Delay = sim.NewRandomDelay(cfg.Seed, p.MinDelay(), p.D)
+	}
+	if cfg.ClockOffsets != nil {
+		simCfg.ClockOffsets = append([]time.Duration(nil), cfg.ClockOffsets...)
+	} else {
+		simCfg.ClockOffsets = core.MaxSkewOffsets(p)
+	}
+	inner, err := core.NewCluster(core.Config{Params: p, X: cfg.X}, dt, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Invoke schedules an operation at real time at on process proc. If the
+// process still has a pending operation then, the invocation is deferred to
+// just after its response.
+func (c *Cluster) Invoke(at time.Duration, proc ProcessID, kind OpKind, arg Value) {
+	c.inner.Invoke(at, proc, kind, arg)
+}
+
+// Run drives the simulation until quiescence or the horizon.
+func (c *Cluster) Run(horizon time.Duration) error { return c.inner.Run(horizon) }
+
+// History returns the recorded history.
+func (c *Cluster) History() *History { return c.inner.History() }
+
+// DataType returns the replicated data type.
+func (c *Cluster) DataType() DataType { return c.inner.DataType() }
+
+// ConvergedState returns the common replica state encoding, or an error if
+// replicas diverged.
+func (c *Cluster) ConvergedState() (string, error) { return c.inner.ConvergedState() }
+
+// CheckLinearizable decides whether h is a linearizable history of dt.
+func CheckLinearizable(dt DataType, h *History) CheckResult { return check.Check(dt, h) }
+
+// Tables returns the paper's Tables I–IV.
+func Tables() []Table { return bounds.AllTables() }
+
+// RenderTable formats a table for the given configuration, optionally with
+// measured worst-case latencies per row label.
+func RenderTable(t Table, cfg Config, measured map[string]Time) string {
+	return bounds.Render(t, cfg.params(), cfg.X, measured)
+}
+
+// OptimalSkew returns the optimal clock skew (1-1/n)·u for the config.
+func OptimalSkew(cfg Config) time.Duration { return cfg.params().OptimalSkew() }
+
+// Bound formulas (Chapters IV–V), exposed for reporting and tests.
+
+// LowerBoundINSC returns d+min{ε,u,d/3} (Theorem C.1).
+func LowerBoundINSC(cfg Config) time.Duration { return bounds.StronglyINSCLower(cfg.params()) }
+
+// LowerBoundMutator returns (1-1/n)·u (Theorem D.1 with k=n).
+func LowerBoundMutator(cfg Config) time.Duration {
+	p := cfg.params()
+	return bounds.PermuteLower(p.N, p.U)
+}
+
+// UpperBoundOOP returns d+ε (Theorem D.2 of Chapter V).
+func UpperBoundOOP(cfg Config) time.Duration { return bounds.UpperOOP(cfg.params()) }
+
+// UpperBoundMutator returns ε+X.
+func UpperBoundMutator(cfg Config) time.Duration {
+	return bounds.UpperMutator(cfg.params(), cfg.X)
+}
+
+// UpperBoundAccessor returns d+ε-X.
+func UpperBoundAccessor(cfg Config) time.Duration {
+	return bounds.UpperAccessor(cfg.params(), cfg.X)
+}
+
+// UpperBoundPair returns d+2ε (|mop|+|aop|, Chapter V.D).
+func UpperBoundPair(cfg Config) time.Duration { return bounds.UpperPair(cfg.params()) }

@@ -1,0 +1,237 @@
+package timebounds_test
+
+// Public-facade tests: the README's advertised workflows work end-to-end
+// through the root package alone.
+
+import (
+	"testing"
+	"time"
+
+	"timebounds"
+)
+
+func facadeConfig(n int) timebounds.Config {
+	return timebounds.Config{
+		N:    n,
+		D:    10 * time.Millisecond,
+		U:    4 * time.Millisecond,
+		Seed: 1,
+	}
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	cfg := facadeConfig(3)
+	cluster, err := timebounds.NewCluster(cfg, timebounds.NewRegister(0))
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cluster.Invoke(0, 0, timebounds.OpWrite, 7)
+	cluster.Invoke(30*time.Millisecond, 1, timebounds.OpRead, nil)
+	if err := cluster.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	h := cluster.History()
+	if !h.Complete() || h.Len() != 2 {
+		t.Fatalf("unexpected history:\n%s", h)
+	}
+	if res := timebounds.CheckLinearizable(cluster.DataType(), h); !res.Linearizable {
+		t.Fatalf("not linearizable:\n%s", h)
+	}
+	if state, err := cluster.ConvergedState(); err != nil || state != "reg:7" {
+		t.Errorf("converged state %q, %v", state, err)
+	}
+}
+
+func TestFacadeDefaultsOptimalSkew(t *testing.T) {
+	cfg := facadeConfig(4)
+	if got, want := timebounds.OptimalSkew(cfg), 3*time.Millisecond; got != want {
+		t.Errorf("OptimalSkew = %s, want %s", got, want)
+	}
+	if got := cfg.Params().Epsilon; got != 3*time.Millisecond {
+		t.Errorf("defaulted ε = %s, want 3ms", got)
+	}
+	explicit := cfg
+	explicit.Epsilon = time.Millisecond
+	if got := explicit.Params().Epsilon; got != time.Millisecond {
+		t.Errorf("explicit ε overridden: %s", got)
+	}
+}
+
+func TestFacadeBoundFormulas(t *testing.T) {
+	cfg := facadeConfig(4) // ε=3ms
+	cases := []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"LowerBoundINSC", timebounds.LowerBoundINSC(cfg), 13 * time.Millisecond},
+		{"LowerBoundMutator", timebounds.LowerBoundMutator(cfg), 3 * time.Millisecond},
+		{"UpperBoundOOP", timebounds.UpperBoundOOP(cfg), 13 * time.Millisecond},
+		{"UpperBoundMutator", timebounds.UpperBoundMutator(cfg), 3 * time.Millisecond},
+		{"UpperBoundAccessor", timebounds.UpperBoundAccessor(cfg), 13 * time.Millisecond},
+		{"UpperBoundPair", timebounds.UpperBoundPair(cfg), 16 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %s, want %s", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestFacadeTablesRender(t *testing.T) {
+	tables := timebounds.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("want 4 tables, got %d", len(tables))
+	}
+	out := timebounds.RenderTable(tables[0], facadeConfig(4), nil)
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFacadeAllDataTypes(t *testing.T) {
+	// Every bundled data type runs one mutate-then-observe round trip
+	// through a cluster and linearizes.
+	cfg := facadeConfig(3)
+	const settle = 50 * time.Millisecond
+	cases := []struct {
+		dt      timebounds.DataType
+		mutate  timebounds.OpKind
+		arg     timebounds.Value
+		observe timebounds.OpKind
+		obsArg  timebounds.Value
+		want    timebounds.Value
+	}{
+		{timebounds.NewRegister(0), timebounds.OpWrite, 5, timebounds.OpRead, nil, 5},
+		{timebounds.NewRMWRegister(0), timebounds.OpWrite, 5, timebounds.OpRead, nil, 5},
+		{timebounds.NewQueue(), timebounds.OpEnqueue, "a", timebounds.OpPeek, nil, "a"},
+		{timebounds.NewStack(), timebounds.OpPush, "a", timebounds.OpTop, nil, "a"},
+		{timebounds.NewSet(), timebounds.OpInsert, 5, timebounds.OpContains, 5, true},
+		{timebounds.NewCounter(), timebounds.OpIncrement, 2, timebounds.OpGet, nil, 2},
+		{timebounds.NewTree(), timebounds.OpTreeInsert,
+			timebounds.Edge{Node: "a", Parent: "root"}, timebounds.OpTreeSearch, "a", true},
+		{timebounds.NewDict(), timebounds.OpPut,
+			timebounds.KV{Key: "k", Value: 9}, timebounds.OpDictGet, "k", 9},
+		{timebounds.NewPQueue(), timebounds.OpPQInsert, 4, timebounds.OpPQMin, nil, 4},
+		{timebounds.NewAccount(), timebounds.OpDeposit, 50, timebounds.OpBalance, nil, 50},
+	}
+	for _, c := range cases {
+		t.Run(c.dt.Name(), func(t *testing.T) {
+			cluster, err := timebounds.NewCluster(cfg, c.dt)
+			if err != nil {
+				t.Fatalf("NewCluster: %v", err)
+			}
+			cluster.Invoke(0, 0, c.mutate, c.arg)
+			cluster.Invoke(settle, 1, c.observe, c.obsArg)
+			if err := cluster.Run(time.Second); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			var got timebounds.Value
+			for _, op := range cluster.History().Ops() {
+				if op.Kind == c.observe {
+					got = op.Ret
+				}
+			}
+			if !valueEqual(got, c.want) {
+				t.Errorf("%s observed %v, want %v", c.dt.Name(), got, c.want)
+			}
+			if res := timebounds.CheckLinearizable(c.dt, cluster.History()); !res.Linearizable {
+				t.Errorf("history not linearizable:\n%s", cluster.History())
+			}
+		})
+	}
+}
+
+func valueEqual(a, b timebounds.Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a == b
+}
+
+func TestFacadeConfigValidation(t *testing.T) {
+	bad := timebounds.Config{N: 0, D: time.Millisecond}
+	if _, err := timebounds.NewCluster(bad, timebounds.NewRegister(0)); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad = facadeConfig(3)
+	bad.X = time.Second
+	if _, err := timebounds.NewCluster(bad, timebounds.NewRegister(0)); err == nil {
+		t.Error("huge X accepted")
+	}
+	bad = facadeConfig(3)
+	bad.ClockOffsets = []time.Duration{0, time.Second, 0}
+	if _, err := timebounds.NewCluster(bad, timebounds.NewRegister(0)); err == nil {
+		t.Error("skewed offsets accepted")
+	}
+}
+
+// TestFacadeRandomizedLinearizability is the end-to-end property test: for
+// many seeds, a random mixed workload on random-delay, max-skew clusters of
+// every table object is linearizable and converges.
+func TestFacadeRandomizedLinearizability(t *testing.T) {
+	kindsFor := func(dt timebounds.DataType) []struct {
+		kind timebounds.OpKind
+		arg  func(i int) timebounds.Value
+	} {
+		switch dt.Name() {
+		case "rmw-register":
+			return []struct {
+				kind timebounds.OpKind
+				arg  func(i int) timebounds.Value
+			}{
+				{timebounds.OpWrite, func(i int) timebounds.Value { return i }},
+				{timebounds.OpRead, nil},
+				{timebounds.OpRMW, func(i int) timebounds.Value { return i + 100 }},
+			}
+		case "queue":
+			return []struct {
+				kind timebounds.OpKind
+				arg  func(i int) timebounds.Value
+			}{
+				{timebounds.OpEnqueue, func(i int) timebounds.Value { return i }},
+				{timebounds.OpDequeue, nil},
+				{timebounds.OpPeek, nil},
+			}
+		default:
+			return nil
+		}
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		for _, mk := range []func() timebounds.DataType{
+			func() timebounds.DataType { return timebounds.NewRMWRegister(0) },
+			timebounds.NewQueue,
+		} {
+			dt := mk()
+			cfg := facadeConfig(3)
+			cfg.Seed = seed
+			cluster, err := timebounds.NewCluster(cfg, dt)
+			if err != nil {
+				t.Fatalf("NewCluster: %v", err)
+			}
+			kinds := kindsFor(dt)
+			at := time.Duration(0)
+			for i := 0; i < 9; i++ {
+				k := kinds[(int(seed)+i)%len(kinds)]
+				var arg timebounds.Value
+				if k.arg != nil {
+					arg = k.arg(i)
+				}
+				cluster.Invoke(at, timebounds.ProcessID(i%3), k.kind, arg)
+				at += time.Duration((int(seed)*7+i*5)%13) * time.Millisecond
+			}
+			if err := cluster.Run(10 * time.Second); err != nil {
+				t.Fatalf("seed %d %s: Run: %v", seed, dt.Name(), err)
+			}
+			if !cluster.History().Complete() {
+				t.Fatalf("seed %d %s: pending ops", seed, dt.Name())
+			}
+			if res := timebounds.CheckLinearizable(dt, cluster.History()); !res.Linearizable {
+				t.Errorf("seed %d %s: not linearizable:\n%s", seed, dt.Name(), cluster.History())
+			}
+			if _, err := cluster.ConvergedState(); err != nil {
+				t.Errorf("seed %d %s: %v", seed, dt.Name(), err)
+			}
+		}
+	}
+}
