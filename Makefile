@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test bench vet fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+test: vet
+	$(GO) test -race ./...
+
+# Benchmarks report simulated-model-time latencies as custom *-ms metrics;
+# ns/op measures simulator throughput. Record trajectories with -count.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,0 +1,98 @@
+// Command tbgrid expands a scenario grid — backends × objects × cluster
+// sizes × tradeoff values × delay adversaries × seeds — and executes it in
+// parallel on the engine, printing one report row per scenario: operation
+// count, linearizability verdict, bound compliance, worst latency, and the
+// tightest measured-vs-theoretical margin.
+//
+// Usage:
+//
+//	tbgrid [-backends algorithm1,all-oop,centralized,tob] [-types register,queue]
+//	       [-ns 3,4] [-d 10ms] [-u 4ms] [-xs 0,3ms] [-delays random,worst]
+//	       [-seeds 2] [-ops 4] [-workers 0] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"timebounds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tbgrid:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		backendsF = flag.String("backends", "algorithm1,all-oop", "comma-separated backends")
+		typesF    = flag.String("types", "register,queue", "comma-separated object types")
+		nsF       = flag.String("ns", "4", "comma-separated cluster sizes")
+		d         = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
+		u         = flag.Duration("u", 4*time.Millisecond, "message delay uncertainty u")
+		xsF       = flag.String("xs", "0", "comma-separated tradeoff values (durations)")
+		delaysF   = flag.String("delays", "random", "comma-separated delay adversaries")
+		seeds     = flag.Int("seeds", 2, "seeds per scenario point")
+		ops       = flag.Int("ops", 4, "operations per process")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		verify    = flag.Bool("verify", false, "run the linearizability checker on every history")
+	)
+	flag.Parse()
+
+	var grid timebounds.Grid
+	for _, name := range strings.Split(*backendsF, ",") {
+		b, err := timebounds.BackendByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		grid.Backends = append(grid.Backends, b)
+	}
+	for _, name := range strings.Split(*typesF, ",") {
+		dt, err := timebounds.DataTypeByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		grid.Objects = append(grid.Objects, dt)
+	}
+	for _, s := range strings.Split(*nsF, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+			return fmt.Errorf("bad n %q", s)
+		}
+		grid.Params = append(grid.Params, timebounds.Params{N: n, D: *d, U: *u})
+	}
+	for _, s := range strings.Split(*xsF, ",") {
+		x, err := time.ParseDuration(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad x %q: %v", s, err)
+		}
+		grid.Xs = append(grid.Xs, x)
+	}
+	for _, s := range strings.Split(*delaysF, ",") {
+		m, err := timebounds.DelayModeByName(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		grid.Delays = append(grid.Delays, timebounds.DelaySpec{Mode: m})
+	}
+	for s := int64(1); s <= int64(*seeds); s++ {
+		grid.Seeds = append(grid.Seeds, s)
+	}
+	grid.Workloads = []timebounds.Workload{{OpsPerProcess: *ops}}
+	grid.Verify = *verify
+
+	scenarios := grid.Scenarios()
+	rep := timebounds.NewEngine(*workers).Run(scenarios)
+	fmt.Print(rep)
+	fmt.Printf("\n%d scenarios, %d operations\n", len(scenarios), rep.Ops())
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	fmt.Println("all scenarios within bounds, converged" + map[bool]string{true: ", linearizable", false: ""}[*verify])
+	return nil
+}

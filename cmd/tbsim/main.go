@@ -1,25 +1,21 @@
-// Command tbsim runs one simulated workload on an Algorithm 1 cluster and
-// prints the history, per-kind latency statistics, the replicas' converged
-// state, and — for small workloads — the linearizability verdict.
+// Command tbsim runs one simulated workload scenario — any backend, any
+// bundled object — and prints the history, per-kind latency statistics,
+// the per-class measured-vs-bound margins, the converged state, and — for
+// small workloads — the linearizability verdict.
 //
 // Usage:
 //
-//	tbsim [-type queue] [-n 4] [-d 10ms] [-u 4ms] [-x 0] [-ops 5] [-seed 1] [-verify]
+//	tbsim [-type queue] [-backend algorithm1] [-delay random] [-n 4]
+//	      [-d 10ms] [-u 4ms] [-x 0] [-ops 5] [-seed 1] [-verify]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
-	"timebounds/internal/core"
-	"timebounds/internal/experiments"
-	"timebounds/internal/model"
-	"timebounds/internal/spec"
-	"timebounds/internal/types"
-	"timebounds/internal/workload"
+	"timebounds"
 )
 
 func main() {
@@ -29,96 +25,74 @@ func main() {
 	}
 }
 
-func dataType(name string) (spec.DataType, error) {
-	switch name {
-	case "register":
-		return types.NewRMWRegister(0), nil
-	case "queue":
-		return types.NewQueue(), nil
-	case "stack":
-		return types.NewStack(), nil
-	case "tree":
-		return types.NewTree(), nil
-	case "set":
-		return types.NewSet(), nil
-	case "counter":
-		return types.NewCounter(), nil
-	case "dict":
-		return types.NewDict(), nil
-	case "pqueue":
-		return types.NewPQueue(), nil
-	case "account":
-		return types.NewAccount(), nil
-	default:
-		return nil, fmt.Errorf("unknown type %q (want register|queue|stack|tree|set|counter|dict|pqueue|account)", name)
-	}
-}
-
 func run() error {
 	var (
-		typ    = flag.String("type", "queue", "object type: register|queue|stack|tree|set|counter")
-		n      = flag.Int("n", 4, "number of processes")
-		d      = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
-		u      = flag.Duration("u", 4*time.Millisecond, "message delay uncertainty u")
-		eps    = flag.Duration("eps", 0, "clock skew bound ε (0 = optimal)")
-		x      = flag.Duration("x", 0, "accessor/mutator tradeoff X")
-		ops    = flag.Int("ops", 5, "operations per process")
-		seed   = flag.Int64("seed", 1, "workload/delay seed")
-		verify = flag.Bool("verify", false, "run the linearizability checker (small workloads only)")
+		typ     = flag.String("type", "queue", "object type: register|queue|stack|tree|set|counter|dict|pqueue|account")
+		backend = flag.String("backend", "algorithm1", "backend: algorithm1|all-oop|centralized|tob")
+		delay   = flag.String("delay", "random", "delay adversary: random|worst|best|extremal")
+		n       = flag.Int("n", 4, "number of processes")
+		d       = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
+		u       = flag.Duration("u", 4*time.Millisecond, "message delay uncertainty u")
+		eps     = flag.Duration("eps", 0, "clock skew bound ε (0 = optimal)")
+		x       = flag.Duration("x", 0, "accessor/mutator tradeoff X")
+		ops     = flag.Int("ops", 5, "operations per process")
+		seed    = flag.Int64("seed", 1, "workload/delay seed")
+		verify  = flag.Bool("verify", false, "run the linearizability checker (small workloads only)")
 	)
 	flag.Parse()
 
-	p := model.Params{N: *n, D: *d, U: *u, Epsilon: *eps}
-	if p.Epsilon == 0 {
-		p.Epsilon = p.OptimalSkew()
-	}
-	if err := p.Validate(); err != nil {
-		return err
-	}
-	dt, err := dataType(*typ)
+	dt, err := timebounds.DataTypeByName(*typ)
 	if err != nil {
 		return err
 	}
-	cluster, err := core.NewCluster(core.Config{Params: p, X: *x}, dt, workload.NewSimConfig(p, *seed))
+	be, err := timebounds.BackendByName(*backend)
 	if err != nil {
 		return err
 	}
-	sched, err := workload.Generate(p, experiments.TableMix(dt), workload.Options{
-		Seed:          *seed,
-		OpsPerProcess: *ops,
-		Spacing:       2 * p.D,
-		Start:         p.D,
-	})
+	dm, err := timebounds.DelayModeByName(*delay)
 	if err != nil {
 		return err
 	}
-	rep, err := workload.Run(cluster, sched, workload.RunOptions{Verify: *verify})
-	if err != nil {
-		return err
+	res := timebounds.RunScenarios([]timebounds.Scenario{{
+		Backend:  be,
+		DataType: dt,
+		Params:   timebounds.Params{N: *n, D: *d, U: *u, Epsilon: *eps},
+		X:        *x,
+		Seed:     *seed,
+		Delay:    timebounds.DelaySpec{Mode: dm},
+		Workload: timebounds.Workload{OpsPerProcess: *ops},
+		Verify:   *verify,
+	}}).Results[0]
+	if res.Err != "" {
+		return fmt.Errorf("%s", res.Err)
 	}
 
-	fmt.Printf("object=%s n=%d d=%s u=%s ε=%s X=%s ops=%d\n\n",
-		dt.Name(), p.N, p.D, p.U, p.Epsilon, *x, rep.History.Len())
+	fmt.Printf("scenario=%s object=%s backend=%s n=%d d=%s u=%s ε=%s X=%s ops=%d\n\n",
+		res.Name, res.Object, res.Backend, res.Params.N, res.Params.D, res.Params.U,
+		res.Params.Epsilon, res.X, res.Ops)
 	fmt.Println("history:")
-	fmt.Println(rep.History)
+	fmt.Println(res.History)
 	fmt.Println("\nlatency (per kind):")
-	kinds := make([]string, 0, len(rep.PerKind))
-	for k := range rep.PerKind {
-		kinds = append(kinds, string(k))
+	fmt.Print(timebounds.RenderKinds(res))
+	fmt.Println("\nbounds (per class):")
+	for _, b := range res.Bounds {
+		verdict := "ok"
+		if !b.OK {
+			verdict = "EXCEEDED"
+		}
+		fmt.Printf("  %-4s  measured=%-10s bound=%-10s margin=%-10s %s\n",
+			b.Class, b.Measured, b.Bound, b.Margin(), verdict)
 	}
-	sort.Strings(kinds)
-	for _, k := range kinds {
-		s := rep.PerKind[spec.OpKind(k)]
-		fmt.Printf("  %-14s count=%-4d min=%-10s mean=%-10s p99=%-10s max=%s\n",
-			k, s.Count, s.Min, s.Mean, s.P99, s.Max)
-	}
-	if state, err := cluster.ConvergedState(); err == nil {
-		fmt.Printf("\nconverged state: %s\n", state)
+	if res.Converged {
+		fmt.Printf("\nconverged state: %s\n", res.State)
 	} else {
-		fmt.Printf("\nreplica states: %v\n", err)
+		fmt.Printf("\nreplica states: %s\n", res.Diverged)
 	}
-	if rep.Checked {
-		fmt.Printf("linearizable: %v\n", rep.Linearizable)
+	if res.Checked {
+		fmt.Printf("linearizable: %v\n", res.Linearizable)
+	}
+	if !res.Converged {
+		return fmt.Errorf("replicas diverged")
 	}
 	return nil
 }

@@ -72,6 +72,8 @@ func run() error {
 			cmp.AllOOP[types.OpWrite].Max, cmp.AllOOP[types.OpRead].Max, cmp.AllOOP[types.OpRMW].Max)
 		fmt.Printf("centralized\t%s\t%s\t%s\n",
 			cmp.Centralized[types.OpWrite].Max, cmp.Centralized[types.OpRead].Max, cmp.Centralized[types.OpRMW].Max)
+		fmt.Printf("tob\t%s\t%s\t%s\n",
+			cmp.TOB[types.OpWrite].Max, cmp.TOB[types.OpRead].Max, cmp.TOB[types.OpRMW].Max)
 	default:
 		return fmt.Errorf("unknown sweep %q", *sweep)
 	}

@@ -14,11 +14,10 @@ import (
 	"time"
 
 	"timebounds/internal/adversary"
-	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/history"
 	"timebounds/internal/model"
 	"timebounds/internal/runs"
-	"timebounds/internal/sim"
 	"timebounds/internal/tracefmt"
 	"timebounds/internal/types"
 )
@@ -65,20 +64,23 @@ func buildScenario(name string) (runs.Run, []history.Record, string, error) {
 	p := params()
 	switch name {
 	case "quickstart":
-		cluster, err := core.NewCluster(core.Config{Params: p}, types.NewRegister(0), sim.Config{
-			Delay:        sim.FixedDelay(p.D),
-			StrictDelays: true,
-		})
+		inst, err := engine.Scenario{
+			Backend:      engine.Algorithm1{},
+			DataType:     types.NewRegister(0),
+			Params:       p,
+			Delay:        engine.DelaySpec{Mode: engine.DelayWorst},
+			ClockOffsets: make([]model.Time, p.N),
+		}.Build()
 		if err != nil {
 			return runs.Run{}, nil, "", err
 		}
-		cluster.Invoke(0, 0, types.OpWrite, 7)
-		cluster.Invoke(p.Epsilon+1, 2, types.OpRead, nil)
-		cluster.Invoke(3*p.D, 1, types.OpRead, nil)
-		if err := cluster.Run(model.Infinity); err != nil {
+		inst.Invoke(0, 0, types.OpWrite, 7)
+		inst.Invoke(p.Epsilon+1, 2, types.OpRead, nil)
+		inst.Invoke(3*p.D, 1, types.OpRead, nil)
+		if err := inst.Run(model.Infinity); err != nil {
 			return runs.Run{}, nil, "", err
 		}
-		return runs.FromSim(cluster.Simulator()), cluster.History().Ops(),
+		return runs.FromSim(inst.Simulator()), inst.History().Ops(),
 			"Algorithm 1: write acks in ε+X; reads settle in d+ε-X (messages are the broadcast).", nil
 	case "fig1":
 		out, err := adversary.Figure1(p)

@@ -1,10 +1,11 @@
 // A shared bank account — the e-commerce scenario the paper's introduction
-// motivates. Deposits are pure mutators (acknowledged in ε+X ≈ 3ms),
-// balance checks are pure accessors (d+ε-X), and withdrawals must take the
-// totally ordered path (≤ d+ε): withdraw is strongly immediately
-// non-self-commuting, so by Theorem C.1 *no* correct implementation can
-// answer it faster than d+min{ε,u,d/3}. The example races two ATMs
-// withdrawing the full balance and shows exactly one succeeding.
+// motivates — declared as a Scenario on the public API. Deposits are pure
+// mutators (acknowledged in ε+X ≈ 3ms), balance checks are pure accessors
+// (d+ε-X), and withdrawals must take the totally ordered path (≤ d+ε):
+// withdraw is strongly immediately non-self-commuting, so by Theorem C.1
+// *no* correct implementation can answer it faster than d+min{ε,u,d/3}.
+// The example races two ATMs withdrawing the full balance and shows exactly
+// one succeeding.
 package main
 
 import (
@@ -12,11 +13,7 @@ import (
 	"log"
 	"time"
 
-	"timebounds/internal/check"
-	"timebounds/internal/core"
-	"timebounds/internal/model"
-	"timebounds/internal/sim"
-	"timebounds/internal/types"
+	"timebounds"
 )
 
 func main() {
@@ -26,54 +23,61 @@ func main() {
 }
 
 func run() error {
-	p := model.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
-	p.Epsilon = p.OptimalSkew()
-
-	cluster, err := core.NewCluster(core.Config{Params: p}, types.NewAccount(), sim.Config{
-		ClockOffsets: core.MaxSkewOffsets(p),
-		Delay:        sim.NewRandomDelay(3, p.MinDelay(), p.D),
-		StrictDelays: true,
+	race := 30 * time.Millisecond
+	res, err := timebounds.RunScenario(timebounds.Scenario{
+		Name:     "bank",
+		Backend:  timebounds.Algorithm1(),
+		DataType: timebounds.NewAccount(),
+		Params:   timebounds.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond},
+		Seed:     3,
+		Workload: timebounds.Workload{Explicit: []timebounds.Invocation{
+			// Payroll deposits 100.
+			{At: 0, Proc: 0, Kind: timebounds.OpDeposit, Arg: 100},
+			// Once the deposit has settled everywhere, two ATMs race to
+			// withdraw the full balance at the same instant.
+			{At: race, Proc: 1, Kind: timebounds.OpWithdraw, Arg: 100},
+			{At: race, Proc: 2, Kind: timebounds.OpWithdraw, Arg: 100},
+			// An auditor checks the balance afterwards.
+			{At: 80 * time.Millisecond, Proc: 3, Kind: timebounds.OpBalance},
+		}},
+		Verify: true,
 	})
 	if err != nil {
 		return err
 	}
 
-	// Payroll deposits 100.
-	cluster.Invoke(0, 0, types.OpDeposit, 100)
-	// Once the deposit has settled everywhere, two ATMs race to withdraw
-	// the full balance at the same instant from different processes.
-	race := 30 * time.Millisecond
-	cluster.Invoke(race, 1, types.OpWithdraw, 100)
-	cluster.Invoke(race, 2, types.OpWithdraw, 100)
-	// An auditor checks the balance afterwards.
-	cluster.Invoke(80*time.Millisecond, 3, types.OpBalance, nil)
-
-	if err := cluster.Run(time.Second); err != nil {
-		return err
-	}
-
 	fmt.Println("history:")
-	fmt.Println(cluster.History())
+	fmt.Println(res.History)
 
 	successes := 0
 	var balance any
-	for _, op := range cluster.History().Ops() {
+	for _, op := range res.History.Ops() {
 		switch op.Kind {
-		case types.OpWithdraw:
+		case timebounds.OpWithdraw:
 			if ok, _ := op.Ret.(bool); ok {
 				successes++
 			}
-		case types.OpBalance:
+		case timebounds.OpBalance:
 			balance = op.Ret
 		}
 	}
 	fmt.Printf("\nsuccessful withdrawals: %d (exactly one must win)\n", successes)
 	fmt.Printf("final balance: %v\n", balance)
-
-	res := check.Check(cluster.DataType(), cluster.History())
 	fmt.Printf("linearizable: %v\n", res.Linearizable)
-	fmt.Printf("\nbounds: deposit ≤ ε+X = %s, withdraw ≤ d+ε = %s (LB d+m = %s), balance ≤ d+ε-X = %s\n",
-		p.Epsilon, p.D+p.Epsilon, p.D+model.MinOf3(p.Epsilon, p.U, p.D/3), p.D+p.Epsilon)
+
+	p := res.Params
+	fmt.Println("\nmeasured vs. bounds, per class:")
+	for _, b := range res.Bounds {
+		fmt.Printf("  %-4s measured=%-8s bound=%s\n", b.Class, b.Measured, b.Bound)
+	}
+	m := p.Epsilon
+	if p.U < m {
+		m = p.U
+	}
+	if p.D/3 < m {
+		m = p.D / 3
+	}
+	fmt.Printf("withdraw lower bound (Thm C.1): d+min{ε,u,d/3} = %s\n", p.D+m)
 	if successes != 1 {
 		return fmt.Errorf("double spend! %d withdrawals succeeded", successes)
 	}

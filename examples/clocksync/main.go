@@ -1,9 +1,9 @@
 // Clock synchronization feeding Algorithm 1: Chapter V assumes clocks
 // synchronized to within the optimal ε = (1-1/n)u of Lundelius–Lynch. This
 // example runs that synchronization round message by message inside the
-// simulator — starting from wildly skewed clocks — and then runs Algorithm
-// 1 on the post-synchronization offsets, showing the achieved skew and the
-// resulting operation latencies.
+// simulator — starting from wildly skewed clocks — and then runs an
+// Algorithm 1 Scenario on the post-synchronization offsets, showing the
+// achieved skew and the resulting operation latencies.
 package main
 
 import (
@@ -11,12 +11,10 @@ import (
 	"log"
 	"time"
 
-	"timebounds/internal/check"
+	"timebounds"
 	"timebounds/internal/clock"
-	"timebounds/internal/core"
 	"timebounds/internal/model"
 	"timebounds/internal/sim"
-	"timebounds/internal/types"
 )
 
 func main() {
@@ -26,7 +24,7 @@ func main() {
 }
 
 func run() error {
-	p := model.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
+	p := timebounds.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
 	p.Epsilon = p.OptimalSkew()
 
 	// Wildly skewed initial clocks (hundreds of ms apart).
@@ -65,26 +63,28 @@ func run() error {
 		return err
 	}
 
-	dt := types.NewQueue()
-	cluster, err := core.NewCluster(core.Config{Params: p}, dt, sim.Config{
+	// The synchronized offsets drop straight into a Scenario.
+	res, err := timebounds.RunScenario(timebounds.Scenario{
+		Name:         "post-sync",
+		Backend:      timebounds.Algorithm1(),
+		DataType:     timebounds.NewQueue(),
+		Params:       p,
+		Delay:        timebounds.DelaySpec{Mode: timebounds.DelayWorst},
 		ClockOffsets: offsets,
-		Delay:        sim.FixedDelay(p.D),
-		StrictDelays: true,
+		Workload: timebounds.Workload{Explicit: []timebounds.Invocation{
+			{At: 0, Proc: 0, Kind: timebounds.OpEnqueue, Arg: "job-1"},
+			{At: 1 * time.Millisecond, Proc: 1, Kind: timebounds.OpEnqueue, Arg: "job-2"},
+			{At: 40 * time.Millisecond, Proc: 2, Kind: timebounds.OpDequeue},
+			{At: 60 * time.Millisecond, Proc: 3, Kind: timebounds.OpPeek},
+		}},
+		Verify: true,
 	})
 	if err != nil {
 		return err
 	}
-	cluster.Invoke(0, 0, types.OpEnqueue, "job-1")
-	cluster.Invoke(1*time.Millisecond, 1, types.OpEnqueue, "job-2")
-	cluster.Invoke(40*time.Millisecond, 2, types.OpDequeue, nil)
-	cluster.Invoke(60*time.Millisecond, 3, types.OpPeek, nil)
-	if err := cluster.Run(model.Infinity); err != nil {
-		return err
-	}
 
 	fmt.Println("Algorithm 1 over the synchronized clocks:")
-	fmt.Println(cluster.History())
-	res := check.Check(dt, cluster.History())
+	fmt.Println(res.History)
 	fmt.Printf("\nlinearizable: %v\n", res.Linearizable)
 	fmt.Printf("bounds: enqueue ≤ ε = %s, dequeue ≤ d+ε = %s\n",
 		p.Epsilon, p.D+p.Epsilon)

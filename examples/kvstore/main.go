@@ -1,56 +1,66 @@
 // A linearizable key-value store composed from per-key shared registers.
 // Linearizability is a local (composable) property — Herlihy & Wing 1990 —
 // so a store built from independently linearizable registers is itself
-// linearizable. Each key gets its own Algorithm 1 cluster; the example runs
-// a mixed workload against three keys and verifies every per-key history.
+// linearizable. Each key becomes one Scenario (its own register cluster and
+// delay draws); the engine runs all keys in parallel and verifies every
+// per-key history.
 package main
 
 import (
 	"fmt"
 	"log"
-	"sort"
 	"time"
 
 	"timebounds"
 )
 
-// store maps keys to per-key register clusters.
+// store accumulates per-key explicit schedules, then runs one scenario per
+// key through the engine.
 type store struct {
-	cfg      timebounds.Config
-	clusters map[string]*timebounds.Cluster
+	params    timebounds.Params
+	seed      int64
+	schedules map[string][]timebounds.Invocation
+	order     []string
 }
 
-func newStore(cfg timebounds.Config, keys ...string) (*store, error) {
-	s := &store{cfg: cfg, clusters: make(map[string]*timebounds.Cluster, len(keys))}
-	for i, k := range keys {
-		perKey := cfg
-		perKey.Seed = cfg.Seed + int64(i) // independent delay draws per key
-		c, err := timebounds.NewCluster(perKey, timebounds.NewRegister(nil))
-		if err != nil {
-			return nil, err
-		}
-		s.clusters[k] = c
+func newStore(params timebounds.Params, seed int64, keys ...string) *store {
+	s := &store{params: params, seed: seed, schedules: make(map[string][]timebounds.Invocation, len(keys))}
+	for _, k := range keys {
+		s.schedules[k] = nil
+		s.order = append(s.order, k)
 	}
-	return s, nil
+	return s
 }
 
 // put schedules a write of key=value from proc at the given time.
 func (s *store) put(at time.Duration, proc timebounds.ProcessID, key string, value any) {
-	s.clusters[key].Invoke(at, proc, timebounds.OpWrite, value)
+	s.schedules[key] = append(s.schedules[key], timebounds.Invocation{
+		At: at, Proc: proc, Kind: timebounds.OpWrite, Arg: value,
+	})
 }
 
 // get schedules a read of key from proc at the given time.
 func (s *store) get(at time.Duration, proc timebounds.ProcessID, key string) {
-	s.clusters[key].Invoke(at, proc, timebounds.OpRead, nil)
+	s.schedules[key] = append(s.schedules[key], timebounds.Invocation{
+		At: at, Proc: proc, Kind: timebounds.OpRead,
+	})
 }
 
-func (s *store) run(horizon time.Duration) error {
-	for key, c := range s.clusters {
-		if err := c.Run(horizon); err != nil {
-			return fmt.Errorf("key %q: %w", key, err)
-		}
+// run executes every key's scenario in parallel and returns the report,
+// results in key declaration order.
+func (s *store) run() timebounds.Report {
+	var scenarios []timebounds.Scenario
+	for i, key := range s.order {
+		scenarios = append(scenarios, timebounds.Scenario{
+			Name:     "key/" + key,
+			DataType: timebounds.NewRegister(nil),
+			Params:   s.params,
+			Seed:     s.seed + int64(i), // independent delay draws per key
+			Workload: timebounds.Workload{Explicit: s.schedules[key]},
+			Verify:   true,
+		})
 	}
-	return nil
+	return timebounds.RunScenarios(scenarios)
 }
 
 func main() {
@@ -60,16 +70,8 @@ func main() {
 }
 
 func run() error {
-	cfg := timebounds.Config{
-		N:    4,
-		D:    10 * time.Millisecond,
-		U:    4 * time.Millisecond,
-		Seed: 99,
-	}
-	kv, err := newStore(cfg, "alpha", "beta", "gamma")
-	if err != nil {
-		return err
-	}
+	params := timebounds.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
+	kv := newStore(params, 99, "alpha", "beta", "gamma")
 
 	// Four clients update and read three keys concurrently.
 	kv.put(0, 0, "alpha", 1)
@@ -81,24 +83,13 @@ func run() error {
 	kv.get(60*time.Millisecond, 1, "beta")
 	kv.get(60*time.Millisecond, 2, "gamma")
 
-	if err := kv.run(time.Second); err != nil {
+	rep := kv.run()
+	if err := rep.Err(); err != nil {
 		return err
 	}
-
-	keys := make([]string, 0, len(kv.clusters))
-	for k := range kv.clusters {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		c := kv.clusters[key]
-		res := timebounds.CheckLinearizable(c.DataType(), c.History())
-		state, err := c.ConvergedState()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("key %-6s linearizable=%-5v state=%s\n", key, res.Linearizable, state)
-		for _, op := range c.History().Ops() {
+	for _, res := range rep.Results {
+		fmt.Printf("%-10s linearizable=%-5v state=%s\n", res.Name, res.Linearizable, res.State)
+		for _, op := range res.History.Ops() {
 			fmt.Printf("    %s\n", op)
 		}
 	}

@@ -1,8 +1,9 @@
 // Producer/consumer over a linearizable shared queue: two producers
 // enqueue jobs (pure mutators, acknowledged in ε+X), a consumer dequeues
 // (totally ordered OOP, ≤ d+ε), and a monitor peeks (pure accessor,
-// d+ε-X). The example prints per-kind latency statistics and verifies FIFO
-// order end-to-end.
+// d+ε-X). The whole exchange is one Scenario with an explicit schedule;
+// the engine's report carries the per-class latency margins and the
+// linearizability verdict, and the example verifies FIFO order end-to-end.
 package main
 
 import (
@@ -20,58 +21,52 @@ func main() {
 }
 
 func run() error {
-	cfg := timebounds.Config{
-		N:    4,
-		D:    10 * time.Millisecond,
-		U:    4 * time.Millisecond,
-		Seed: 7,
+	const jobs = 4
+	var schedule []timebounds.Invocation
+	// Producers p0 and p1 interleave jobs; spacing exceeds the mutator
+	// latency so each producer's jobs are enqueued back-to-back.
+	for i := 0; i < jobs; i++ {
+		at := time.Duration(i) * 8 * time.Millisecond
+		schedule = append(schedule,
+			timebounds.Invocation{At: at, Proc: 0, Kind: timebounds.OpEnqueue, Arg: fmt.Sprintf("p0-job%d", i)},
+			timebounds.Invocation{At: at + 4*time.Millisecond, Proc: 1, Kind: timebounds.OpEnqueue, Arg: fmt.Sprintf("p1-job%d", i)},
+		)
 	}
-	cluster, err := timebounds.NewCluster(cfg, timebounds.NewQueue())
+	// The monitor peeks mid-stream.
+	schedule = append(schedule, timebounds.Invocation{At: 20 * time.Millisecond, Proc: 3, Kind: timebounds.OpPeek})
+	// The consumer drains everything after the producers are done.
+	drainStart := 100 * time.Millisecond
+	for i := 0; i < 2*jobs; i++ {
+		schedule = append(schedule, timebounds.Invocation{
+			At: drainStart + time.Duration(i)*15*time.Millisecond, Proc: 2, Kind: timebounds.OpDequeue,
+		})
+	}
+
+	res, err := timebounds.RunScenario(timebounds.Scenario{
+		Name:     "producer-consumer",
+		Backend:  timebounds.Algorithm1(),
+		DataType: timebounds.NewQueue(),
+		Params:   timebounds.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond},
+		Seed:     7,
+		Workload: timebounds.Workload{Explicit: schedule},
+		Verify:   true,
+	})
 	if err != nil {
 		return err
 	}
 
-	// Producers p0 and p1 interleave jobs; spacing exceeds the mutator
-	// latency so each producer's jobs are enqueued back-to-back.
-	const jobs = 4
-	for i := 0; i < jobs; i++ {
-		at := time.Duration(i) * 8 * time.Millisecond
-		cluster.Invoke(at, 0, timebounds.OpEnqueue, fmt.Sprintf("p0-job%d", i))
-		cluster.Invoke(at+4*time.Millisecond, 1, timebounds.OpEnqueue, fmt.Sprintf("p1-job%d", i))
-	}
-	// The monitor peeks mid-stream.
-	cluster.Invoke(20*time.Millisecond, 3, timebounds.OpPeek, nil)
-	// The consumer drains everything after the producers are done.
-	drainStart := 100 * time.Millisecond
-	for i := 0; i < 2*jobs; i++ {
-		cluster.Invoke(drainStart+time.Duration(i)*15*time.Millisecond, 2, timebounds.OpDequeue, nil)
-	}
-
-	if err := cluster.Run(time.Second); err != nil {
-		return err
-	}
-
 	fmt.Println("dequeue order:")
-	var worstEnq, worstDeq time.Duration
-	for _, op := range cluster.History().Ops() {
-		switch op.Kind {
-		case timebounds.OpDequeue:
+	for _, op := range res.History.Ops() {
+		if op.Kind == timebounds.OpDequeue {
 			fmt.Printf("  %v\n", op.Ret)
-			if l := op.Latency(); l > worstDeq {
-				worstDeq = l
-			}
-		case timebounds.OpEnqueue:
-			if l := op.Latency(); l > worstEnq {
-				worstEnq = l
-			}
 		}
 	}
+	enq := res.PerKind[timebounds.OpEnqueue]
+	deq := res.PerKind[timebounds.OpDequeue]
 	fmt.Printf("\nworst enqueue latency: %s (bound ε+X = %s)\n",
-		worstEnq, timebounds.UpperBoundMutator(cfg))
+		enq.Max, res.Params.Epsilon+res.X)
 	fmt.Printf("worst dequeue latency: %s (bound d+ε = %s)\n",
-		worstDeq, timebounds.UpperBoundOOP(cfg))
-
-	res := timebounds.CheckLinearizable(cluster.DataType(), cluster.History())
+		deq.Max, res.Params.D+res.Params.Epsilon)
 	fmt.Printf("linearizable: %v\n", res.Linearizable)
 	return nil
 }

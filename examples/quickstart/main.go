@@ -1,7 +1,8 @@
 // Quickstart: a linearizable shared register over three simulated
-// processes, showing Algorithm 1's class-specific latencies — the write
-// acknowledges in ε+X while the read takes d+ε-X — and checking the run's
-// linearizability.
+// processes, declared as a Scenario — backend × workload × model
+// parameters — and executed by the engine. Algorithm 1's class-specific
+// latencies show up in the report: the write acknowledges in ε+X while the
+// reads take d+ε-X, and the history checks out linearizable.
 package main
 
 import (
@@ -19,43 +20,42 @@ func main() {
 }
 
 func run() error {
-	cfg := timebounds.Config{
-		N:    3,
-		D:    10 * time.Millisecond, // message delay upper bound d
-		U:    4 * time.Millisecond,  // delay uncertainty u: delays in [6ms, 10ms]
+	res, err := timebounds.RunScenario(timebounds.Scenario{
+		Name:     "quickstart",
+		Backend:  timebounds.Algorithm1(),
+		DataType: timebounds.NewRegister(0),
+		Params: timebounds.Params{
+			N: 3,
+			D: 10 * time.Millisecond, // message delay upper bound d
+			U: 4 * time.Millisecond,  // delay uncertainty u: delays in [6ms, 10ms]
+			// Epsilon defaults to the optimal (1-1/n)u; X defaults to 0.
+		},
 		Seed: 42,
-		// Epsilon defaults to the optimal (1-1/n)u; X defaults to 0.
-	}
-	cluster, err := timebounds.NewCluster(cfg, timebounds.NewRegister(0))
+		// Process 0 writes 7; once the write is visible everywhere,
+		// process 1 reads; process 2 reads concurrently with the write.
+		Workload: timebounds.Workload{Explicit: []timebounds.Invocation{
+			{At: 0, Proc: 0, Kind: timebounds.OpWrite, Arg: 7},
+			{At: 1 * time.Millisecond, Proc: 2, Kind: timebounds.OpRead},
+			{At: 30 * time.Millisecond, Proc: 1, Kind: timebounds.OpRead},
+		}},
+		Verify: true, // run the linearizability checker on the history
+	})
 	if err != nil {
-		return err
-	}
-
-	// Process 0 writes 7; once the write is visible everywhere, process 1
-	// reads; process 2 reads concurrently with the write.
-	cluster.Invoke(0, 0, timebounds.OpWrite, 7)
-	cluster.Invoke(1*time.Millisecond, 2, timebounds.OpRead, nil)
-	cluster.Invoke(30*time.Millisecond, 1, timebounds.OpRead, nil)
-
-	if err := cluster.Run(time.Second); err != nil {
 		return err
 	}
 
 	fmt.Println("history:")
-	fmt.Println(cluster.History())
+	fmt.Println(res.History)
 
-	fmt.Printf("\nbounds: mutator ε+X = %s, accessor d+ε-X = %s (folklore: 2d = %s)\n",
-		timebounds.UpperBoundMutator(cfg),
-		timebounds.UpperBoundAccessor(cfg),
-		2*cfg.D)
-
-	res := timebounds.CheckLinearizable(cluster.DataType(), cluster.History())
-	fmt.Printf("linearizable: %v (witness %v)\n", res.Linearizable, res.Witness)
-
-	state, err := cluster.ConvergedState()
-	if err != nil {
-		return err
+	fmt.Println("\nmeasured vs. theoretical, per operation class:")
+	for _, b := range res.Bounds {
+		fmt.Printf("  %-4s measured=%-8s bound=%-8s margin=%s\n",
+			b.Class, b.Measured, b.Bound, b.Margin())
 	}
-	fmt.Printf("replicas converged to: %s\n", state)
+	fmt.Printf("(folklore baseline would be 2d = %s for everything)\n",
+		2*res.Params.D)
+
+	fmt.Printf("\nlinearizable: %v\n", res.Linearizable)
+	fmt.Printf("replicas converged to: %s\n", res.State)
 	return nil
 }

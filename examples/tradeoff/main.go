@@ -1,8 +1,9 @@
 // The X tradeoff (Chapter V.A.2): sweeping Algorithm 1's parameter
 // X ∈ [0, d+ε-u] trades pure-mutator latency (ε+X) against pure-accessor
-// latency (d+ε-X) while their sum stays pinned at d+2ε. The example
-// measures both ends and the midpoint on a real workload and prints the
-// curve — the executable version of the paper's latency-regulation knob.
+// latency (d+ε-X) while their sum stays pinned at d+2ε. The sweep is a
+// scenario grid — one scenario per X, identical workload — executed in
+// parallel by the engine; the report rows become the printed curve, the
+// executable version of the paper's latency-regulation knob.
 package main
 
 import (
@@ -21,55 +22,51 @@ func main() {
 }
 
 func run() error {
-	base := timebounds.Config{
-		N:    4,
-		D:    10 * time.Millisecond,
-		U:    4 * time.Millisecond,
-		Seed: 5,
+	params := timebounds.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
+	eps := params.OptimalSkew()
+	maxX := params.D + eps - params.U
+
+	// Every process writes early and reads late; worst-case delays surface
+	// the exact class latencies.
+	var schedule []timebounds.Invocation
+	for p := 0; p < params.N; p++ {
+		schedule = append(schedule,
+			timebounds.Invocation{At: time.Duration(p) * 3 * time.Millisecond,
+				Proc: timebounds.ProcessID(p), Kind: timebounds.OpWrite, Arg: p},
+			timebounds.Invocation{At: 80*time.Millisecond + time.Duration(p)*20*time.Millisecond,
+				Proc: timebounds.ProcessID(p), Kind: timebounds.OpRead},
+		)
 	}
-	eps := timebounds.OptimalSkew(base)
-	maxX := base.D + eps - base.U
 
-	fmt.Printf("n=%d d=%s u=%s ε=%s — X ∈ [0, %s]\n\n", base.N, base.D, base.U, eps, maxX)
-	fmt.Printf("%-10s %-22s %-22s %s\n", "X", "write (measured/bound)", "read (measured/bound)", "sum")
-
+	var scenarios []timebounds.Scenario
 	for i := 0; i <= 4; i++ {
-		cfg := base
-		cfg.X = maxX * time.Duration(i) / 4
-		wMeas, rMeas, err := measure(cfg)
-		if err != nil {
-			return err
-		}
-		bar := strings.Repeat("#", int(wMeas/time.Millisecond))
-		fmt.Printf("%-10s %-22s %-22s %-8s mutator:%s\n",
-			cfg.X,
-			fmt.Sprintf("%s / %s", wMeas, timebounds.UpperBoundMutator(cfg)),
-			fmt.Sprintf("%s / %s", rMeas, timebounds.UpperBoundAccessor(cfg)),
-			wMeas+rMeas, bar)
+		scenarios = append(scenarios, timebounds.Scenario{
+			DataType: timebounds.NewRegister(0),
+			Params:   params,
+			X:        maxX * time.Duration(i) / 4,
+			Seed:     5,
+			Delay:    timebounds.DelaySpec{Mode: timebounds.DelayWorst},
+			Workload: timebounds.Workload{Explicit: schedule},
+			Verify:   true,
+		})
 	}
-	fmt.Printf("\nsum is constant at d+2ε = %s for every X\n", timebounds.UpperBoundPair(base))
-	return nil
-}
+	rep := timebounds.RunScenarios(scenarios)
+	if err := rep.Err(); err != nil {
+		return err
+	}
 
-// measure runs writes on every process and a read per process, returning
-// worst-case write and read latencies.
-func measure(cfg timebounds.Config) (writeMax, readMax time.Duration, err error) {
-	cluster, err := timebounds.NewCluster(cfg, timebounds.NewRegister(0))
-	if err != nil {
-		return 0, 0, err
+	fmt.Printf("n=%d d=%s u=%s ε=%s — X ∈ [0, %s]\n\n", params.N, params.D, params.U, eps, maxX)
+	fmt.Printf("%-10s %-22s %-22s %s\n", "X", "write (measured/bound)", "read (measured/bound)", "sum")
+	for _, res := range rep.Results {
+		w := res.PerKind[timebounds.OpWrite].Max
+		r := res.PerKind[timebounds.OpRead].Max
+		bar := strings.Repeat("#", int(w/time.Millisecond))
+		fmt.Printf("%-10s %-22s %-22s %-8s mutator:%s\n",
+			res.X,
+			fmt.Sprintf("%s / %s", w, res.Params.Epsilon+res.X),
+			fmt.Sprintf("%s / %s", r, res.Params.D+res.Params.Epsilon-res.X),
+			w+r, bar)
 	}
-	for p := 0; p < cfg.N; p++ {
-		cluster.Invoke(time.Duration(p)*3*time.Millisecond, timebounds.ProcessID(p), timebounds.OpWrite, p)
-		cluster.Invoke(80*time.Millisecond+time.Duration(p)*20*time.Millisecond,
-			timebounds.ProcessID(p), timebounds.OpRead, nil)
-	}
-	if err := cluster.Run(time.Second); err != nil {
-		return 0, 0, err
-	}
-	if res := timebounds.CheckLinearizable(cluster.DataType(), cluster.History()); !res.Linearizable {
-		return 0, 0, fmt.Errorf("X=%s: history not linearizable", cfg.X)
-	}
-	w, _ := cluster.History().MaxLatency(timebounds.OpWrite)
-	r, _ := cluster.History().MaxLatency(timebounds.OpRead)
-	return w, r, nil
+	fmt.Printf("\nsum is constant at d+2ε = %s for every X\n", params.D+2*eps)
+	return nil
 }

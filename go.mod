@@ -1,0 +1,3 @@
+module timebounds
+
+go 1.24

@@ -1,0 +1,74 @@
+// Package engine is the execution core of the timebounds library: it runs
+// Scenarios — Backend × Workload × model parameters × delay policy × clock
+// offsets — across a worker pool, each run on its own isolated simulator,
+// and aggregates the outcomes into a structured Report (per-class latency
+// statistics, measured-vs-theoretical bound margins, linearizability
+// verdicts, replica convergence).
+//
+// The public facade (package timebounds), every cmd/ tool, and the
+// experiment harnesses (internal/experiments, internal/explore) are built
+// on this package; outside it, only the lower-bound proof machinery
+// (internal/adversary) constructs clusters directly, because its runs are
+// deliberately inadmissible.
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Engine runs scenario grids in parallel. The zero value is ready to use.
+type Engine struct {
+	// Workers caps concurrent scenario runs; ≤0 means GOMAXPROCS.
+	Workers int
+}
+
+// New returns an engine with the given worker cap (≤0 means GOMAXPROCS).
+func New(workers int) *Engine { return &Engine{Workers: workers} }
+
+// Run executes every scenario and returns their results in input order.
+// Each scenario gets a fresh simulator, delay policy, and workload drawn
+// from its own seed, so the Report is a pure function of the scenario list:
+// same scenarios ⇒ identical Report, regardless of worker count.
+func (e *Engine) Run(scenarios []Scenario) Report {
+	results := make([]Result, len(scenarios))
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers <= 1 {
+		for i, sc := range scenarios {
+			results[i] = sc.run()
+		}
+		return Report{Results: results}
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = scenarios[i].run()
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return Report{Results: results}
+}
+
+// RunOne executes a single scenario synchronously.
+func (e *Engine) RunOne(sc Scenario) (Result, error) {
+	rep := e.Run([]Scenario{sc})
+	return rep.Results[0], rep.Err()
+}
+
+// Run executes scenarios on a default engine; shorthand for New(0).Run.
+func Run(scenarios []Scenario) Report { return New(0).Run(scenarios) }

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/workload"
+)
+
+// Grid declares a cross product of scenario coordinates. Every axis left
+// empty falls back to a single default, so a Grid with just Objects and
+// Params expands to one Algorithm 1 scenario per object.
+type Grid struct {
+	// Backends to compare; empty means {Algorithm1}.
+	Backends []Backend
+	// Objects are the data types to exercise (required).
+	Objects []spec.DataType
+	// Params are the parameter sets to sweep (required). Epsilon 0 resolves
+	// to the optimal skew per set.
+	Params []model.Params
+	// Xs are the tradeoff values; empty means {0}.
+	Xs []model.Time
+	// Seeds drive workloads and random delays; empty means {1}.
+	Seeds []int64
+	// Delays are the delay adversaries; empty means {random}.
+	Delays []DelaySpec
+	// Workloads are the op-stream specs; empty means one zero-value Spec
+	// (small closed loop of each object's default mix).
+	Workloads []workload.Spec
+	// Verify runs the linearizability checker on every run.
+	Verify bool
+	// Horizon bounds each simulation; zero picks a generous default.
+	Horizon model.Time
+}
+
+// Scenarios expands the grid into the full cross product, in a fixed
+// deterministic order (backend-major, then object, params, X, delay,
+// workload, seed).
+func (g Grid) Scenarios() []Scenario {
+	backends := g.Backends
+	if len(backends) == 0 {
+		backends = []Backend{Algorithm1{}}
+	}
+	xs := g.Xs
+	if len(xs) == 0 {
+		xs = []model.Time{0}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	delays := g.Delays
+	if len(delays) == 0 {
+		delays = []DelaySpec{{Mode: DelayRandom}}
+	}
+	workloads := g.Workloads
+	if len(workloads) == 0 {
+		workloads = []workload.Spec{{}}
+	}
+	var out []Scenario
+	for _, b := range backends {
+		for _, dt := range g.Objects {
+			for _, p := range g.Params {
+				for _, x := range xs {
+					for _, d := range delays {
+						for _, wl := range workloads {
+							for _, seed := range seeds {
+								out = append(out, Scenario{
+									Backend:  b,
+									DataType: dt,
+									Params:   p,
+									X:        x,
+									Seed:     seed,
+									Delay:    d,
+									Workload: wl,
+									Verify:   g.Verify,
+									Horizon:  g.Horizon,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

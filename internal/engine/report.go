@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/workload"
+)
+
+// BoundCheck compares the measured worst-case latency of one operation
+// class against the backend's theoretical bound.
+type BoundCheck struct {
+	// Class is the Chapter V operation class (MOP/AOP/OOP).
+	Class spec.OpClass
+	// Count is how many completed operations fell in the class.
+	Count int
+	// Bound is the backend's theoretical worst case for the class.
+	Bound model.Time
+	// Measured is the observed worst-case latency.
+	Measured model.Time
+	// OK is Measured ≤ Bound.
+	OK bool
+}
+
+// Margin returns Bound - Measured (negative on violation).
+func (b BoundCheck) Margin() model.Time { return b.Bound - b.Measured }
+
+// Result is the structured outcome of one scenario run. It contains only
+// model-time quantities, so equal seeds yield bit-identical Results.
+type Result struct {
+	// Name identifies the scenario.
+	Name string
+	// Backend, Object, Params, X, Seed echo the scenario coordinates.
+	Backend string
+	Object  string
+	Params  model.Params
+	X       model.Time
+	Seed    int64
+	// Err is non-empty if the run failed outright.
+	Err string
+	// Ops is the number of completed operations.
+	Ops int
+	// History is the run's full invocation/response history.
+	History *history.History
+	// PerKind holds latency statistics per operation kind.
+	PerKind map[spec.OpKind]workload.Stats
+	// Bounds holds the per-class measured-vs-theoretical comparisons.
+	Bounds []BoundCheck
+	// Checked is true if the linearizability checker ran; Linearizable is
+	// its verdict.
+	Checked      bool
+	Linearizable bool
+	// Converged is true if all authoritative copies agreed after the run;
+	// State is their common encoding. On divergence, Diverged carries the
+	// detail (which copy disagreed, both encodings).
+	Converged bool
+	State     string
+	Diverged  string
+}
+
+// OK reports whether the run completed, stayed within every class bound,
+// converged, and (if checked) linearized.
+func (r Result) OK() bool {
+	if r.Err != "" || !r.Converged {
+		return false
+	}
+	if r.Checked && !r.Linearizable {
+		return false
+	}
+	for _, b := range r.Bounds {
+		if !b.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// WorstLatency returns the largest completed-operation latency of the run.
+func (r Result) WorstLatency() model.Time {
+	var worst model.Time
+	for _, st := range r.PerKind {
+		if st.Max > worst {
+			worst = st.Max
+		}
+	}
+	return worst
+}
+
+// MinMargin returns the tightest bound margin across classes (how close
+// the run came to its theoretical envelope); 0 with no bounds.
+func (r Result) MinMargin() model.Time {
+	var min model.Time
+	for i, b := range r.Bounds {
+		if i == 0 || b.Margin() < min {
+			min = b.Margin()
+		}
+	}
+	return min
+}
+
+// Report aggregates the results of a scenario grid, in input order.
+type Report struct {
+	Results []Result
+}
+
+// OK reports whether every scenario run is OK.
+func (r Report) OK() bool {
+	for _, res := range r.Results {
+		if !res.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns the first scenario failure as an error, or nil.
+func (r Report) Err() error {
+	for _, res := range r.Results {
+		if res.Err != "" {
+			return fmt.Errorf("engine: scenario %q: %s", res.Name, res.Err)
+		}
+		if !res.Converged {
+			return fmt.Errorf("engine: scenario %q: %s", res.Name, res.Diverged)
+		}
+		if res.Checked && !res.Linearizable {
+			return fmt.Errorf("engine: scenario %q: history not linearizable", res.Name)
+		}
+		for _, b := range res.Bounds {
+			if !b.OK {
+				return fmt.Errorf("engine: scenario %q: %s worst latency %s exceeds bound %s",
+					res.Name, b.Class, b.Measured, b.Bound)
+			}
+		}
+	}
+	return nil
+}
+
+// ByName returns the named result and whether it exists.
+func (r Report) ByName(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// Ops returns the total number of completed operations across the grid.
+func (r Report) Ops() int {
+	total := 0
+	for _, res := range r.Results {
+		total += res.Ops
+	}
+	return total
+}
+
+// String renders the report as an aligned table: one row per scenario with
+// its verdicts, worst latency, and tightest bound margin.
+func (r Report) String() string {
+	var b strings.Builder
+	w := 8
+	for _, res := range r.Results {
+		if len(res.Name) > w {
+			w = len(res.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %5s  %-6s  %-7s  %10s  %10s  %s\n",
+		w, "scenario", "ops", "linear", "bounds", "worst", "margin", "state")
+	for _, res := range r.Results {
+		if res.Err != "" {
+			fmt.Fprintf(&b, "%-*s  ERROR %s\n", w, res.Name, res.Err)
+			continue
+		}
+		lin := "-"
+		if res.Checked {
+			lin = fmt.Sprintf("%v", res.Linearizable)
+		}
+		boundsOK := "ok"
+		for _, bc := range res.Bounds {
+			if !bc.OK {
+				boundsOK = "EXCEED"
+			}
+		}
+		state := res.State
+		if !res.Converged {
+			state = "DIVERGED"
+		}
+		if len(state) > 24 {
+			state = state[:21] + "..."
+		}
+		fmt.Fprintf(&b, "%-*s  %5d  %-6s  %-7s  %10s  %10s  %s\n",
+			w, res.Name, res.Ops, lin, boundsOK, res.WorstLatency(), res.MinMargin(), state)
+	}
+	return b.String()
+}
+
+// RenderKinds renders one result's per-kind latency table, kinds sorted.
+func RenderKinds(res Result) string {
+	kinds := make([]string, 0, len(res.PerKind))
+	for k := range res.PerKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	for _, k := range kinds {
+		st := res.PerKind[spec.OpKind(k)]
+		fmt.Fprintf(&b, "  %-14s count=%-4d min=%-10s mean=%-10s p99=%-10s max=%s\n",
+			k, st.Count, st.Min, st.Mean, st.P99, st.Max)
+	}
+	return b.String()
+}

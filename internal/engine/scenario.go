@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"timebounds/internal/core"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+	"timebounds/internal/workload"
+)
+
+// DelayMode names a bundled message-delay policy shape.
+type DelayMode int
+
+const (
+	// DelayRandom draws each delay uniformly from [d-u, d] with the
+	// scenario seed (the default).
+	DelayRandom DelayMode = iota
+	// DelayWorst fixes every delay at the slowest admissible d, surfacing
+	// worst-case latencies.
+	DelayWorst
+	// DelayBest fixes every delay at the fastest admissible d-u.
+	DelayBest
+	// DelayExtremal alternates deterministically between d-u and d,
+	// exercising maximal reordering without randomness.
+	DelayExtremal
+)
+
+// String implements fmt.Stringer.
+func (m DelayMode) String() string {
+	switch m {
+	case DelayRandom:
+		return "random"
+	case DelayWorst:
+		return "worst"
+	case DelayBest:
+		return "best"
+	case DelayExtremal:
+		return "extremal"
+	default:
+		return fmt.Sprintf("delay(%d)", int(m))
+	}
+}
+
+// DelayModeByName resolves a delay mode by its String name.
+func DelayModeByName(name string) (DelayMode, error) {
+	for _, m := range []DelayMode{DelayRandom, DelayWorst, DelayBest, DelayExtremal} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown delay mode %q (want random|worst|best|extremal)", name)
+}
+
+// DelaySpec declares a message-delay adversary as a value, so scenario
+// grids can sweep it. Policy, when set, overrides Mode — the hook for
+// handcrafted delay matrices (internal/adversary-style constructions).
+type DelaySpec struct {
+	Mode DelayMode
+	// Policy builds a custom policy for a run; it must return a fresh
+	// deterministic policy per call so parallel runs stay isolated.
+	Policy func(p model.Params, seed int64) sim.DelayPolicy
+	// Label names a custom Policy in derived scenario names (so grids
+	// sweeping several custom adversaries keep distinct names); empty
+	// means "custom".
+	Label string
+}
+
+// validate rejects a mode outside the bundled set (a typo'd constant would
+// otherwise silently run the random adversary).
+func (ds DelaySpec) validate() error {
+	if ds.Policy != nil {
+		return nil
+	}
+	switch ds.Mode {
+	case DelayRandom, DelayWorst, DelayBest, DelayExtremal:
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown delay mode %d", int(ds.Mode))
+	}
+}
+
+// build returns the run's delay policy.
+func (ds DelaySpec) build(p model.Params, seed int64) sim.DelayPolicy {
+	if ds.Policy != nil {
+		return ds.Policy(p, seed)
+	}
+	switch ds.Mode {
+	case DelayWorst:
+		return sim.FixedDelay(p.D)
+	case DelayBest:
+		return sim.FixedDelay(p.MinDelay())
+	case DelayExtremal:
+		return sim.ExtremalDelay{Params: p}
+	default:
+		return sim.NewRandomDelay(seed, p.MinDelay(), p.D)
+	}
+}
+
+// name labels the delay spec in scenario names.
+func (ds DelaySpec) name() string {
+	if ds.Policy != nil {
+		if ds.Label != "" {
+			return ds.Label
+		}
+		return "custom"
+	}
+	return ds.Mode.String()
+}
+
+// Scenario is one point of an experiment: Backend × Workload × model
+// parameters × delay policy × clock offsets. A Scenario plus its Seed fully
+// determines a run, so reports are reproducible bit for bit.
+type Scenario struct {
+	// Name labels the scenario in the report; empty names are derived from
+	// the coordinates.
+	Name string
+	// Backend is the implementation strategy; nil means Algorithm1.
+	Backend Backend
+	// DataType is the replicated object (required).
+	DataType spec.DataType
+	// Params are the system timing parameters. Epsilon 0 resolves to the
+	// optimal (1-1/n)·u skew Chapter V assumes.
+	Params model.Params
+	// X is Algorithm 1's accessor/mutator tradeoff.
+	X model.Time
+	// Seed drives workload generation and the random delay policy.
+	Seed int64
+	// Delay is the message-delay adversary.
+	Delay DelaySpec
+	// ClockOffsets fixes per-process clock offsets (pairwise within ε).
+	// Nil spreads offsets evenly across [-ε/2, +ε/2] (worst admissible skew).
+	ClockOffsets []model.Time
+	// Workload is the operation-stream spec; zero value means a small
+	// closed-loop run of the object's default mix.
+	Workload workload.Spec
+	// Verify runs the linearizability checker on the resulting history.
+	// Only for histories small enough for exhaustive search.
+	Verify bool
+	// Horizon bounds the simulation; zero picks a generous default.
+	Horizon model.Time
+}
+
+// resolved returns the scenario with defaults filled in.
+func (sc Scenario) resolved() Scenario {
+	if sc.Backend == nil {
+		sc.Backend = Algorithm1{}
+	}
+	if sc.Params.Epsilon == 0 {
+		sc.Params.Epsilon = sc.Params.OptimalSkew()
+	}
+	sc.Workload = sc.Workload.WithDefaults(sc.Params, sc.DataType)
+	if sc.Name == "" {
+		object := "?"
+		if sc.DataType != nil {
+			object = sc.DataType.Name()
+		}
+		sc.Name = fmt.Sprintf("%s/%s/n=%d,d=%s,u=%s,ε=%s/x=%s/%s/%s/seed=%d",
+			sc.Backend.Name(), object, sc.Params.N, sc.Params.D, sc.Params.U,
+			sc.Params.Epsilon, sc.X, sc.Delay.name(), workloadLabel(sc.Workload), sc.Seed)
+	}
+	return sc
+}
+
+// workloadLabel names a workload for derived scenario names, so grids that
+// sweep workloads (or parameter sets) keep distinct names.
+func workloadLabel(wl workload.Spec) string {
+	if wl.Name != "" {
+		return wl.Name
+	}
+	if len(wl.Explicit) > 0 {
+		return fmt.Sprintf("explicit-%d", len(wl.Explicit))
+	}
+	return fmt.Sprintf("%s-%d", wl.Mode, wl.OpsPerProcess)
+}
+
+// Build constructs the scenario's isolated instance without running it —
+// the hook for tools that drive the simulator directly (tracing, custom
+// invocation patterns) while still constructing every world via a Backend.
+func (sc Scenario) Build() (Instance, error) {
+	sc = sc.resolved()
+	inst, err := sc.build()
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+	}
+	return inst, nil
+}
+
+// build constructs the instance for an already-resolved scenario, with
+// bare errors (run and Report.Err add the scenario context exactly once).
+func (sc Scenario) build() (Instance, error) {
+	if sc.DataType == nil {
+		return nil, fmt.Errorf("engine: scenario has no data type")
+	}
+	if err := sc.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.Delay.validate(); err != nil {
+		return nil, err
+	}
+	offsets := sc.ClockOffsets
+	if offsets == nil {
+		offsets = core.MaxSkewOffsets(sc.Params)
+	} else {
+		offsets = append([]model.Time(nil), offsets...)
+	}
+	return sc.Backend.Build(BuildConfig{
+		Params:   sc.Params,
+		X:        sc.X,
+		DataType: sc.DataType,
+		Sim: sim.Config{
+			ClockOffsets: offsets,
+			Delay:        sc.Delay.build(sc.Params, sc.Seed),
+			StrictDelays: true,
+		},
+	})
+}
+
+// run executes the scenario in isolation and reduces it to a Result.
+func (sc Scenario) run() Result {
+	sc = sc.resolved()
+	res := Result{
+		Name:    sc.Name,
+		Backend: sc.Backend.Name(),
+		Params:  sc.Params,
+		X:       sc.X,
+		Seed:    sc.Seed,
+	}
+	if sc.DataType != nil {
+		res.Object = sc.DataType.Name()
+	}
+	inst, err := sc.build()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	sched, err := sc.Workload.Schedule(sc.Params, sc.Seed)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	rep, err := workload.Run(inst, sched, workload.RunOptions{Horizon: sc.Horizon, Verify: sc.Verify})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Ops = rep.History.Len()
+	res.History = rep.History
+	res.PerKind = rep.PerKind
+	res.Checked = rep.Checked
+	res.Linearizable = rep.Linearizable
+	if state, err := inst.ConvergedState(); err == nil {
+		res.Converged = true
+		res.State = state
+	} else {
+		res.Diverged = err.Error()
+	}
+	res.Bounds = boundChecks(sc, inst.DataType(), rep.PerKind)
+	return res
+}
+
+// boundChecks compares measured worst-case latencies per operation class
+// against the backend's theoretical bound for that class. The instance's
+// data type decides classes (so all-OOP wrapping is respected).
+func boundChecks(sc Scenario, dt spec.DataType, perKind map[spec.OpKind]workload.Stats) []BoundCheck {
+	worst := make(map[spec.OpClass]model.Time)
+	count := make(map[spec.OpClass]int)
+	for kind, st := range perKind {
+		class := dt.Class(kind)
+		if _, ok := worst[class]; !ok {
+			worst[class] = 0 // record the class even if its worst case is 0
+		}
+		if st.Max > worst[class] {
+			worst[class] = st.Max
+		}
+		count[class] += st.Count
+	}
+	classes := make([]spec.OpClass, 0, len(worst))
+	for class := range worst {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	out := make([]BoundCheck, 0, len(classes))
+	for _, class := range classes {
+		bound := sc.Backend.Bound(sc.Params, sc.X, class)
+		out = append(out, BoundCheck{
+			Class:    class,
+			Count:    count[class],
+			Bound:    bound,
+			Measured: worst[class],
+			OK:       worst[class] <= bound,
+		})
+	}
+	return out
+}

@@ -1,19 +1,20 @@
 // Package experiments packages the paper's evaluation artifacts as callable
 // experiments: measured Tables I–IV, the X tradeoff sweep, the n → (1-1/n)u
-// skew sweep, and the Algorithm-1-vs-baseline comparison. cmd/tbtables,
-// cmd/tbsweep and bench_test.go are thin wrappers over this package, so the
-// numbers in EXPERIMENTS.md are reproducible from one place.
+// skew sweep, and the Algorithm-1-vs-baseline comparison. Everything runs
+// through the scenario engine (internal/engine) — each experiment declares a
+// scenario list and lets the engine execute it across the worker pool —
+// so cmd/tbtables, cmd/tbsweep and bench_test.go are thin wrappers over
+// this package and the numbers in EXPERIMENTS.md are reproducible from one
+// place.
 package experiments
 
 import (
+	"errors"
 	"fmt"
-	"strconv"
 
-	"timebounds/internal/baseline"
 	"timebounds/internal/bounds"
-	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/model"
-	"timebounds/internal/sim"
 	"timebounds/internal/spec"
 	"timebounds/internal/types"
 	"timebounds/internal/workload"
@@ -21,86 +22,7 @@ import (
 
 // TableMix returns a representative operation mix for one of the paper's
 // table objects.
-func TableMix(dt spec.DataType) workload.OpMix {
-	intArg := func(i int) spec.Value { return i }
-	switch dt.Name() {
-	case "register", "rmw-register":
-		return workload.OpMix{
-			{Kind: types.OpWrite, Weight: 3, Arg: intArg},
-			{Kind: types.OpRead, Weight: 3},
-			{Kind: types.OpRMW, Weight: 2, Arg: intArg},
-		}
-	case "queue":
-		return workload.OpMix{
-			{Kind: types.OpEnqueue, Weight: 4, Arg: intArg},
-			{Kind: types.OpDequeue, Weight: 2},
-			{Kind: types.OpPeek, Weight: 2},
-		}
-	case "stack":
-		return workload.OpMix{
-			{Kind: types.OpPush, Weight: 4, Arg: intArg},
-			{Kind: types.OpPop, Weight: 2},
-			{Kind: types.OpTop, Weight: 2},
-		}
-	case "tree":
-		return workload.OpMix{
-			{Kind: types.OpTreeInsert, Weight: 4, Arg: func(i int) spec.Value {
-				parent := types.TreeRoot
-				if i > 0 {
-					parent = "n" + strconv.Itoa((i-1)/2)
-				}
-				return types.Edge{Node: "n" + strconv.Itoa(i), Parent: parent}
-			}},
-			{Kind: types.OpTreeDelete, Weight: 1, Arg: func(i int) spec.Value {
-				return "n" + strconv.Itoa(i*3)
-			}},
-			{Kind: types.OpTreeSearch, Weight: 2, Arg: func(i int) spec.Value {
-				return "n" + strconv.Itoa(i)
-			}},
-			{Kind: types.OpTreeDepth, Weight: 1},
-		}
-	case "dict":
-		keys := []string{"a", "b", "c", "d"}
-		return workload.OpMix{
-			{Kind: types.OpPut, Weight: 4, Arg: func(i int) spec.Value {
-				return types.KV{Key: keys[i%len(keys)], Value: i}
-			}},
-			{Kind: types.OpDelete, Weight: 1, Arg: func(i int) spec.Value { return keys[i%len(keys)] }},
-			{Kind: types.OpDictGet, Weight: 2, Arg: func(i int) spec.Value { return keys[i%len(keys)] }},
-			{Kind: types.OpSize, Weight: 1},
-		}
-	case "pqueue":
-		return workload.OpMix{
-			{Kind: types.OpPQInsert, Weight: 4, Arg: intArg},
-			{Kind: types.OpPQDeleteMin, Weight: 2},
-			{Kind: types.OpPQMin, Weight: 2},
-		}
-	case "set":
-		return workload.OpMix{
-			{Kind: types.OpInsert, Weight: 3, Arg: intArg},
-			{Kind: types.OpRemove, Weight: 1, Arg: intArg},
-			{Kind: types.OpContains, Weight: 2, Arg: intArg},
-		}
-	case "counter":
-		return workload.OpMix{
-			{Kind: types.OpIncrement, Weight: 3, Arg: intArg},
-			{Kind: types.OpGet, Weight: 2},
-		}
-	case "account":
-		return workload.OpMix{
-			{Kind: types.OpDeposit, Weight: 3, Arg: func(i int) spec.Value { return 50 + i }},
-			{Kind: types.OpWithdraw, Weight: 2, Arg: func(i int) spec.Value { return 40 + i*7 }},
-			{Kind: types.OpBalance, Weight: 2},
-		}
-	default:
-		kinds := dt.Kinds()
-		mix := make(workload.OpMix, 0, len(kinds))
-		for _, k := range kinds {
-			mix = append(mix, workload.WeightedOp{Kind: k, Weight: 1, Arg: intArg})
-		}
-		return mix
-	}
-}
+func TableMix(dt spec.DataType) workload.OpMix { return workload.DefaultMix(dt) }
 
 // MeasureOptions configures a table measurement.
 type MeasureOptions struct {
@@ -117,44 +39,56 @@ type MeasureOptions struct {
 	Verify bool
 }
 
+// scenario builds the measurement scenario for a table object.
+func (opt MeasureOptions) scenario(dt spec.DataType, p model.Params) engine.Scenario {
+	ops := opt.OpsPerProcess
+	if ops == 0 {
+		ops = 20
+	}
+	delay := engine.DelaySpec{Mode: engine.DelayRandom}
+	if opt.WorstCaseDelays {
+		delay.Mode = engine.DelayWorst
+	}
+	return engine.Scenario{
+		Backend:  engine.Algorithm1{},
+		DataType: dt,
+		Params:   p,
+		X:        opt.X,
+		Seed:     opt.Seed,
+		Delay:    delay,
+		Workload: workload.Spec{
+			Mix:           TableMix(dt),
+			OpsPerProcess: ops,
+			Spacing:       2 * p.D,
+			Start:         p.D,
+		},
+		Verify: opt.Verify,
+	}
+}
+
 // MeasureTable runs the table's object under a mixed workload and returns
 // the measured worst-case latency per table-row label (pair rows get the
 // sum of the two worst cases), plus the full report.
 func MeasureTable(t bounds.Table, p model.Params, opt MeasureOptions) (map[string]model.Time, workload.Report, error) {
-	if opt.OpsPerProcess == 0 {
-		opt.OpsPerProcess = 20
-	}
-	simCfg := workload.NewSimConfig(p, opt.Seed)
-	if opt.WorstCaseDelays {
-		simCfg.Delay = sim.FixedDelay(p.D)
-	}
-	cluster, err := core.NewCluster(core.Config{Params: p, X: opt.X}, t.Object, simCfg)
-	if err != nil {
-		return nil, workload.Report{}, err
-	}
-	sched, err := workload.Generate(p, TableMix(t.Object), workload.Options{
-		Seed:          opt.Seed,
-		OpsPerProcess: opt.OpsPerProcess,
-		Spacing:       2 * p.D,
-		Start:         p.D,
-	})
-	if err != nil {
-		return nil, workload.Report{}, err
-	}
-	rep, err := workload.Run(cluster, sched, workload.RunOptions{Verify: opt.Verify})
-	if err != nil {
-		return nil, workload.Report{}, err
+	res := engine.Run([]engine.Scenario{opt.scenario(t.Object, p)}).Results[0]
+	if res.Err != "" {
+		return nil, workload.Report{}, errors.New(res.Err)
 	}
 	measured := make(map[string]model.Time, len(t.Rows))
 	for _, row := range t.Rows {
 		switch row.Kind {
 		case bounds.RowSingle:
-			measured[row.Label] = rep.PerKind[row.Ops[0]].Max
+			measured[row.Label] = res.PerKind[row.Ops[0]].Max
 		case bounds.RowPair:
-			measured[row.Label] = rep.PerKind[row.Ops[0]].Max + rep.PerKind[row.Ops[1]].Max
+			measured[row.Label] = res.PerKind[row.Ops[0]].Max + res.PerKind[row.Ops[1]].Max
 		}
 	}
-	return measured, rep, nil
+	return measured, workload.Report{
+		PerKind:      res.PerKind,
+		History:      res.History,
+		Checked:      res.Checked,
+		Linearizable: res.Linearizable,
+	}, nil
 }
 
 // TradeoffPoint is one X-sweep sample (experiment E13).
@@ -166,27 +100,28 @@ type TradeoffPoint struct {
 }
 
 // XSweep measures the accessor/mutator tradeoff across steps X values
-// spanning [0, d+ε-u] on a register.
+// spanning [0, d+ε-u] on a register; the sample scenarios run in parallel
+// on the engine.
 func XSweep(p model.Params, steps int, seed int64) ([]TradeoffPoint, error) {
 	if steps < 2 {
 		return nil, fmt.Errorf("experiments: steps must be ≥ 2")
 	}
 	maxX := p.D + p.Epsilon - p.U
-	out := make([]TradeoffPoint, 0, steps)
+	scenarios := make([]engine.Scenario, 0, steps)
 	for i := 0; i < steps; i++ {
 		x := model.Time(int64(maxX) * int64(i) / int64(steps-1))
-		measured, _, err := MeasureTable(bounds.TableI(), p, MeasureOptions{
-			X: x, Seed: seed, WorstCaseDelays: true,
-		})
-		if err != nil {
-			return nil, err
+		scenarios = append(scenarios,
+			MeasureOptions{X: x, Seed: seed, WorstCaseDelays: true}.scenario(bounds.TableI().Object, p))
+	}
+	rep := engine.Run(scenarios)
+	out := make([]TradeoffPoint, 0, steps)
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			return nil, errors.New(res.Err)
 		}
-		out = append(out, TradeoffPoint{
-			X:        x,
-			Mutator:  measured["write"],
-			Accessor: measured["read"],
-			Pair:     measured["write"] + measured["read"],
-		})
+		w := res.PerKind[types.OpWrite].Max
+		r := res.PerKind[types.OpRead].Max
+		out = append(out, TradeoffPoint{X: res.X, Mutator: w, Accessor: r, Pair: w + r})
 	}
 	return out, nil
 }
@@ -203,29 +138,33 @@ type SkewPoint struct {
 	MeasuredMutator model.Time
 }
 
-// NSweep measures mutator latency against (1-1/n)u for n = 2 … maxN.
+// NSweep measures mutator latency against (1-1/n)u for n = 2 … maxN, one
+// engine scenario per cluster size, run in parallel.
 func NSweep(d, u model.Time, maxN int, seed int64) ([]SkewPoint, error) {
-	var out []SkewPoint
+	var scenarios []engine.Scenario
 	for n := 2; n <= maxN; n++ {
 		p := model.Params{N: n, D: d, U: u}
 		p.Epsilon = p.OptimalSkew()
-		measured, _, err := MeasureTable(bounds.TableI(), p, MeasureOptions{
-			Seed: seed, WorstCaseDelays: true,
-		})
-		if err != nil {
-			return nil, err
+		scenarios = append(scenarios,
+			MeasureOptions{Seed: seed, WorstCaseDelays: true}.scenario(bounds.TableI().Object, p))
+	}
+	rep := engine.Run(scenarios)
+	var out []SkewPoint
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			return nil, errors.New(res.Err)
 		}
 		out = append(out, SkewPoint{
-			N:               n,
-			OptimalSkew:     p.OptimalSkew(),
-			MutatorBound:    bounds.PermuteLower(n, u),
-			MeasuredMutator: measured["write"],
+			N:               res.Params.N,
+			OptimalSkew:     res.Params.Epsilon,
+			MutatorBound:    bounds.PermuteLower(res.Params.N, res.Params.U),
+			MeasuredMutator: res.PerKind[types.OpWrite].Max,
 		})
 	}
 	return out, nil
 }
 
-// BaselineComparison holds worst-case latencies of the three
+// BaselineComparison holds worst-case latencies of the four
 // implementations on the same register workload (experiment E12).
 type BaselineComparison struct {
 	// Fast holds Algorithm 1's per-kind worst cases.
@@ -235,81 +174,51 @@ type BaselineComparison struct {
 	AllOOP map[spec.OpKind]workload.Stats
 	// Centralized holds the coordinator round-trip worst cases (≤ 2d).
 	Centralized map[spec.OpKind]workload.Stats
+	// TOB holds the sequencer-based total-order-broadcast worst cases
+	// (≤ 2d; Chapter I.A.3's "no faster than centralized" observation).
+	TOB map[spec.OpKind]workload.Stats
 }
 
 // CompareBaselines runs the same register workload on Algorithm 1, the
-// all-OOP folklore implementation, and the centralized baseline.
+// all-OOP folklore implementation, the centralized baseline, and the TOB
+// baseline — four scenarios, identical schedule, executed in parallel.
 func CompareBaselines(p model.Params, x model.Time, seed int64, opsPerProcess int) (BaselineComparison, error) {
 	if opsPerProcess == 0 {
 		opsPerProcess = 20
 	}
 	dt := types.NewRMWRegister(0)
-	mix := TableMix(dt)
-	sched, err := workload.Generate(p, mix, workload.Options{
-		Seed:          seed,
-		OpsPerProcess: opsPerProcess,
-		Spacing:       2 * p.D,
-		Start:         p.D,
-	})
-	if err != nil {
-		return BaselineComparison{}, err
+	grid := engine.Grid{
+		Backends: engine.Backends(),
+		Objects:  []spec.DataType{dt},
+		Params:   []model.Params{p},
+		Xs:       []model.Time{x},
+		Seeds:    []int64{seed},
+		Delays:   []engine.DelaySpec{{Mode: engine.DelayWorst}},
+		Workloads: []workload.Spec{{
+			Mix:           TableMix(dt),
+			OpsPerProcess: opsPerProcess,
+			Spacing:       2 * p.D,
+			Start:         p.D,
+		}},
 	}
+	rep := engine.Run(grid.Scenarios())
 	var cmp BaselineComparison
-
-	// Algorithm 1.
-	fast, err := core.NewCluster(core.Config{Params: p, X: x}, dt, simCfgWorst(p, seed))
-	if err != nil {
-		return BaselineComparison{}, err
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			return cmp, fmt.Errorf("%s: %s", res.Backend, res.Err)
+		}
+		switch res.Backend {
+		case engine.Algorithm1{}.Name():
+			cmp.Fast = res.PerKind
+		case engine.AllOOP{}.Name():
+			cmp.AllOOP = res.PerKind
+		case engine.Centralized{}.Name():
+			cmp.Centralized = res.PerKind
+		case engine.TOB{}.Name():
+			cmp.TOB = res.PerKind
+		}
 	}
-	rep, err := workload.Run(fast, sched, workload.RunOptions{})
-	if err != nil {
-		return BaselineComparison{}, fmt.Errorf("fast: %w", err)
-	}
-	cmp.Fast = rep.PerKind
-
-	// Folklore all-OOP.
-	oop, err := core.NewCluster(core.Config{Params: p, X: x}, baseline.AllOOP{Inner: dt}, simCfgWorst(p, seed))
-	if err != nil {
-		return BaselineComparison{}, err
-	}
-	rep, err = workload.Run(oop, sched, workload.RunOptions{})
-	if err != nil {
-		return BaselineComparison{}, fmt.Errorf("all-oop: %w", err)
-	}
-	cmp.AllOOP = rep.PerKind
-
-	// Centralized.
-	procs := make([]sim.Process, p.N)
-	for i := range procs {
-		procs[i] = baseline.NewCentralized(0, dt)
-	}
-	s, err := sim.New(simCfgWithParams(p, seed), procs)
-	if err != nil {
-		return BaselineComparison{}, err
-	}
-	for _, inv := range sched.Invocations {
-		s.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
-	}
-	if err := s.Run(model.Infinity); err != nil {
-		return BaselineComparison{}, fmt.Errorf("centralized: %w", err)
-	}
-	if !s.History().Complete() {
-		return BaselineComparison{}, fmt.Errorf("centralized: pending operations")
-	}
-	cmp.Centralized = workload.Summarize(s.History())
 	return cmp, nil
-}
-
-func simCfgWorst(p model.Params, seed int64) sim.Config {
-	cfg := workload.NewSimConfig(p, seed)
-	cfg.Delay = sim.FixedDelay(p.D)
-	return cfg
-}
-
-func simCfgWithParams(p model.Params, seed int64) sim.Config {
-	cfg := simCfgWorst(p, seed)
-	cfg.Params = p
-	return cfg
 }
 
 // DefaultParams returns the parameter set used throughout EXPERIMENTS.md:

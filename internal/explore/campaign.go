@@ -3,10 +3,8 @@ package explore
 import (
 	"fmt"
 
-	"timebounds/internal/core"
-	"timebounds/internal/experiments"
+	"timebounds/internal/engine"
 	"timebounds/internal/model"
-	"timebounds/internal/sim"
 	"timebounds/internal/spec"
 	"timebounds/internal/workload"
 )
@@ -25,6 +23,8 @@ type CampaignConfig struct {
 	OpsPerProcess int
 	// Verify runs the linearizability checker on every history.
 	Verify bool
+	// Workers caps parallelism (≤0 = all cores).
+	Workers int
 }
 
 // CampaignResult aggregates a campaign.
@@ -42,21 +42,10 @@ type CampaignResult struct {
 // OK reports whether the campaign saw no failures.
 func (r CampaignResult) OK() bool { return len(r.Failures) == 0 }
 
-// policies returns the delay-policy constructors exercised per seed.
-func policies(p model.Params) map[string]func(seed int64) sim.DelayPolicy {
-	return map[string]func(seed int64) sim.DelayPolicy{
-		"random": func(seed int64) sim.DelayPolicy {
-			return sim.NewRandomDelay(seed, p.MinDelay(), p.D)
-		},
-		"slowest":  func(int64) sim.DelayPolicy { return sim.FixedDelay(p.D) },
-		"fastest":  func(int64) sim.DelayPolicy { return sim.FixedDelay(p.MinDelay()) },
-		"extremal": func(int64) sim.DelayPolicy { return sim.ExtremalDelay{Params: p} },
-	}
-}
-
-// Campaign runs the randomized sweep: every object × policy × seed gets a
-// generated workload; every history must complete, respect the class
-// latency bounds, converge across replicas, and (optionally) linearize.
+// Campaign runs the randomized sweep as one engine grid — every object ×
+// delay adversary × seed becomes a scenario, executed across the worker
+// pool. Every history must complete, respect the class latency bounds,
+// converge across replicas, and (optionally) linearize.
 func Campaign(cfg CampaignConfig) (CampaignResult, error) {
 	p := cfg.Params
 	if err := p.Validate(); err != nil {
@@ -68,68 +57,52 @@ func Campaign(cfg CampaignConfig) (CampaignResult, error) {
 	if cfg.OpsPerProcess == 0 {
 		cfg.OpsPerProcess = 4
 	}
-	var res CampaignResult
-	fail := func(format string, args ...any) {
-		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+	seeds := make([]int64, cfg.Seeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
 	}
-	for _, dt := range cfg.Objects {
-		mix := experiments.TableMix(dt)
-		for polName, mkPolicy := range policies(p) {
-			for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
-				tag := fmt.Sprintf("%s/%s/seed=%d", dt.Name(), polName, seed)
-				cluster, err := core.NewCluster(core.Config{Params: p, X: cfg.X}, dt, sim.Config{
-					ClockOffsets: core.MaxSkewOffsets(p),
-					Delay:        mkPolicy(seed),
-					StrictDelays: true,
-				})
-				if err != nil {
-					return res, fmt.Errorf("%s: %w", tag, err)
-				}
-				sched, err := workload.Generate(p, mix, workload.Options{
-					Seed:          seed,
-					OpsPerProcess: cfg.OpsPerProcess,
-					Spacing:       2 * p.D,
-					Start:         p.D,
-				})
-				if err != nil {
-					return res, fmt.Errorf("%s: %w", tag, err)
-				}
-				rep, err := workload.Run(cluster, sched, workload.RunOptions{Verify: cfg.Verify})
-				if err != nil {
-					fail("%s: %v", tag, err)
-					continue
-				}
-				res.Runs++
-				res.Ops += rep.History.Len()
-				if cfg.Verify && !rep.Linearizable {
-					fail("%s: history not linearizable", tag)
-				}
-				if _, err := cluster.ConvergedState(); err != nil {
-					fail("%s: %v", tag, err)
-				}
-				for kind, st := range rep.PerKind {
-					bound := classBound(dt, kind, p, cfg.X)
-					if st.Max > bound {
-						fail("%s: %s worst latency %s exceeds bound %s", tag, kind, st.Max, bound)
-					}
-					if st.Max > res.WorstLatency {
-						res.WorstLatency = st.Max
-					}
-				}
+	grid := engine.Grid{
+		Objects: cfg.Objects,
+		Params:  []model.Params{p},
+		Xs:      []model.Time{cfg.X},
+		Seeds:   seeds,
+		Delays: []engine.DelaySpec{
+			{Mode: engine.DelayRandom},
+			{Mode: engine.DelayWorst},
+			{Mode: engine.DelayBest},
+			{Mode: engine.DelayExtremal},
+		},
+		Workloads: []workload.Spec{{
+			OpsPerProcess: cfg.OpsPerProcess,
+			Spacing:       2 * p.D,
+			Start:         p.D,
+		}},
+		Verify: cfg.Verify,
+	}
+	rep := engine.New(cfg.Workers).Run(grid.Scenarios())
+	var res CampaignResult
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: %s", r.Name, r.Err))
+			continue
+		}
+		res.Runs++
+		res.Ops += r.Ops
+		if r.Checked && !r.Linearizable {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: history not linearizable", r.Name))
+		}
+		if !r.Converged {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: %s", r.Name, r.Diverged))
+		}
+		for _, b := range r.Bounds {
+			if !b.OK {
+				res.Failures = append(res.Failures, fmt.Sprintf(
+					"%s: %s worst latency %s exceeds bound %s", r.Name, b.Class, b.Measured, b.Bound))
 			}
+		}
+		if w := r.WorstLatency(); w > res.WorstLatency {
+			res.WorstLatency = w
 		}
 	}
 	return res, nil
-}
-
-// classBound returns Algorithm 1's per-class latency bound.
-func classBound(dt spec.DataType, kind spec.OpKind, p model.Params, x model.Time) model.Time {
-	switch dt.Class(kind) {
-	case spec.ClassPureMutator:
-		return p.Epsilon + x
-	case spec.ClassPureAccessor:
-		return p.D + p.Epsilon - x
-	default:
-		return p.D + p.Epsilon
-	}
 }

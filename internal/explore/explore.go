@@ -21,6 +21,7 @@ import (
 
 	"timebounds/internal/check"
 	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/history"
 	"timebounds/internal/model"
 	"timebounds/internal/sim"
@@ -123,26 +124,34 @@ func Exhaustive(sc Scenario) (Report, error) {
 		delay := sim.FuncDelay(func(_, _ model.ProcessID, _ model.Time, seq int) model.Time {
 			return delayMenu[choice[seq%len(choice)]]
 		})
-		cluster, err := core.NewCluster(sc.Config, sc.DataType, sim.Config{
-			ClockOffsets: world.Offsets,
-			Delay:        delay,
-			StrictDelays: true,
+		// Build through the backend, not Scenario.Build: the lattice honors
+		// the caller's Params verbatim (including an explicit ε = 0), while
+		// Scenario would resolve ε = 0 to the optimal skew.
+		inst, err := engine.Algorithm1{Tuning: sc.Config.Tuning}.Build(engine.BuildConfig{
+			Params:   sc.Config.Params,
+			X:        sc.Config.X,
+			DataType: sc.DataType,
+			Sim: sim.Config{
+				ClockOffsets: world.Offsets,
+				Delay:        delay,
+				StrictDelays: true,
+			},
 		})
 		if err != nil {
 			return err
 		}
 		for _, inv := range sc.Invocations {
-			cluster.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
+			inst.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
 		}
-		if err := cluster.Run(model.Infinity); err != nil {
+		if err := inst.Run(model.Infinity); err != nil {
 			return err
 		}
-		h := cluster.History()
+		h := inst.History()
 		if !h.Complete() {
 			return fmt.Errorf("explore: pending operations in world %v", world)
 		}
 		rep.Worlds++
-		_, convErr := cluster.ConvergedState()
+		_, convErr := inst.ConvergedState()
 		res := check.Check(sc.DataType, h)
 		if !res.Linearizable || convErr != nil {
 			rep.Violations = append(rep.Violations, Violation{

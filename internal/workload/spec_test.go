@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"timebounds/internal/model"
+	"timebounds/internal/types"
+)
+
+func specParams(n int) model.Params {
+	p := model.Params{N: n, D: 10_000_000, U: 4_000_000}
+	p.Epsilon = p.OptimalSkew()
+	return p
+}
+
+func TestSpecScheduleDeterministic(t *testing.T) {
+	p := specParams(3)
+	s := Spec{Mix: DefaultMix(types.NewQueue()), OpsPerProcess: 4, Spacing: 2 * p.D, Start: p.D}
+	a, err := s.Schedule(p, 7)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	b, err := s.Schedule(p, 7)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different schedules")
+	}
+	c, err := s.Schedule(p, 8)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+	if got, want := len(a.Invocations), p.N*4; got != want {
+		t.Errorf("%d invocations, want %d", got, want)
+	}
+}
+
+func TestSpecOpenLoopExactSpacing(t *testing.T) {
+	p := specParams(2)
+	s := Spec{
+		Mode:          Open,
+		Mix:           OpMix{{Kind: types.OpIncrement, Weight: 1}},
+		OpsPerProcess: 4,
+		Spacing:       5_000_000,
+		Start:         1_000_000,
+	}
+	sched, err := s.Schedule(p, 1)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	for _, inv := range sched.Invocations {
+		if off := (inv.At - 1_000_000) % 5_000_000; off != 0 {
+			t.Errorf("open-loop invocation at %s not on the fixed-rate lattice", inv.At)
+		}
+	}
+}
+
+func TestSpecRampShrinksGaps(t *testing.T) {
+	p := specParams(1)
+	s := Spec{
+		Mode:          Open,
+		Mix:           OpMix{{Kind: types.OpIncrement, Weight: 1}},
+		OpsPerProcess: 5,
+		Spacing:       8_000_000,
+		Start:         0,
+		Ramp:          0.25, // gaps shrink to a quarter by the end
+	}
+	sched, err := s.Schedule(p, 1)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	invs := sched.Invocations
+	first := invs[1].At - invs[0].At
+	last := invs[len(invs)-1].At - invs[len(invs)-2].At
+	if last >= first {
+		t.Errorf("ramp 0.25: last gap %s not smaller than first gap %s", last, first)
+	}
+	if first != 8_000_000 {
+		t.Errorf("first gap %s, want the unscaled spacing", first)
+	}
+}
+
+func TestSpecPerProcessMixes(t *testing.T) {
+	// Process 0 only increments (mutator), process 1 only reads (accessor).
+	p := specParams(2)
+	s := Spec{
+		PerProcess: []OpMix{
+			{{Kind: types.OpIncrement, Weight: 1}},
+			{{Kind: types.OpGet, Weight: 1}},
+		},
+		OpsPerProcess: 3,
+		Spacing:       2 * p.D,
+		Start:         p.D,
+	}
+	sched, err := s.Schedule(p, 3)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	for _, inv := range sched.Invocations {
+		want := types.OpIncrement
+		if inv.Proc == 1 {
+			want = types.OpGet
+		}
+		if inv.Kind != want {
+			t.Errorf("process %s issued %s, want %s", inv.Proc, inv.Kind, want)
+		}
+	}
+}
+
+func TestSpecExplicitVerbatim(t *testing.T) {
+	p := specParams(2)
+	invs := []Invocation{
+		{At: 1, Proc: 0, Kind: types.OpWrite, Arg: 1},
+		{At: 2, Proc: 1, Kind: types.OpRead},
+	}
+	sched, err := Spec{Explicit: invs, OpsPerProcess: 99}.Schedule(p, 42)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if !reflect.DeepEqual(sched.Invocations, invs) {
+		t.Errorf("explicit schedule altered: %v", sched.Invocations)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	p := specParams(2)
+	if _, err := (Spec{OpsPerProcess: 1}).Schedule(p, 1); err == nil {
+		t.Error("no mix and no explicit schedule accepted")
+	}
+	bad := Spec{Mix: OpMix{{Kind: types.OpRead, Weight: 0}}, OpsPerProcess: 1}
+	if _, err := bad.Schedule(p, 1); err == nil {
+		t.Error("zero-weight mix accepted")
+	}
+	neg := Spec{Mix: OpMix{{Kind: types.OpRead, Weight: 1}}, OpsPerProcess: 1, Ramp: -1}
+	if _, err := neg.Schedule(p, 1); err == nil {
+		t.Error("negative ramp accepted")
+	}
+}
+
+func TestWithDefaultsFillsMixAndSizing(t *testing.T) {
+	p := specParams(3)
+	s := Spec{}.WithDefaults(p, types.NewQueue())
+	if s.Mix == nil || s.OpsPerProcess == 0 || s.Spacing == 0 || s.Start == 0 {
+		t.Errorf("defaults not filled: %+v", s)
+	}
+	explicit := Spec{Explicit: []Invocation{{At: 1, Proc: 0, Kind: types.OpRead}}}
+	if got := explicit.WithDefaults(p, types.NewQueue()); got.Mix != nil || got.OpsPerProcess != 0 {
+		t.Error("explicit specs must not grow generator defaults")
+	}
+}

@@ -6,7 +6,6 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"timebounds/internal/check"
@@ -59,54 +58,18 @@ type Options struct {
 
 // Generate builds a random closed-loop schedule: each process issues
 // OpsPerProcess operations drawn from the mix, with jittered spacing.
-// Invocations landing while a previous operation is pending are deferred by
-// the simulator, so the schedule is a lower bound on invocation times.
+// It is shorthand for a closed-loop Spec; Spec is the richer surface
+// (open loops, ramps, per-process mixes, explicit schedules).
 func Generate(p model.Params, mix OpMix, opt Options) (Schedule, error) {
 	if len(mix) == 0 {
 		return Schedule{}, fmt.Errorf("workload: empty mix")
 	}
-	total := 0
-	for _, w := range mix {
-		if w.Weight <= 0 {
-			return Schedule{}, fmt.Errorf("workload: weight %d for %q", w.Weight, w.Kind)
-		}
-		total += w.Weight
-	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	counts := make(map[spec.OpKind]int, len(mix))
-	var sched Schedule
-	for proc := 0; proc < p.N; proc++ {
-		at := opt.Start
-		for i := 0; i < opt.OpsPerProcess; i++ {
-			pick := rng.Intn(total)
-			var chosen WeightedOp
-			for _, w := range mix {
-				if pick < w.Weight {
-					chosen = w
-					break
-				}
-				pick -= w.Weight
-			}
-			var arg spec.Value
-			if chosen.Arg != nil {
-				arg = chosen.Arg(counts[chosen.Kind])
-			}
-			counts[chosen.Kind]++
-			sched.Invocations = append(sched.Invocations, Invocation{
-				At:   at,
-				Proc: model.ProcessID(proc),
-				Kind: chosen.Kind,
-				Arg:  arg,
-			})
-			half := int64(opt.Spacing) / 2
-			jitter := model.Time(0)
-			if half > 0 {
-				jitter = model.Time(rng.Int63n(2*half+1) - half)
-			}
-			at += opt.Spacing + jitter
-		}
-	}
-	return sched, nil
+	return Spec{
+		Mix:           mix,
+		OpsPerProcess: opt.OpsPerProcess,
+		Spacing:       opt.Spacing,
+		Start:         opt.Start,
+	}.Schedule(p, opt.Seed)
 }
 
 // Stats summarizes the latency distribution of one operation kind.
@@ -146,8 +109,21 @@ type RunOptions struct {
 	Verify bool
 }
 
-// Run executes a schedule on a fresh cluster and collects statistics.
-func Run(cluster *core.Cluster, sched Schedule, opt RunOptions) (Report, error) {
+// Target is the slice of a shared-object instance the harness needs: the
+// scheduling surface plus access to the recorded history and the simulator.
+// *core.Cluster and every engine backend instance satisfy it.
+type Target interface {
+	Invoke(at model.Time, proc model.ProcessID, kind spec.OpKind, arg spec.Value)
+	Run(horizon model.Time) error
+	History() *history.History
+	DataType() spec.DataType
+	Simulator() *sim.Simulator
+}
+
+var _ Target = (*core.Cluster)(nil)
+
+// Run executes a schedule on a fresh instance and collects statistics.
+func Run(target Target, sched Schedule, opt RunOptions) (Report, error) {
 	horizon := opt.Horizon
 	if horizon == 0 {
 		var last model.Time
@@ -156,24 +132,37 @@ func Run(cluster *core.Cluster, sched Schedule, opt RunOptions) (Report, error) 
 				last = inv.At
 			}
 		}
-		horizon = last + 1000*cluster.Simulator().Params().D
+		horizon = last + 1000*target.Simulator().Params().D
 	}
 	for _, inv := range sched.Invocations {
-		cluster.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
+		target.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
 	}
-	if err := cluster.Run(horizon); err != nil {
+	if err := target.Run(horizon); err != nil {
 		return Report{}, err
 	}
-	h := cluster.History()
+	h := target.History()
 	if !h.Complete() {
 		return Report{}, fmt.Errorf("workload: %d operations still pending at horizon", h.PendingCount())
 	}
 	rep := Report{PerKind: Summarize(h), History: h}
 	if opt.Verify {
 		rep.Checked = true
-		rep.Linearizable = check.Check(cluster.DataType(), h).Linearizable
+		rep.Linearizable = check.Check(target.DataType(), h).Linearizable
 	}
 	return rep, nil
+}
+
+// NewSimConfig builds a sim.Config with a seeded random delay policy over
+// the admissible range and evenly spread clock offsets within ε — the
+// wiring the engine uses for DelayRandom scenarios, exposed for
+// hand-driven core clusters in tests.
+func NewSimConfig(p model.Params, seed int64) sim.Config {
+	return sim.Config{
+		Params:       p,
+		ClockOffsets: core.MaxSkewOffsets(p),
+		Delay:        sim.NewRandomDelay(seed, p.MinDelay(), p.D),
+		StrictDelays: true,
+	}
 }
 
 // Summarize computes per-kind latency statistics from a history.
@@ -206,15 +195,4 @@ func Summarize(h *history.History) map[spec.OpKind]Stats {
 		}
 	}
 	return out
-}
-
-// NewSimConfig builds a sim.Config with a seeded random delay policy over
-// the admissible range and evenly spread clock offsets within ε.
-func NewSimConfig(p model.Params, seed int64) sim.Config {
-	return sim.Config{
-		Params:       p,
-		ClockOffsets: core.MaxSkewOffsets(p),
-		Delay:        sim.NewRandomDelay(seed, p.MinDelay(), p.D),
-		StrictDelays: true,
-	}
 }

@@ -1,0 +1,191 @@
+package timebounds
+
+import (
+	"fmt"
+
+	"timebounds/internal/engine"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/workload"
+)
+
+// The composable experiment surface: a Scenario pairs a Backend (which
+// algorithm implements the object) with a Workload (what the processes do)
+// under chosen model parameters, delay adversary, and clock offsets; an
+// Engine runs scenario grids in parallel — one isolated simulator per run —
+// and aggregates structured Results: per-kind latency statistics, per-class
+// measured-vs-theoretical bound margins, linearizability verdicts, and
+// replica convergence. Same scenarios ⇒ bit-identical Report.
+type (
+	// Backend is an implementation strategy: Algorithm1, AllOOP,
+	// Centralized, or TOB.
+	Backend = engine.Backend
+	// Instance is one runnable replicated object built by a Backend.
+	Instance = engine.Instance
+	// Scenario is one experiment point: Backend × Workload × parameters ×
+	// delay policy × clock offsets.
+	Scenario = engine.Scenario
+	// Engine executes scenario grids across a worker pool.
+	Engine = engine.Engine
+	// Report aggregates scenario Results in input order.
+	Report = engine.Report
+	// Result is the structured outcome of one scenario run.
+	Result = engine.Result
+	// BoundCheck compares a class's measured worst case with its bound.
+	BoundCheck = engine.BoundCheck
+	// DelaySpec declares the message-delay adversary of a scenario.
+	DelaySpec = engine.DelaySpec
+	// DelayMode names a bundled delay adversary shape.
+	DelayMode = engine.DelayMode
+	// Grid declares a cross product of scenario coordinates.
+	Grid = engine.Grid
+	// Workload is a declarative operation-stream spec: closed/open loop,
+	// per-process mixes, ramps, or explicit (adversarial) schedules.
+	Workload = workload.Spec
+	// WorkloadMode selects closed- or open-loop pacing.
+	WorkloadMode = workload.Mode
+	// OpMix selects operation kinds with weights.
+	OpMix = workload.OpMix
+	// WeightedOp pairs an operation kind, weight, and argument generator.
+	WeightedOp = workload.WeightedOp
+	// Invocation is one explicitly scheduled operation.
+	Invocation = workload.Invocation
+	// Stats summarizes one operation kind's latency distribution.
+	Stats = workload.Stats
+	// Params are the raw model timing parameters (n, d, u, ε).
+	Params = model.Params
+	// OpClass is the Chapter V operation class (MOP/AOP/OOP).
+	OpClass = spec.OpClass
+)
+
+// Workload pacing modes.
+const (
+	// ClosedLoop paces each process with jittered think time.
+	ClosedLoop = workload.Closed
+	// OpenLoop issues invocations at exact fixed-rate instants.
+	OpenLoop = workload.Open
+)
+
+// Delay adversaries.
+const (
+	// DelayRandom draws delays uniformly from [d-u, d] (seeded).
+	DelayRandom = engine.DelayRandom
+	// DelayWorst fixes every delay at the slowest admissible d.
+	DelayWorst = engine.DelayWorst
+	// DelayBest fixes every delay at the fastest admissible d-u.
+	DelayBest = engine.DelayBest
+	// DelayExtremal alternates deterministically between d-u and d.
+	DelayExtremal = engine.DelayExtremal
+)
+
+// Operation classes (Chapter V).
+const (
+	// ClassOther is OOP: totally ordered operations (≤ d+ε).
+	ClassOther = spec.ClassOther
+	// ClassPureMutator is MOP: mutators returning nothing (≤ ε+X).
+	ClassPureMutator = spec.ClassPureMutator
+	// ClassPureAccessor is AOP: read-only operations (≤ d+ε-X).
+	ClassPureAccessor = spec.ClassPureAccessor
+)
+
+// Algorithm1 returns the paper's Chapter V backend: pure mutators respond
+// in ε+X, pure accessors in d+ε-X, everything else in d+ε.
+func Algorithm1() Backend { return engine.Algorithm1{} }
+
+// AllOOP returns the folklore timestamp-total-order backend: every
+// operation takes the ordered path, responding in ≤ d+ε.
+func AllOOP() Backend { return engine.AllOOP{} }
+
+// Centralized returns the folklore coordinator backend: process 0 owns the
+// object; remote operations are request/response round trips (≤ 2d).
+func Centralized() Backend { return engine.Centralized{} }
+
+// TOB returns the sequencer-based total-order-broadcast backend (≤ 2d,
+// matching Chapter I.A.3's observation that TOB is no faster than the
+// centralized scheme).
+func TOB() Backend { return engine.TOB{} }
+
+// Backends returns every bundled backend, Algorithm 1 first.
+func Backends() []Backend { return engine.Backends() }
+
+// BackendByName resolves a backend by name (algorithm1|all-oop|centralized|tob).
+func BackendByName(name string) (Backend, error) { return engine.BackendByName(name) }
+
+// DelayModeByName resolves a delay mode by name (random|worst|best|extremal).
+func DelayModeByName(name string) (DelayMode, error) { return engine.DelayModeByName(name) }
+
+// DataTypeByName constructs a bundled data type by its flag name, for
+// tools: register|queue|stack|tree|set|counter|dict|pqueue|account
+// ("register" is the read/write/read-modify-write register).
+func DataTypeByName(name string) (DataType, error) {
+	switch name {
+	case "register":
+		return NewRMWRegister(0), nil
+	case "queue":
+		return NewQueue(), nil
+	case "stack":
+		return NewStack(), nil
+	case "tree":
+		return NewTree(), nil
+	case "set":
+		return NewSet(), nil
+	case "counter":
+		return NewCounter(), nil
+	case "dict":
+		return NewDict(), nil
+	case "pqueue":
+		return NewPQueue(), nil
+	case "account":
+		return NewAccount(), nil
+	default:
+		return nil, fmt.Errorf("timebounds: unknown data type %q (want register|queue|stack|tree|set|counter|dict|pqueue|account)", name)
+	}
+}
+
+// NewEngine returns an engine with the given worker cap (≤0 = GOMAXPROCS).
+func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// RunScenarios executes the scenarios on a default engine (all cores) and
+// returns their results in input order.
+func RunScenarios(scenarios []Scenario) Report { return engine.Run(scenarios) }
+
+// RunScenario executes one scenario and surfaces its failure, if any, as
+// an error.
+func RunScenario(sc Scenario) (Result, error) { return engine.New(0).RunOne(sc) }
+
+// DefaultMix returns the representative operation mix used for dt by the
+// measured tables and default workloads.
+func DefaultMix(dt DataType) OpMix { return workload.DefaultMix(dt) }
+
+// RenderKinds renders one result's per-kind latency table, kinds sorted.
+func RenderKinds(res Result) string { return engine.RenderKinds(res) }
+
+// RaceWorkload returns a maximal-contention workload: every process
+// invokes the given kinds back-to-back at identical instants, the schedule
+// shape of the paper's lower-bound constructions.
+func RaceWorkload(p Params, start, gap Time, rounds int, kinds ...OpKind) Workload {
+	return workload.Race(p, start, gap, rounds, kinds...)
+}
+
+// Scenario bridges the deprecated Config surface onto the Scenario API:
+// the returned scenario reproduces exactly the simulator NewCluster(cfg, dt)
+// would have built. Like the Config surface it bridges, the result is
+// single-run: when cfg.Delay is set, the bridged DelaySpec reuses that one
+// policy instance, so do not fan the scenario out across a grid — declare a
+// Scenario with a fresh-per-call DelaySpec.Policy instead.
+func (c Config) Scenario(dt DataType) Scenario {
+	sc := Scenario{
+		DataType: dt,
+		Params:   c.params(),
+		X:        c.X,
+		Seed:     c.Seed,
+	}
+	if c.Delay != nil {
+		policy := c.Delay
+		sc.Delay = DelaySpec{Policy: func(model.Params, int64) DelayPolicy { return policy }}
+	}
+	if c.ClockOffsets != nil {
+		sc.ClockOffsets = append([]Time(nil), c.ClockOffsets...)
+	}
+	return sc
+}

@@ -18,11 +18,20 @@
 //     constructions of Theorems C.1, D.1 and E.1.
 //   - The per-object bound summaries of Chapter VI (Tables I–IV).
 //
-// Quick start:
+// Quick start — declare a Scenario and run it through the Engine:
 //
-//	cfg := timebounds.Config{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
-//	cluster, err := timebounds.NewCluster(cfg, timebounds.NewRegister(0))
-//	// schedule operations, run, inspect history…
+//	res, err := timebounds.RunScenario(timebounds.Scenario{
+//		Backend:  timebounds.Algorithm1(),
+//		DataType: timebounds.NewRegister(0),
+//		Params:   timebounds.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond},
+//		Verify:   true,
+//	})
+//	// res.PerKind, res.Bounds, res.Linearizable, …
+//
+// Scenario grids (sweeping backends × objects × parameters × workloads ×
+// seeds) expand via Grid and run in parallel via Engine; see scenario.go.
+// The pre-redesign Config/NewCluster one-shot surface remains as a thin
+// deprecated shim over the same engine.
 package timebounds
 
 import (
@@ -30,7 +39,7 @@ import (
 
 	"timebounds/internal/bounds"
 	"timebounds/internal/check"
-	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/history"
 	"timebounds/internal/model"
 	"timebounds/internal/sim"
@@ -132,6 +141,9 @@ func NewPQueue() DataType { return types.NewPQueue() }
 func NewAccount() DataType { return types.NewAccount() }
 
 // Config configures a cluster of Algorithm 1 replicas.
+//
+// Deprecated: Config predates the Scenario API and survives as a shim; new
+// code should declare a Scenario (see Config.Scenario for the bridge).
 type Config struct {
 	// N is the number of processes (≥ 1; the lower bounds need ≥ 3).
 	N int
@@ -169,25 +181,20 @@ func (c Config) Params() model.Params { return c.params() }
 
 // Cluster is a set of Algorithm 1 replicas of one data type wired through
 // the deterministic simulator.
+//
+// Deprecated: Cluster predates the Scenario API; it is now a thin wrapper
+// over the engine's Algorithm1 backend instance. New code should build an
+// Instance via Scenario.Build or run whole scenarios via RunScenario.
 type Cluster struct {
-	inner *core.Cluster
+	inner engine.Instance
 }
 
 // NewCluster builds a cluster of cfg.N replicas of dt.
+//
+// Deprecated: declare a Scenario instead and call Scenario.Build (for a
+// hand-driven instance) or RunScenario (for a measured run).
 func NewCluster(cfg Config, dt DataType) (*Cluster, error) {
-	p := cfg.params()
-	simCfg := sim.Config{StrictDelays: true}
-	if cfg.Delay != nil {
-		simCfg.Delay = cfg.Delay
-	} else {
-		simCfg.Delay = sim.NewRandomDelay(cfg.Seed, p.MinDelay(), p.D)
-	}
-	if cfg.ClockOffsets != nil {
-		simCfg.ClockOffsets = append([]time.Duration(nil), cfg.ClockOffsets...)
-	} else {
-		simCfg.ClockOffsets = core.MaxSkewOffsets(p)
-	}
-	inner, err := core.NewCluster(core.Config{Params: p, X: cfg.X}, dt, simCfg)
+	inner, err := cfg.Scenario(dt).Build()
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +229,9 @@ func Tables() []Table { return bounds.AllTables() }
 
 // RenderTable formats a table for the given configuration, optionally with
 // measured worst-case latencies per row label.
+//
+// Deprecated: RenderTable is part of the pre-Scenario surface; measured
+// columns now come from Engine reports (internal/experiments.MeasureTable).
 func RenderTable(t Table, cfg Config, measured map[string]Time) string {
 	return bounds.Render(t, cfg.params(), cfg.X, measured)
 }
