@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet fmt
+.PHONY: build test test-adversary bench vet fmt
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ fmt:
 
 test: vet
 	$(GO) test -race ./...
+
+# The lower-bound adversary suites: engine witness machinery, the theorem
+# run families (correct witness ≥ bound, premature violation, shift
+# threshold), the cross-backend conformance grid, and the checker property
+# tests that back them.
+test-adversary:
+	$(GO) test -race -run 'Adversary|Witness|Conformance|Theorem|Figure1|Premature|Shrunk|Property|Family' ./internal/engine ./internal/adversary ./internal/check .
 
 # Benchmarks report simulated-model-time latencies as custom *-ms metrics;
 # ns/op measures simulator throughput. Record trajectories with -count.

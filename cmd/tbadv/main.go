@@ -1,0 +1,160 @@
+// Command tbadv runs the paper's lower-bound adversary constructions —
+// Figure 1 and Theorems C.1, D.1, E.1 — as engine grids, sweeping the run
+// families across (ε, u, d) parameter points and both tunings (premature:
+// one time unit below the proved bound; correct: the proven algorithm), and
+// prints the resulting witness table: per run, the operation whose latency
+// witnesses the theoretical lower bound, its margin, and whether the
+// adversary exposed a linearizability violation. Every row must HOLD the
+// theorem dichotomy — a linearizable run below the bound would falsify the
+// paper.
+//
+// Usage:
+//
+//	tbadv [-adversaries fig1,c1,c1-queue,d1,e1,e1-dict] [-backends algorithm1]
+//	      [-n 3] [-ds 10ms] [-us 2ms,4ms] [-shift 1.0] [-modes premature,correct]
+//	      [-workers 0] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"timebounds/internal/adversary"
+	"timebounds/internal/engine"
+	"timebounds/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tbadv:", err)
+		os.Exit(1)
+	}
+}
+
+// row is one witness-table entry, stable for the -json artifact. Holds is
+// the family-level dichotomy verdict (a premature tuning's family holds by
+// violating in at least one member run).
+type row struct {
+	Scenario string     `json:"scenario"`
+	Family   string     `json:"family"`
+	Kind     string     `json:"witness_op"`
+	Latency  model.Time `json:"latency_ns"`
+	Bound    model.Time `json:"bound_ns"`
+	Margin   model.Time `json:"margin_ns"`
+	Violated bool       `json:"violated"`
+	Holds    bool       `json:"holds"`
+}
+
+func run() error {
+	var (
+		advF     = flag.String("adversaries", strings.Join(adversary.SpecNames(), ","), "comma-separated constructions")
+		backends = flag.String("backends", "algorithm1", "comma-separated backends to compose with")
+		n        = flag.Int("n", 3, "cluster size")
+		dsF      = flag.String("ds", "10ms", "comma-separated delay bounds d")
+		usF      = flag.String("us", "4ms", "comma-separated delay uncertainties u")
+		shift    = flag.Float64("shift", 1.0, "clock-shift fraction of the full proof shift")
+		modesF   = flag.String("modes", "premature,correct", "tunings to drive: premature, correct")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		asJSON   = flag.Bool("json", false, "emit the witness table as JSON")
+	)
+	flag.Parse()
+
+	sf := adversary.ShiftFraction{}
+	if *shift != 1.0 {
+		sf = adversary.Frac(*shift)
+	}
+
+	grid := engine.Grid{}
+	for _, name := range strings.Split(*backends, ",") {
+		b, err := engine.BackendByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		grid.Backends = append(grid.Backends, b)
+	}
+	for _, mode := range strings.Split(*modesF, ",") {
+		mode = strings.TrimSpace(mode)
+		var correct bool
+		switch mode {
+		case "premature":
+			correct = false
+		case "correct":
+			correct = true
+		default:
+			return fmt.Errorf("unknown mode %q (want premature|correct)", mode)
+		}
+		for _, name := range strings.Split(*advF, ",") {
+			as, err := adversary.SpecByName(strings.TrimSpace(name), correct, sf)
+			if err != nil {
+				return err
+			}
+			grid.Adversaries = append(grid.Adversaries, as)
+		}
+	}
+	ds, err := durations(*dsF)
+	if err != nil {
+		return err
+	}
+	us, err := durations(*usF)
+	if err != nil {
+		return err
+	}
+	for _, d := range ds {
+		for _, u := range us {
+			grid.Params = append(grid.Params, model.Params{N: *n, D: d, U: u})
+		}
+	}
+
+	rep := engine.New(*workers).Run(grid.Scenarios())
+	verdicts := make(map[string]bool)
+	for _, f := range rep.WitnessFamilies() {
+		verdicts[f.Family] = f.Holds()
+	}
+	rows := make([]row, 0, len(rep.Results))
+	for _, nw := range rep.Witnesses() {
+		w := nw.Witness
+		rows = append(rows, row{
+			Scenario: nw.Scenario,
+			Family:   w.Family,
+			Kind:     string(w.Kind),
+			Latency:  w.Latency,
+			Bound:    w.Bound,
+			Margin:   w.Margin(),
+			Violated: w.Violated,
+			Holds:    verdicts[w.Family],
+		})
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(rep.RenderWitnesses())
+		fmt.Printf("\n%d adversary runs, %d operations\n", len(rows), rep.Ops())
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	if !*asJSON {
+		fmt.Println("every family upholds the theorem dichotomy (a violation, or latency ≥ bound)")
+	}
+	return nil
+}
+
+func durations(csv string) ([]model.Time, error) {
+	var out []model.Time
+	for _, s := range strings.Split(csv, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad duration %q: %v", s, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

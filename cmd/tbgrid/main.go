@@ -9,6 +9,12 @@
 //	tbgrid [-backends algorithm1,all-oop,centralized,tob] [-types register,queue]
 //	       [-ns 3,4] [-d 10ms] [-u 4ms] [-xs 0,3ms] [-delays random,worst]
 //	       [-seeds 2] [-ops 4] [-workers 0] [-verify]
+//	       [-adversary fig1,c1,c1-queue,d1,e1,e1-dict]
+//
+// With -adversary, the named lower-bound constructions are expanded
+// alongside the regular cross product (premature and correct tunings both),
+// and the witness table is appended to the report; see cmd/tbadv for the
+// dedicated sweep runner.
 package main
 
 import (
@@ -41,6 +47,7 @@ func run() error {
 		ops       = flag.Int("ops", 4, "operations per process")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		verify    = flag.Bool("verify", false, "run the linearizability checker on every history")
+		advF      = flag.String("adversary", "", "comma-separated lower-bound constructions to run alongside the grid")
 	)
 	flag.Parse()
 
@@ -85,10 +92,25 @@ func run() error {
 	}
 	grid.Workloads = []timebounds.Workload{{OpsPerProcess: *ops}}
 	grid.Verify = *verify
+	if *advF != "" {
+		for _, name := range strings.Split(*advF, ",") {
+			for _, correct := range []bool{false, true} {
+				as, err := timebounds.AdversaryByName(strings.TrimSpace(name), correct)
+				if err != nil {
+					return err
+				}
+				grid.Adversaries = append(grid.Adversaries, as)
+			}
+		}
+	}
 
 	scenarios := grid.Scenarios()
 	rep := timebounds.NewEngine(*workers).Run(scenarios)
 	fmt.Print(rep)
+	if wt := rep.RenderWitnesses(); wt != "" {
+		fmt.Println("\nlower-bound witnesses:")
+		fmt.Print(wt)
+	}
 	fmt.Printf("\n%d scenarios, %d operations\n", len(scenarios), rep.Ops())
 	if err := rep.Err(); err != nil {
 		return err

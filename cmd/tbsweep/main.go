@@ -5,6 +5,10 @@
 //	-sweep n   — mutator latency and (1-1/n)u across cluster sizes
 //	             (experiment E14; Theorem D.1 tightness)
 //	-sweep base — Algorithm 1 vs folklore baselines (experiment E12)
+//	-sweep gap — measured OOP latency between Theorem C.1's lower bound
+//	             and Algorithm 1's d+ε upper bound across u (experiment
+//	             E15; the witness column comes from the engine-run
+//	             adversary grid)
 package main
 
 import (
@@ -27,7 +31,7 @@ func main() {
 
 func run() error {
 	var (
-		sweep = flag.String("sweep", "x", "sweep kind: x|n|base")
+		sweep = flag.String("sweep", "x", "sweep kind: x|n|base|gap")
 		n     = flag.Int("n", 4, "number of processes (x and base sweeps)")
 		maxN  = flag.Int("maxn", 10, "largest n (n sweep)")
 		d     = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
@@ -74,6 +78,20 @@ func run() error {
 			cmp.Centralized[types.OpWrite].Max, cmp.Centralized[types.OpRead].Max, cmp.Centralized[types.OpRMW].Max)
 		fmt.Printf("tob\t%s\t%s\t%s\n",
 			cmp.TOB[types.OpWrite].Max, cmp.TOB[types.OpRead].Max, cmp.TOB[types.OpRMW].Max)
+	case "gap":
+		var us []model.Time
+		for i := 1; i <= *steps; i++ {
+			us = append(us, model.Time(int64(*u)*int64(i)/int64(*steps)))
+		}
+		pts, err := experiments.OOPGapSweep(*n, *d, us, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("u\tε\tlower(d+m)\tmeasured\twitness\tupper(d+ε)\tgap")
+		for _, pt := range pts {
+			fmt.Printf("%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				pt.U, pt.Epsilon, pt.Lower, pt.Measured, pt.Witness, pt.Upper, pt.Gap())
+		}
 	default:
 		return fmt.Errorf("unknown sweep %q", *sweep)
 	}

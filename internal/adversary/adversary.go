@@ -1,11 +1,18 @@
 // Package adversary makes the paper's lower-bound proofs executable. For
-// each theorem it builds the exact adversarial runs of the proof — delay
-// matrices, clock assignments, and invocation schedules — then drives a
-// deliberately "premature" implementation (Algorithm 1 with a wait timer
-// shortened below the proved bound) and returns the resulting history for
-// the linearizability checker to reject. Driving the correct implementation
-// through the same scenario yields a linearizable history, demonstrating
-// tightness at the construction.
+// each theorem it declares the exact adversarial runs of the proof — delay
+// matrices, clock assignments, and invocation schedules — as an
+// engine.AdversarySpec whose run family expands into ordinary engine
+// scenarios, then drives a deliberately "premature" implementation
+// (Algorithm 1 with a wait timer shortened below the proved bound) and
+// returns the resulting history for the linearizability checker to reject.
+// Driving the correct implementation through the same scenario yields a
+// linearizable history whose witness operation pays at least the bound,
+// demonstrating tightness at the construction.
+//
+// Every construction executes through internal/engine grids: the spec
+// builders (Figure1Spec, C1Spec, D1Spec, E1Spec) compose with Backend and
+// Params for sweeps, and the theorem functions below are thin wrappers that
+// expand a config-bound spec and convert engine Results back to Outcomes.
 //
 // Scenario inventory:
 //
@@ -25,49 +32,82 @@ import (
 	"fmt"
 
 	"timebounds/internal/check"
-	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/history"
 	"timebounds/internal/model"
 	"timebounds/internal/runs"
 	"timebounds/internal/sim"
 	"timebounds/internal/spec"
 	"timebounds/internal/types"
+	"timebounds/internal/workload"
 )
 
 // Outcome reports one scenario execution.
 type Outcome struct {
 	// History is the recorded invocation/response history.
 	History *history.History
-	// Result is the linearizability verdict.
+	// Result is the linearizability verdict, taken from the engine's
+	// check of the run. Only Linearizable is populated — re-run
+	// check.Check on History for the witness order or search statistics.
 	Result check.Result
 	// WorstLatency is the maximum completed-operation latency observed for
 	// the operations the scenario constrains.
 	WorstLatency model.Time
 	// Run is the recorded run (views + messages) for rendering/analysis.
 	Run runs.Run
+	// Witness is the engine's bound witness for the run.
+	Witness engine.BoundWitness
 }
 
 // Linearizable is shorthand for Result.Linearizable.
 func (o Outcome) Linearizable() bool { return o.Result.Linearizable }
 
-// runCluster drives a cluster to quiescence and checks its history.
-func runCluster(c *core.Cluster, horizon model.Time, kinds ...spec.OpKind) (Outcome, error) {
-	if err := c.Run(horizon); err != nil {
-		return Outcome{}, err
+// runSpec expands one adversary spec at cfg's parameter point and executes
+// the whole family on the engine, converting each Result to an Outcome in
+// family order. All wrappers in this package funnel through here — the
+// engine grid is the only execution path.
+func runSpec(as engine.AdversarySpec, b engine.Backend, p model.Params) ([]Outcome, error) {
+	scs, err := as.Scenarios(b, p, 1)
+	if err != nil {
+		return nil, err
 	}
-	h := c.History()
-	if !h.Complete() {
-		return Outcome{}, fmt.Errorf("adversary: %d operations still pending", h.PendingCount())
+	for i := range scs {
+		scs[i].Trace = true
 	}
-	out := Outcome{
-		History: h,
-		Result:  check.Check(c.DataType(), h),
-		Run:     runs.FromSim(c.Simulator()),
+	rep := engine.Run(scs)
+	outs := make([]Outcome, 0, len(rep.Results))
+	for _, res := range rep.Results {
+		out, err := outcomeOf(res, as.WitnessKinds...)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, out)
+	}
+	return outs, nil
+}
+
+// outcomeOf converts one engine Result back into this package's Outcome
+// surface. The linearizability verdict is the engine's own (the scenario
+// ran with Verify set), so the Wing–Gong search — the profile-dominating
+// cost of these runs — executes exactly once per history.
+func outcomeOf(res engine.Result, kinds ...spec.OpKind) (Outcome, error) {
+	if res.Err != "" {
+		return Outcome{}, fmt.Errorf("adversary: %s", res.Err)
+	}
+	out := Outcome{History: res.History, Result: check.Result{Linearizable: res.Linearizable}}
+	if len(kinds) == 0 {
+		kinds = []spec.OpKind{""} // MaxLatency("") scans every kind
 	}
 	for _, k := range kinds {
-		if l, ok := h.MaxLatency(k); ok && l > out.WorstLatency {
+		if l, ok := res.History.MaxLatency(k); ok && l > out.WorstLatency {
 			out.WorstLatency = l
 		}
+	}
+	if res.Run != nil {
+		out.Run = *res.Run
+	}
+	if res.Witness != nil {
+		out.Witness = *res.Witness
 	}
 	return out, nil
 }
@@ -107,35 +147,87 @@ func (r *naiveRegister) OnMessage(_ sim.Env, _ model.ProcessID, payload any) {
 
 func (r *naiveRegister) OnTimer(sim.Env, any) {}
 
-// Figure1 reproduces Fig. 1(a): pi performs write(0) then write(1)
-// back-to-back; after both complete, pj reads — but the write(1) message is
-// still in flight, so the zero-latency read returns 0, violating
-// linearizability. The returned outcome's Result.Linearizable is false.
-func Figure1(p model.Params) (Outcome, error) {
-	dt := types.NewRegister(0)
-	procs := []sim.Process{}
-	regs := make([]*naiveRegister, p.N)
-	for i := range regs {
-		regs[i] = &naiveRegister{value: 0}
-		procs = append(procs, regs[i])
+// StateEncoding exposes the local copy for convergence checks.
+func (r *naiveRegister) StateEncoding() string { return fmt.Sprintf("%v", r.value) }
+
+// NaiveRegister returns the zero-latency register implementation of
+// Fig. 1(a) as an engine backend, so Figure 1 runs through the same
+// scenario machinery as every other construction.
+func NaiveRegister() engine.Backend { return naiveBackend{} }
+
+type naiveBackend struct{}
+
+// Name implements engine.Backend.
+func (naiveBackend) Name() string { return "naive-register" }
+
+// Build implements engine.Backend.
+func (naiveBackend) Build(cfg engine.BuildConfig) (engine.Instance, error) {
+	simCfg := cfg.Sim
+	simCfg.Params = cfg.Params
+	procs := make([]sim.Process, cfg.Params.N)
+	states := make([]interface{ StateEncoding() string }, cfg.Params.N)
+	for i := range procs {
+		r := &naiveRegister{value: 0}
+		procs[i] = r
+		states[i] = r
 	}
-	s, err := sim.New(sim.Config{Params: p, Delay: sim.FixedDelay(p.D), StrictDelays: true}, procs)
+	s, err := sim.New(simCfg, procs)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSimInstance(s, cfg.DataType, states), nil
+}
+
+// Bound implements engine.Backend: the naive implementation claims zero
+// latency for every class — the claim Figure 1 refutes.
+func (naiveBackend) Bound(model.Params, model.Time, spec.OpClass) model.Time { return 0 }
+
+// Figure1Spec returns Chapter I's motivating example as an engine spec:
+// pi performs write(0) then write(1) back-to-back; after both complete, pj
+// reads while the write(1) message is still in flight. The declared lower
+// bound is one time unit — the figure's claim is exactly that zero-latency
+// operations are infeasible — so the naive implementation must violate
+// linearizability, while any correct backend driven through the same
+// schedule pays a positive latency. naive selects the broken zero-latency
+// backend; otherwise the spec composes with the backend of the grid.
+func Figure1Spec(naive bool) engine.AdversarySpec {
+	as := engine.AdversarySpec{
+		Name:     "fig1",
+		DataType: types.NewRegister(0),
+		Bound:    func(model.Params) model.Time { return 1 },
+		Runs: func(p model.Params) ([]engine.AdversaryRun, error) {
+			t := p.D // start after an idle prefix
+			return []engine.AdversaryRun{{
+				Name:         "R",
+				ClockOffsets: make([]model.Time, p.N),
+				Delay:        engine.DelaySpec{Mode: engine.DelayWorst},
+				Schedule: []workload.Invocation{
+					{At: t, Proc: 0, Kind: types.OpWrite, Arg: 0},
+					{At: t + 1, Proc: 0, Kind: types.OpWrite, Arg: 1},
+					// pj reads after both writes completed (they respond
+					// instantly) but before the write(1) message lands at
+					// pj (t+1+d).
+					{At: t + 2, Proc: 1, Kind: types.OpRead},
+				},
+			}}, nil
+		},
+	}
+	if naive {
+		as.Name = "fig1:naive"
+		as.Backend = naiveBackend{}
+	} else {
+		as.Name = "fig1:correct"
+		as.RequireLinearizable = true
+	}
+	return as
+}
+
+// Figure1 reproduces Fig. 1(a) against the naive zero-latency register via
+// an engine grid. The returned outcome's Result.Linearizable is false.
+func Figure1(p model.Params) (Outcome, error) {
+	outs, err := runSpec(Figure1Spec(true), nil, p)
 	if err != nil {
 		return Outcome{}, err
 	}
-	t := p.D // start after an idle prefix
-	s.Invoke(t, 0, types.OpWrite, 0)
-	s.Invoke(t+1, 0, types.OpWrite, 1)
-	// pj reads after both writes completed (they respond instantly) but
-	// before the write(1) message lands at pj (t+1+d).
-	s.Invoke(t+2, 1, types.OpRead, nil)
-	if err := s.Run(model.Time(100) * p.D); err != nil {
-		return Outcome{}, err
-	}
-	h := s.History()
-	out := Outcome{History: h, Result: check.Check(dt, h), Run: runs.FromSim(s)}
-	if l, ok := h.MaxLatency(""); ok {
-		out.WorstLatency = l
-	}
-	return out, nil
+	return outs[0], nil
 }

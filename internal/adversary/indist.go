@@ -3,11 +3,11 @@ package adversary
 import (
 	"fmt"
 
-	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/model"
-	"timebounds/internal/sim"
 	"timebounds/internal/spec"
 	"timebounds/internal/types"
+	"timebounds/internal/workload"
 )
 
 // IndistResult reports the indistinguishability comparison at the heart of
@@ -45,28 +45,43 @@ func (r IndistResult) OtherDiffersFromSolo() bool {
 
 // TheoremC1Indistinguishability executes run R1 of the Theorem C.1 family
 // together with its single-operation reference run R'1 (same delays, same
-// clocks, only p_i's operation) and the symmetric pair for p_j, returning
-// the Step 1 comparison for the correct Algorithm 1 implementation.
+// clocks, only p_i's operation) and the symmetric reference for p_j — a
+// three-scenario engine grid on the correct Algorithm 1 implementation —
+// and returns the Step 1 comparison.
 //
 // The focal process in R1 is p_i: d_{j,i} = d and op2 starts m after op1,
 // so p_i cannot learn of op2 until t+d+m, after its response (Fig. 7).
 func TheoremC1Indistinguishability(p model.Params, useQueue bool) (IndistResult, error) {
-	family := c1Family(p, 8*p.D)
+	family := c1Family(p, 8*p.D, M(p))
 	r1 := family[0]
 
-	focalRet, err := c1OpReturn(p, useQueue, r1, true, true, 0)
+	// Scenario order: [concurrent, R'1 (only p_i), only p_j].
+	scs := []engine.Scenario{
+		c1IndistScenario(p, useQueue, r1, true, true),
+		c1IndistScenario(p, useQueue, r1, true, false),
+		c1IndistScenario(p, useQueue, r1, false, true),
+	}
+	rep := engine.Run(scs)
+	if err := rep.Err(); err != nil {
+		return IndistResult{}, err
+	}
+	var kind spec.OpKind = types.OpRMW
+	if useQueue {
+		kind = types.OpDequeue
+	}
+	focalRet, err := opReturn(rep.Results[0], kind, 0)
 	if err != nil {
 		return IndistResult{}, fmt.Errorf("R1 focal: %w", err)
 	}
-	soloRet, err := c1OpReturn(p, useQueue, r1, true, false, 0)
+	soloRet, err := opReturn(rep.Results[1], kind, 0)
 	if err != nil {
 		return IndistResult{}, fmt.Errorf("R'1: %w", err)
 	}
-	otherRet, err := c1OpReturn(p, useQueue, r1, true, true, 1)
+	otherRet, err := opReturn(rep.Results[0], kind, 1)
 	if err != nil {
 		return IndistResult{}, fmt.Errorf("R1 other: %w", err)
 	}
-	otherSolo, err := c1OpReturn(p, useQueue, r1, false, true, 1)
+	otherSolo, err := opReturn(rep.Results[2], kind, 1)
 	if err != nil {
 		return IndistResult{}, fmt.Errorf("R1 other solo: %w", err)
 	}
@@ -78,50 +93,52 @@ func TheoremC1Indistinguishability(p model.Params, useQueue bool) (IndistResult,
 	}, nil
 }
 
-// c1OpReturn runs one member of the C.1 family with the correct algorithm,
-// optionally suppressing either operation, and returns the return value of
-// the operation invoked by process `who` (0 = p_i, 1 = p_j).
-func c1OpReturn(p model.Params, useQueue bool, r c1Run, withI, withJ bool, who model.ProcessID) (spec.Value, error) {
-	var dt spec.DataType
-	var opKind spec.OpKind
+// c1IndistScenario builds one member of the indistinguishability grid: run
+// R1's delays and clocks on the correct algorithm, optionally suppressing
+// either operation.
+func c1IndistScenario(p model.Params, useQueue bool, r c1Run, withI, withJ bool) engine.Scenario {
+	var dt spec.DataType = types.NewRMWRegister(0)
 	if useQueue {
 		dt = types.NewQueue()
-		opKind = types.OpDequeue
+	}
+	var invs []workload.Invocation
+	if useQueue {
+		invs = append(invs, workload.Invocation{At: 0, Proc: 2, Kind: types.OpEnqueue, Arg: "X"})
+		if withI {
+			invs = append(invs, workload.Invocation{At: r.invokeI, Proc: 0, Kind: types.OpDequeue})
+		}
+		if withJ {
+			invs = append(invs, workload.Invocation{At: r.invokeJ, Proc: 1, Kind: types.OpDequeue})
+		}
 	} else {
-		dt = types.NewRMWRegister(0)
-		opKind = types.OpRMW
+		if withI {
+			invs = append(invs, workload.Invocation{At: r.invokeI, Proc: 0, Kind: types.OpRMW, Arg: 1})
+		}
+		if withJ {
+			invs = append(invs, workload.Invocation{At: r.invokeJ, Proc: 1, Kind: types.OpRMW, Arg: 2})
+		}
 	}
-	cluster, err := core.NewCluster(
-		core.Config{Params: p},
-		dt,
-		sim.Config{ClockOffsets: r.offsets, Delay: r.delays, StrictDelays: true},
-	)
-	if err != nil {
-		return nil, err
+	return engine.Scenario{
+		Name:         fmt.Sprintf("indist/%s/withI=%v,withJ=%v", r.name, withI, withJ),
+		Backend:      engine.Algorithm1{},
+		DataType:     dt,
+		Params:       p,
+		ClockOffsets: r.offsets,
+		Delay:        engine.DelaySpec{Label: "c1-indist", Policy: matrixPolicy(r.delays)},
+		Workload:     workload.Spec{Name: r.name, Explicit: invs},
 	}
-	if useQueue {
-		cluster.Invoke(0, 2, types.OpEnqueue, "X")
-	}
-	argI, argJ := spec.Value(1), spec.Value(2)
-	if useQueue {
-		argI, argJ = nil, nil
-	}
-	if withI {
-		cluster.Invoke(r.invokeI, 0, opKind, argI)
-	}
-	if withJ {
-		cluster.Invoke(r.invokeJ, 1, opKind, argJ)
-	}
-	if err := cluster.Run(100 * p.D); err != nil {
-		return nil, err
-	}
-	for _, op := range cluster.History().Ops() {
-		if op.Proc == who && op.Kind == opKind {
+}
+
+// opReturn extracts the return value of the operation of the given kind
+// invoked by process who from a finished scenario result.
+func opReturn(res engine.Result, kind spec.OpKind, who model.ProcessID) (spec.Value, error) {
+	for _, op := range res.History.Ops() {
+		if op.Proc == who && op.Kind == kind {
 			if op.Pending {
 				return nil, fmt.Errorf("adversary: op at %s still pending", who)
 			}
 			return op.Ret, nil
 		}
 	}
-	return nil, fmt.Errorf("adversary: no %s operation at %s", opKind, who)
+	return nil, fmt.Errorf("adversary: no %s operation at %s", kind, who)
 }

@@ -2,10 +2,9 @@ package adversary
 
 import (
 	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/model"
 	"timebounds/internal/sim"
-	"timebounds/internal/spec"
-	"timebounds/internal/types"
 )
 
 // C1Config selects the strongly immediately non-self-commuting operation
@@ -40,7 +39,9 @@ type c1Run struct {
 }
 
 // c1Family builds the R1, R2, R3 run family of Theorem C.1's proof
-// (Steps 1–3, Figs. 7–9). m = min{ε,u,d/3}; t is the common base time.
+// (Steps 1–3, Figs. 7–9) with shift magnitude m (the full proof shift is
+// m = min{ε,u,d/3}; adversary specs may scale it down); t is the common
+// base time.
 //
 //	R1: pj's clock is m later (c_j = -m); delays d everywhere except
 //	    d_{k,i} = d_{j,k} = d-m. op1 at real t, op2 at real t+m (both at
@@ -50,8 +51,7 @@ type c1Run struct {
 //	R3: shift(R2, x_i = +m) + chop + extend: c_i = -m; op1 at real t+m,
 //	    op2 at real t; the invalid d-2m delay from pi to pj re-extended
 //	    to d.
-func c1Family(p model.Params, t model.Time) []c1Run {
-	m := M(p)
+func c1Family(p model.Params, t, m model.Time) []c1Run {
 	d := p.D
 	mk := func(name string, cI, cJ, cK model.Time, dm [6]model.Time, tI, tJ model.Time) c1Run {
 		// dm order: i→j, j→i, i→k, k→i, j→k, k→j.
@@ -72,25 +72,15 @@ func c1Family(p model.Params, t model.Time) []c1Run {
 	}
 }
 
-// TheoremC1 executes the Theorem C.1 run family against an implementation
-// whose OOP latency is cfg.OOPLatency and returns the outcome of every run.
-// If cfg.OOPLatency < d+m, at least one outcome is non-linearizable; if the
-// latency budget respects the bound (e.g. the default d+ε tuning passed by
-// NewC1Config), all outcomes are linearizable.
+// TheoremC1 executes the Theorem C.1 run family — as an engine grid —
+// against an implementation whose OOP latency is cfg.OOPLatency and returns
+// the outcome of every run. If cfg.OOPLatency < d+m, at least one outcome
+// is non-linearizable; if the latency budget respects the bound (e.g. the
+// d+ε tuning of the correct algorithm), all outcomes are linearizable.
 func TheoremC1(cfg C1Config) ([]Outcome, error) {
-	p := cfg.Params
-	tBase := 8 * p.D // leave room for the initializing prefix
-	tuning := c1Tuning(p, cfg.OOPLatency)
-
-	var outs []Outcome
-	for _, r := range c1Family(p, tBase) {
-		out, err := runC1Once(cfg, r, tuning)
-		if err != nil {
-			return nil, err
-		}
-		outs = append(outs, out)
-	}
-	return outs, nil
+	as := c1SpecFor("c1", cfg.UseQueue,
+		func(model.Params) model.Time { return cfg.OOPLatency }, ShiftFraction{})
+	return runSpec(as, engine.Algorithm1{}, cfg.Params)
 }
 
 // c1Tuning builds a premature tuning whose own-operation OOP response time
@@ -104,44 +94,4 @@ func c1Tuning(p model.Params, target model.Time) core.Tuning {
 		SelfAddDelay: core.OverrideTime{Override: true, Value: 0},
 		ExecuteWait:  core.OverrideTime{Override: true, Value: target},
 	}
-}
-
-func runC1Once(cfg C1Config, r c1Run, tuning core.Tuning) (Outcome, error) {
-	p := cfg.Params
-	var dt spec.DataType
-	var opKind spec.OpKind
-	if cfg.UseQueue {
-		dt = types.NewQueue()
-		opKind = types.OpDequeue
-	} else {
-		dt = types.NewRMWRegister(0)
-		opKind = types.OpRMW
-	}
-	cluster, err := core.NewCluster(
-		core.Config{Params: p, X: 0, Tuning: tuning},
-		dt,
-		sim.Config{ClockOffsets: r.offsets, Delay: r.delays, StrictDelays: true},
-	)
-	if err != nil {
-		return Outcome{}, err
-	}
-	if cfg.UseQueue {
-		// ρ: a single enqueue long before, so the queue holds one element
-		// when the two dequeues race (Chapter II.B's dequeue witness).
-		cluster.Invoke(0, 2, types.OpEnqueue, "X")
-	}
-	if cfg.UseQueue {
-		cluster.Invoke(r.invokeI, 0, opKind, nil)
-		if r.invokeJ >= 0 {
-			cluster.Invoke(r.invokeJ, 1, opKind, nil)
-		}
-	} else {
-		// rmw(arg) returns the old value and installs arg; two concurrent
-		// instances must not both observe the initial value.
-		cluster.Invoke(r.invokeI, 0, opKind, 1)
-		if r.invokeJ >= 0 {
-			cluster.Invoke(r.invokeJ, 1, opKind, 2)
-		}
-	}
-	return runCluster(cluster, 100*p.D, opKind)
 }

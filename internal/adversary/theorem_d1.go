@@ -1,12 +1,8 @@
 package adversary
 
 import (
-	"fmt"
-
-	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/model"
-	"timebounds/internal/sim"
-	"timebounds/internal/types"
 )
 
 // D1Config configures the Theorem D.1 scenario: k concurrent instances of
@@ -29,13 +25,7 @@ type D1Config struct {
 }
 
 // Bound returns the (1-1/k)u lower bound the configuration tests.
-func (c D1Config) Bound() model.Time {
-	k := c.K
-	if k == 0 {
-		k = c.Params.N
-	}
-	return model.Time(int64(c.Params.U) * int64(k-1) / int64(k))
-}
+func (c D1Config) Bound() model.Time { return d1Bound(c.Params, c.K, ShiftFraction{}) }
 
 // d1Shift returns the proof's Step 2 shift vector for last-operation z:
 // x_i = (((z-i) mod k)/k - (k-1)/(2k)) · u, so that p_z moves
@@ -89,62 +79,20 @@ func shiftDelays(base [][]model.Time, xs []model.Time) [][]model.Time {
 	return out
 }
 
-// TheoremD1 executes the Theorem D.1 construction. It runs R1 (all k
-// writers invoke concurrently at identical clocks over the ring delays,
-// Fig. 11) and R2 (the standard shift of R1 by the Step 2 vector, Fig. 14),
-// followed in each case by a read that exposes the final register value.
-// The returned outcomes are [R1, R2].
+// TheoremD1 executes the Theorem D.1 construction as an engine grid. It
+// runs R1 (all k writers invoke concurrently at identical clocks over the
+// ring delays, Fig. 11) and R2 (the standard shift of R1 by the Step 2
+// vector, Fig. 14), followed in each case by a read that exposes the final
+// register value. The returned outcomes are [R1, R2].
 //
 // In R2 the writer p_z whose write the implementation orders last responds
 // (k-1)/k·u before p_{(z+1) mod k}'s write begins, so any implementation
 // whose writes respond in under (1-1/k)u leaves a final state that no
 // real-time-respecting permutation explains.
 func TheoremD1(cfg D1Config) ([]Outcome, error) {
-	p := cfg.Params
-	k := cfg.K
-	if k == 0 {
-		k = p.N
-	}
-	if k < 2 || k > p.N {
-		return nil, fmt.Errorf("adversary: Theorem D.1 needs 2 ≤ k ≤ n, got k=%d n=%d", k, p.N)
-	}
-	if want := cfg.Bound(); p.Epsilon < want {
-		return nil, fmt.Errorf("adversary: ε=%s < (1-1/k)u=%s; shifted run inadmissible", p.Epsilon, want)
-	}
-	base := d1BaseDelays(p, k)
-	// Algorithm 1 breaks equal-clock timestamp ties by process id, so the
-	// write ordered last is the one at the largest participating id.
-	z := k - 1
-	xs := d1Shift(k, z, p.U)
-	// Idle processes are not shifted (x_l = 0 in the proof's Step 2).
-	xs = append(xs, make([]model.Time, p.N-k)...)
-
-	t := 4 * p.D
-	var outs []Outcome
-
-	// R1: all k writers at real time t, zero offsets, ring delays.
-	out1, err := runD1Once(cfg, k, base, make([]model.Time, p.N), uniformTimes(k, t), t)
-	if err != nil {
-		return nil, fmt.Errorf("adversary: R1: %w", err)
-	}
-	outs = append(outs, out1)
-
-	// R2 = shift(R1, xs): invocation times t + x_i, offsets -x_i (each
-	// writer still stamps clock T), delays shifted by formula (4.1).
-	times := make([]model.Time, k)
-	offs := make([]model.Time, p.N)
-	for i := 0; i < k; i++ {
-		times[i] = t + xs[i]
-	}
-	for i := range offs {
-		offs[i] = -xs[i]
-	}
-	out2, err := runD1Once(cfg, k, shiftDelays(base, xs), offs, times, t)
-	if err != nil {
-		return nil, fmt.Errorf("adversary: R2: %w", err)
-	}
-	outs = append(outs, out2)
-	return outs, nil
+	as := d1SpecFor("d1", cfg.K,
+		func(model.Params) model.Time { return cfg.MutatorLatency }, ShiftFraction{})
+	return runSpec(as, engine.Algorithm1{}, cfg.Params)
 }
 
 func uniformTimes(k int, t model.Time) []model.Time {
@@ -153,30 +101,4 @@ func uniformTimes(k int, t model.Time) []model.Time {
 		out[i] = t
 	}
 	return out
-}
-
-func runD1Once(cfg D1Config, k int, delays [][]model.Time, offsets, times []model.Time, t model.Time) (Outcome, error) {
-	p := cfg.Params
-	tuning := core.Tuning{}
-	if cfg.MutatorLatency < p.Epsilon {
-		tuning.MutatorResponse = core.OverrideTime{Override: true, Value: cfg.MutatorLatency}
-	}
-	cluster, err := core.NewCluster(
-		core.Config{Params: p, X: 0, Tuning: tuning},
-		types.NewRegister(-1),
-		sim.Config{
-			ClockOffsets: offsets,
-			Delay:        sim.MatrixDelay{M: delays},
-			StrictDelays: true,
-		},
-	)
-	if err != nil {
-		return Outcome{}, err
-	}
-	for i := 0; i < k; i++ {
-		cluster.Invoke(times[i], model.ProcessID(i), types.OpWrite, i)
-	}
-	// A read well after every write has settled exposes the final value.
-	cluster.Invoke(t+4*p.D, 0, types.OpRead, nil)
-	return runCluster(cluster, 100*p.D, types.OpWrite)
 }

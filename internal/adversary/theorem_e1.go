@@ -1,11 +1,8 @@
 package adversary
 
 import (
-	"fmt"
-
-	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/model"
-	"timebounds/internal/sim"
 	"timebounds/internal/types"
 )
 
@@ -30,44 +27,22 @@ func (c E1Config) PairLatency() model.Time {
 	return c.MutatorLatency + (c.Params.D + c.Params.Epsilon - c.X)
 }
 
-// TheoremE1 executes the Theorem E.1 construction (Figs. 15–17),
-// instantiated with enqueue and peek on a queue. Process p_j enqueues at
-// time t; the accessor process p_i — whose clock runs ε behind, the
-// adversarial extreme the proof's Step 2 shift realizes — peeks immediately
-// after the enqueue's response. Real time forces the peek to observe the
-// enqueue, but a pair faster than the bound responds off a local copy whose
-// timestamp horizon excludes it, returning an empty-queue nil.
+// TheoremE1 executes the Theorem E.1 construction (Figs. 15–17) as an
+// engine grid, instantiated with enqueue and peek on a queue. Process p_j
+// enqueues at time t; the accessor process p_i — whose clock runs ε behind,
+// the adversarial extreme the proof's Step 2 shift realizes — peeks
+// immediately after the enqueue's response. Real time forces the peek to
+// observe the enqueue, but a pair faster than the bound responds off a
+// local copy whose timestamp horizon excludes it, returning an
+// empty-queue nil.
 func TheoremE1(cfg E1Config) (Outcome, error) {
-	p := cfg.Params
-	if p.N < 3 {
-		return Outcome{}, fmt.Errorf("adversary: Theorem E.1 needs n ≥ 3, got %d", p.N)
-	}
-	tuning := core.Tuning{}
-	if cfg.MutatorLatency < p.Epsilon+cfg.X {
-		tuning.MutatorResponse = core.OverrideTime{Override: true, Value: cfg.MutatorLatency}
-	}
-	offsets := make([]model.Time, p.N)
-	offsets[0] = -p.Epsilon // accessor's clock runs ε behind the mutator's
-
-	cluster, err := core.NewCluster(
-		core.Config{Params: p, X: cfg.X, Tuning: tuning},
-		types.NewQueue(),
-		sim.Config{
-			ClockOffsets: offsets,
-			Delay:        sim.FixedDelay(p.D), // slowest admissible delays
-			StrictDelays: true,
-		},
-	)
+	as := e1SpecFor("e1", types.NewQueue(), types.OpEnqueue, types.OpPeek, "x", nil,
+		func(model.Params) model.Time { return cfg.X },
+		func(model.Params) model.Time { return cfg.MutatorLatency },
+		ShiftFraction{})
+	outs, err := runSpec(as, engine.Algorithm1{}, cfg.Params)
 	if err != nil {
 		return Outcome{}, err
 	}
-	t := 4 * p.D
-	// OP: p_1 enqueues; it responds at t + MutatorLatency.
-	cluster.Invoke(t, 1, types.OpEnqueue, "x")
-	// AOP: p_0 peeks strictly after the enqueue's response, so any legal
-	// permutation must place the enqueue first and the peek must return x.
-	cluster.Invoke(t+cfg.MutatorLatency+1, 0, types.OpPeek, nil)
-	// A later observer at p_2 double-checks convergence; it always sees x.
-	cluster.Invoke(t+6*p.D, 2, types.OpPeek, nil)
-	return runCluster(cluster, 100*p.D, types.OpEnqueue, types.OpPeek)
+	return outs[0], nil
 }

@@ -1,9 +1,8 @@
 package adversary
 
 import (
-	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/model"
-	"timebounds/internal/sim"
 	"timebounds/internal/types"
 )
 
@@ -14,28 +13,14 @@ import (
 // the accessor's clock runs ε behind, delays are slowest-admissible, and
 // the get is invoked strictly after the put's (possibly premature) ack.
 func theoremE1Dict(p model.Params, x, mutatorLatency model.Time) (Outcome, error) {
-	tuning := core.Tuning{}
-	if mutatorLatency < p.Epsilon+x {
-		tuning.MutatorResponse = core.OverrideTime{Override: true, Value: mutatorLatency}
-	}
-	offsets := make([]model.Time, p.N)
-	offsets[0] = -p.Epsilon
-
-	cluster, err := core.NewCluster(
-		core.Config{Params: p, X: x, Tuning: tuning},
-		types.NewDict(),
-		sim.Config{
-			ClockOffsets: offsets,
-			Delay:        sim.FixedDelay(p.D),
-			StrictDelays: true,
-		},
-	)
+	as := e1SpecFor("e1-dict", types.NewDict(), types.OpPut, types.OpDictGet,
+		types.KV{Key: "k", Value: "x"}, "k",
+		func(model.Params) model.Time { return x },
+		func(model.Params) model.Time { return mutatorLatency },
+		ShiftFraction{})
+	outs, err := runSpec(as, engine.Algorithm1{}, p)
 	if err != nil {
 		return Outcome{}, err
 	}
-	t := 4 * p.D
-	cluster.Invoke(t, 1, types.OpPut, types.KV{Key: "k", Value: "x"})
-	cluster.Invoke(t+mutatorLatency+1, 0, types.OpDictGet, "k")
-	cluster.Invoke(t+6*p.D, 2, types.OpDictGet, "k")
-	return runCluster(cluster, 100*p.D, types.OpPut, types.OpDictGet)
+	return outs[0], nil
 }

@@ -67,6 +67,14 @@ func (a Algorithm1) Build(cfg BuildConfig) (Instance, error) {
 		cfg.DataType, cfg.Sim)
 }
 
+// WithTuning implements TunableBackend: it returns an Algorithm1 with the
+// tuning applied, the hook adversary specs use to build deliberately
+// premature implementations.
+func (a Algorithm1) WithTuning(t core.Tuning) Backend {
+	a.Tuning = t
+	return a
+}
+
 // Bound implements Backend.
 func (Algorithm1) Bound(p model.Params, x model.Time, class spec.OpClass) model.Time {
 	switch class {
@@ -163,6 +171,14 @@ func withParams(cfg BuildConfig) sim.Config {
 	sc := cfg.Sim
 	sc.Params = cfg.Params
 	return sc
+}
+
+// NewSimInstance adapts a raw simulator plus per-process state probes to
+// the Instance interface, for custom backends defined outside this package
+// (e.g. the adversary package's deliberately broken Figure 1
+// implementation). Convergence compares every probe against the first.
+func NewSimInstance(s *sim.Simulator, dt spec.DataType, states []interface{ StateEncoding() string }) Instance {
+	return &simInstance{s: s, dt: dt, states: states}
 }
 
 // simInstance adapts a raw simulator plus per-process state probes to the

@@ -7,9 +7,11 @@
 //
 // The public facade (package timebounds), every cmd/ tool, and the
 // experiment harnesses (internal/experiments, internal/explore) are built
-// on this package; outside it, only the lower-bound proof machinery
-// (internal/adversary) constructs clusters directly, because its runs are
-// deliberately inadmissible.
+// on this package. The lower-bound proof machinery (internal/adversary)
+// runs through it too: an AdversarySpec expands a theorem's run family —
+// delay matrices, clock shifts, premature tunings — into ordinary
+// scenarios whose Results carry BoundWitnesses, so upper-bound workloads
+// and lower-bound constructions share one execution path.
 package engine
 
 import (

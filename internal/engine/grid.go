@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
 	"timebounds/internal/workload"
@@ -26,6 +28,16 @@ type Grid struct {
 	// Workloads are the op-stream specs; empty means one zero-value Spec
 	// (small closed loop of each object's default mix).
 	Workloads []workload.Spec
+	// Adversaries are lower-bound adversary specs to expand alongside the
+	// regular cross product: every adversary's run family is expanded per
+	// backend × params, with the first seed (an adversary brings its own
+	// object, delay matrices, clock shifts, explicit schedule, and
+	// simulation horizon, so the Objects / Delays / Workloads / Xs /
+	// Horizon axes do not apply, and its runs are seed-independent so the
+	// Seeds axis would only duplicate them; a spec with its own Backend
+	// override expands once, not per grid backend). An inadmissible family
+	// surfaces as an error Result under the adversary's name.
+	Adversaries []AdversarySpec
 	// Verify runs the linearizability checker on every run.
 	Verify bool
 	// Horizon bounds each simulation; zero picks a generous default.
@@ -57,7 +69,28 @@ func (g Grid) Scenarios() []Scenario {
 		workloads = []workload.Spec{{}}
 	}
 	var out []Scenario
-	for _, b := range backends {
+	for bi, b := range backends {
+		for _, as := range g.Adversaries {
+			if as.Backend != nil && bi > 0 {
+				continue // the override would yield per-backend duplicates
+			}
+			// One expansion per parameter point: an adversary family is
+			// fully determined by its construction (the bundled delay
+			// matrices and schedules never consume the seed), so sweeping
+			// the Seeds axis would only duplicate verified runs.
+			seed := seeds[0]
+			for _, p := range g.Params {
+				scs, err := as.Scenarios(b, p, seed)
+				if err != nil {
+					out = append(out, Scenario{
+						Name:      fmt.Sprintf("adversary/%s/%s/n=%d,d=%s,u=%s/seed=%d", as.Name, b.Name(), p.N, p.D, p.U, seed),
+						expandErr: err,
+					})
+					continue
+				}
+				out = append(out, scs...)
+			}
+		}
 		for _, dt := range g.Objects {
 			for _, p := range g.Params {
 				for _, x := range xs {

@@ -7,9 +7,88 @@ import (
 
 	"timebounds/internal/history"
 	"timebounds/internal/model"
+	"timebounds/internal/runs"
 	"timebounds/internal/spec"
 	"timebounds/internal/workload"
 )
+
+// BoundWitness records how one adversary-scenario run witnesses a
+// theoretical lower bound: the constrained operation with the largest
+// latency, the bound itself, and whether the run's history failed the
+// linearizability check. The theorems' dichotomy — an implementation
+// either pays at least the bound or produces a non-linearizable history
+// somewhere in the run family — is judged per family (FamilyWitness), not
+// per run: an indistinguishability family deliberately contains members
+// that linearize below the bound on their own.
+type BoundWitness struct {
+	// Family groups the runs of one adversary family (one adversary ×
+	// backend × parameter point × seed) for the family-level verdict.
+	Family string
+	// Kind and Op identify the witness operation (the completed operation
+	// among the declared witness kinds with the largest latency).
+	Kind spec.OpKind
+	Op   history.OpID
+	// Latency is the witnessed latency: the worst case among the witness
+	// kinds, or — for pair bounds — the sum of the per-kind worst cases.
+	Latency model.Time
+	// Bound is the theoretical lower bound under test.
+	Bound model.Time
+	// Violated reports that the run's history is not linearizable: the
+	// adversary caught an implementation tuned below the bound.
+	Violated bool
+	// Diverged reports that the authoritative copies disagreed after the
+	// run — another way a premature implementation breaks (recorded for
+	// diagnostics; the dichotomy is judged on Violated and Latency).
+	Diverged bool
+	// RequireLinearizable marks a proven-correct tuning, echoed from the
+	// witness spec: the family verdict then forbids violations.
+	RequireLinearizable bool
+}
+
+// Margin returns Latency - Bound: how far above the lower bound the
+// implementation paid (negative for premature implementations).
+func (w BoundWitness) Margin() model.Time { return w.Latency - w.Bound }
+
+// Holds reports the dichotomy restricted to this single run: either the
+// witnessed latency is at least the bound, or the run exposes a violation.
+// Only meaningful for single-run families; grids should judge
+// FamilyWitness.Holds.
+func (w BoundWitness) Holds() bool { return w.Violated || w.Latency >= w.Bound }
+
+// FamilyWitness aggregates one adversary run family: the theorem's
+// dichotomy says an implementation either pays at least the bound
+// somewhere in the family or some member's history is not linearizable.
+type FamilyWitness struct {
+	// Family is the family key shared by the member runs.
+	Family string
+	// Bound is the theoretical lower bound the family witnesses.
+	Bound model.Time
+	// MaxLatency is the largest witnessed latency across the members.
+	MaxLatency model.Time
+	// Violated is true if any member's history failed linearizability.
+	Violated bool
+	// Diverged is true if any member's authoritative copies disagreed.
+	Diverged bool
+	// RequireLinearizable marks a proven-correct tuning: the verdict then
+	// forbids violations and divergence rather than accepting them as the
+	// dichotomy's other horn.
+	RequireLinearizable bool
+	// Runs counts the member runs.
+	Runs int
+}
+
+// Holds reports the family-level verdict. For a premature tuning it is
+// the theorems' dichotomy — a violation somewhere, or witnessed latency
+// at least the bound; a correct implementation driven below the bound
+// through the whole family would falsify it. For a proven-correct tuning
+// (RequireLinearizable) the violation horn is a bug, not a witness: every
+// member must linearize and converge AND the latency must meet the bound.
+func (f FamilyWitness) Holds() bool {
+	if f.RequireLinearizable {
+		return !f.Violated && !f.Diverged && f.MaxLatency >= f.Bound
+	}
+	return f.Violated || f.MaxLatency >= f.Bound
+}
 
 // BoundCheck compares the measured worst-case latency of one operation
 // class against the backend's theoretical bound.
@@ -60,12 +139,28 @@ type Result struct {
 	Converged bool
 	State     string
 	Diverged  string
+	// Witness records the lower-bound witness when the scenario declared
+	// one (adversary scenarios); nil otherwise.
+	Witness *BoundWitness
+	// Run is the recorded run (views + messages) when the scenario asked
+	// for a trace; nil otherwise.
+	Run *runs.Run
 }
 
 // OK reports whether the run completed, stayed within every class bound,
-// converged, and (if checked) linearized.
+// converged, and (if checked) linearized. Witness scenarios are only held
+// to run completion here: violations and divergence are the expected
+// outcomes of a premature tuning, and the theorem dichotomy is judged
+// across the whole family — by Report.OK and Report.Err via
+// WitnessFamilies — not per run.
 func (r Result) OK() bool {
-	if r.Err != "" || !r.Converged {
+	if r.Err != "" {
+		return false
+	}
+	if r.Witness != nil {
+		return true
+	}
+	if !r.Converged {
 		return false
 	}
 	if r.Checked && !r.Linearizable {
@@ -107,21 +202,34 @@ type Report struct {
 	Results []Result
 }
 
-// OK reports whether every scenario run is OK.
+// OK reports whether every scenario run is OK and every adversary run
+// family upholds its witness dichotomy — the same verdict Err reports,
+// as a boolean.
 func (r Report) OK() bool {
 	for _, res := range r.Results {
 		if !res.OK() {
 			return false
 		}
 	}
+	for _, f := range r.WitnessFamilies() {
+		if !f.Holds() {
+			return false
+		}
+	}
 	return true
 }
 
-// Err returns the first scenario failure as an error, or nil.
+// Err returns the first scenario failure as an error, or nil. Witness
+// scenarios fail only when their family's witness dichotomy breaks (every
+// member linearizable yet all below the declared lower bound), not on the
+// violations a premature tuning is expected to produce.
 func (r Report) Err() error {
 	for _, res := range r.Results {
 		if res.Err != "" {
 			return fmt.Errorf("engine: scenario %q: %s", res.Name, res.Err)
+		}
+		if res.Witness != nil {
+			continue // violations and divergence are judged per family below
 		}
 		if !res.Converged {
 			return fmt.Errorf("engine: scenario %q: %s", res.Name, res.Diverged)
@@ -136,7 +244,113 @@ func (r Report) Err() error {
 			}
 		}
 	}
+	for _, f := range r.WitnessFamilies() {
+		if f.Holds() {
+			continue
+		}
+		if f.RequireLinearizable && f.Violated {
+			return fmt.Errorf("engine: adversary family %q: correct tuning produced a non-linearizable history", f.Family)
+		}
+		if f.RequireLinearizable && f.Diverged {
+			return fmt.Errorf("engine: adversary family %q: correct tuning diverged", f.Family)
+		}
+		return fmt.Errorf("engine: adversary family %q: every run linearizable yet max witness latency %s below lower bound %s",
+			f.Family, f.MaxLatency, f.Bound)
+	}
 	return nil
+}
+
+// Witnesses returns the lower-bound witnesses of the grid in input order,
+// paired with their scenario names. Non-witness scenarios are skipped.
+func (r Report) Witnesses() []NamedWitness {
+	var out []NamedWitness
+	for _, res := range r.Results {
+		if res.Witness != nil {
+			out = append(out, NamedWitness{Scenario: res.Name, Witness: *res.Witness})
+		}
+	}
+	return out
+}
+
+// NamedWitness pairs a scenario name with its BoundWitness.
+type NamedWitness struct {
+	Scenario string
+	Witness  BoundWitness
+}
+
+// WitnessFamilies aggregates the grid's witnesses per adversary run
+// family, in order of first appearance.
+func (r Report) WitnessFamilies() []FamilyWitness {
+	var order []string
+	byKey := make(map[string]*FamilyWitness)
+	for _, res := range r.Results {
+		if res.Witness == nil {
+			continue
+		}
+		w := res.Witness
+		key := w.Family
+		if key == "" {
+			key = res.Name // ungrouped witnesses stand alone
+		}
+		f, ok := byKey[key]
+		if !ok {
+			f = &FamilyWitness{Family: key, Bound: w.Bound, RequireLinearizable: w.RequireLinearizable}
+			byKey[key] = f
+			order = append(order, key)
+		}
+		f.Runs++
+		if w.Latency > f.MaxLatency {
+			f.MaxLatency = w.Latency
+		}
+		if w.Violated {
+			f.Violated = true
+		}
+		if w.Diverged {
+			f.Diverged = true
+		}
+	}
+	out := make([]FamilyWitness, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byKey[key])
+	}
+	return out
+}
+
+// RenderWitnesses renders the grid's witness table: one row per adversary
+// run with the witness operation, bound, and margin, and a verdict column
+// carrying the family-level dichotomy.
+func (r Report) RenderWitnesses() string {
+	ws := r.Witnesses()
+	if len(ws) == 0 {
+		return ""
+	}
+	verdicts := make(map[string]bool)
+	for _, f := range r.WitnessFamilies() {
+		verdicts[f.Family] = f.Holds()
+	}
+	w := 8
+	for _, nw := range ws {
+		if len(nw.Scenario) > w {
+			w = len(nw.Scenario)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %-14s  %10s  %10s  %10s  %-8s  %s\n",
+		w, "scenario", "witness-op", "latency", "bound", "margin", "violated", "family-verdict")
+	for _, nw := range ws {
+		bw := nw.Witness
+		key := bw.Family
+		if key == "" {
+			key = nw.Scenario
+		}
+		verdict := "HOLDS"
+		if !verdicts[key] {
+			verdict = "FALSIFIED"
+		}
+		fmt.Fprintf(&b, "%-*s  %-14s  %10s  %10s  %10s  %-8v  %s\n",
+			w, nw.Scenario, bw.Kind, bw.Latency, bw.Bound, bw.Margin(), bw.Violated, verdict)
+	}
+	return b.String()
 }
 
 // ByName returns the named result and whether it exists.

@@ -6,6 +6,7 @@ import (
 
 	"timebounds/internal/core"
 	"timebounds/internal/model"
+	"timebounds/internal/runs"
 	"timebounds/internal/sim"
 	"timebounds/internal/spec"
 	"timebounds/internal/workload"
@@ -141,6 +142,19 @@ type Scenario struct {
 	Verify bool
 	// Horizon bounds the simulation; zero picks a generous default.
 	Horizon model.Time
+	// Witness, when set, records a BoundWitness in the Result: the
+	// completed operation among Witness.Kinds with the largest latency,
+	// compared against the declared theoretical lower bound. Adversary
+	// scenarios (AdversarySpec.Scenarios) set it automatically.
+	Witness *WitnessSpec
+	// Trace records the full run (views + messages) in Result.Run, for
+	// diagram rendering and run-composition analysis. Costs memory on
+	// large grids; leave off unless the run will be inspected.
+	Trace bool
+	// expandErr carries a grid-expansion failure (e.g. an inadmissible
+	// adversary family) into the run, so it surfaces as a Result error
+	// rather than being silently dropped.
+	expandErr error
 }
 
 // resolved returns the scenario with defaults filled in.
@@ -191,6 +205,9 @@ func (sc Scenario) Build() (Instance, error) {
 // build constructs the instance for an already-resolved scenario, with
 // bare errors (run and Report.Err add the scenario context exactly once).
 func (sc Scenario) build() (Instance, error) {
+	if sc.expandErr != nil {
+		return nil, sc.expandErr
+	}
 	if sc.DataType == nil {
 		return nil, fmt.Errorf("engine: scenario has no data type")
 	}
@@ -258,7 +275,62 @@ func (sc Scenario) run() Result {
 		res.Diverged = err.Error()
 	}
 	res.Bounds = boundChecks(sc, inst.DataType(), rep.PerKind)
+	if sc.Witness != nil {
+		res.Witness = witnessOf(*sc.Witness, res)
+	}
+	if sc.Trace {
+		run := runs.FromSim(inst.Simulator())
+		res.Run = &run
+	}
 	return res
+}
+
+// witnessOf locates the bound witness in a finished run: the completed
+// operation among the declared kinds with the largest latency. For pair
+// bounds the witnessed latency is the sum of the per-kind worst cases (the
+// witness operation is still the single slowest one).
+func witnessOf(w WitnessSpec, res Result) *BoundWitness {
+	wanted := func(k spec.OpKind) bool {
+		if len(w.Kinds) == 0 {
+			return true
+		}
+		for _, wk := range w.Kinds {
+			if wk == k {
+				return true
+			}
+		}
+		return false
+	}
+	bw := &BoundWitness{
+		Family:              w.Family,
+		Bound:               w.Bound,
+		Violated:            res.Checked && !res.Linearizable,
+		Diverged:            res.Diverged != "",
+		RequireLinearizable: w.RequireLinearizable,
+	}
+	perKind := make(map[spec.OpKind]model.Time)
+	found := false
+	for _, op := range res.History.Ops() {
+		if op.Pending || !wanted(op.Kind) {
+			continue
+		}
+		l := op.Latency()
+		if l > perKind[op.Kind] {
+			perKind[op.Kind] = l
+		}
+		if !found || l > bw.Latency {
+			bw.Kind, bw.Op, bw.Latency = op.Kind, op.ID, l
+			found = true
+		}
+	}
+	if w.Pair {
+		var sum model.Time
+		for _, l := range perKind {
+			sum += l
+		}
+		bw.Latency = sum
+	}
+	return bw
 }
 
 // boundChecks compares measured worst-case latencies per operation class

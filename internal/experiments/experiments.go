@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"timebounds/internal/adversary"
 	"timebounds/internal/bounds"
 	"timebounds/internal/engine"
 	"timebounds/internal/model"
@@ -159,6 +160,88 @@ func NSweep(d, u model.Time, maxN int, seed int64) ([]SkewPoint, error) {
 			OptimalSkew:     res.Params.Epsilon,
 			MutatorBound:    bounds.PermuteLower(res.Params.N, res.Params.U),
 			MeasuredMutator: res.PerKind[types.OpWrite].Max,
+		})
+	}
+	return out, nil
+}
+
+// GapPoint is one sample of the upper-vs-lower gap experiment (E15): where
+// the measured OOP latency sits between the matching theoretical curves as
+// the delay uncertainty u grows. Lower comes from Theorem C.1's adversary
+// grid (run through the engine, its witness recorded per family), Upper
+// from Algorithm 1's d+ε guarantee, and Measured from a maximally
+// contended read-modify-write workload under worst-case delays. Tightness
+// (Lower == Upper) holds exactly while ε = (1-1/n)u ≤ min{u, d/3}.
+type GapPoint struct {
+	// U is the swept delay uncertainty; Epsilon the optimal skew (1-1/n)u.
+	U       model.Time
+	Epsilon model.Time
+	// Lower is Theorem C.1's d + min{ε,u,d/3} lower bound.
+	Lower model.Time
+	// Upper is Algorithm 1's d + ε OOP upper bound.
+	Upper model.Time
+	// Witness is the adversary grid's witnessed worst latency for the
+	// correct tuning (max across the R1/R2/R3 family).
+	Witness model.Time
+	// Measured is the worst rmw latency of the contended workload.
+	Measured model.Time
+}
+
+// Gap returns Upper - Lower, the distance between the two curves.
+func (g GapPoint) Gap() model.Time { return g.Upper - g.Lower }
+
+// OOPGapSweep runs the gap experiment across the given u values: for each
+// parameter point it expands Theorem C.1's correct-tuning adversary family
+// and a contended rmw race workload into one engine grid (all scenarios
+// execute in parallel) and reads the witness and measured curves out of
+// the Report. Every returned point satisfies Lower ≤ Measured ≤ Upper for
+// a correct implementation.
+func OOPGapSweep(n int, d model.Time, us []model.Time, seed int64) ([]GapPoint, error) {
+	spec := adversary.C1Spec(false, true, adversary.ShiftFraction{})
+	var scenarios []engine.Scenario
+	var famSizes []int
+	for _, u := range us {
+		p := model.Params{N: n, D: d, U: u}
+		p.Epsilon = p.OptimalSkew()
+		scenarios = append(scenarios, engine.Scenario{
+			Backend:  engine.Algorithm1{},
+			DataType: types.NewRMWRegister(0),
+			Params:   p,
+			Seed:     seed,
+			Delay:    engine.DelaySpec{Mode: engine.DelayWorst},
+			Workload: workload.Race(p, p.D, p.D/2, 2, types.OpRMW),
+		})
+		fam, err := spec.Scenarios(engine.Algorithm1{}, p, seed)
+		if err != nil {
+			return nil, err
+		}
+		scenarios = append(scenarios, fam...)
+		famSizes = append(famSizes, len(fam))
+	}
+	rep := engine.Run(scenarios)
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]GapPoint, 0, len(us))
+	idx := 0
+	for i, u := range us {
+		p := model.Params{N: n, D: d, U: u}
+		p.Epsilon = p.OptimalSkew()
+		measured := rep.Results[idx]
+		var witness model.Time
+		for _, res := range rep.Results[idx+1 : idx+1+famSizes[i]] {
+			if res.Witness != nil && res.Witness.Latency > witness {
+				witness = res.Witness.Latency
+			}
+		}
+		idx += 1 + famSizes[i]
+		out = append(out, GapPoint{
+			U:        u,
+			Epsilon:  p.Epsilon,
+			Lower:    bounds.StronglyINSCLower(p),
+			Upper:    bounds.UpperOOP(p),
+			Witness:  witness,
+			Measured: measured.PerKind[types.OpRMW].Max,
 		})
 	}
 	return out, nil

@@ -168,3 +168,37 @@ func TestDefaultParams(t *testing.T) {
 		t.Errorf("Validate: %v", err)
 	}
 }
+
+func TestOOPGapSweepSitsBetweenTheCurves(t *testing.T) {
+	// The gap experiment (E15): across u, the measured OOP latency and the
+	// engine-run adversary witness both lie between Theorem C.1's lower
+	// bound and Algorithm 1's d+ε upper bound; the curves coincide (gap 0)
+	// exactly while ε = (1-1/n)u stays within min{u, d/3}.
+	d := model.Time(10_000_000)
+	us := []model.Time{1_000_000, 2_000_000, 4_000_000, 6_000_000, 8_000_000}
+	pts, err := OOPGapSweep(3, d, us, 1)
+	if err != nil {
+		t.Fatalf("OOPGapSweep: %v", err)
+	}
+	if len(pts) != len(us) {
+		t.Fatalf("got %d points, want %d", len(pts), len(us))
+	}
+	for _, g := range pts {
+		if g.Lower > g.Upper {
+			t.Errorf("u=%s: lower %s above upper %s", g.U, g.Lower, g.Upper)
+		}
+		if g.Measured < g.Lower || g.Measured > g.Upper {
+			t.Errorf("u=%s: measured %s outside [%s, %s]", g.U, g.Measured, g.Lower, g.Upper)
+		}
+		if g.Witness < g.Lower || g.Witness > g.Upper {
+			t.Errorf("u=%s: witness %s outside [%s, %s]", g.U, g.Witness, g.Lower, g.Upper)
+		}
+		tight := g.Epsilon <= g.U && g.Epsilon <= d/3
+		if tight && g.Gap() != 0 {
+			t.Errorf("u=%s: expected tight bounds, gap %s", g.U, g.Gap())
+		}
+		if !tight && g.Gap() <= 0 {
+			t.Errorf("u=%s: expected a positive gap, got %s", g.U, g.Gap())
+		}
+	}
+}

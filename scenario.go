@@ -3,6 +3,7 @@ package timebounds
 import (
 	"fmt"
 
+	"timebounds/internal/adversary"
 	"timebounds/internal/engine"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
@@ -56,6 +57,28 @@ type (
 	Params = model.Params
 	// OpClass is the Chapter V operation class (MOP/AOP/OOP).
 	OpClass = spec.OpClass
+	// AdversarySpec is a first-class lower-bound adversary: a named run
+	// family (delay matrices, clock shifts, premature tunings, explicit
+	// schedules) that expands into engine scenarios and records
+	// BoundWitnesses. Grid.Adversaries sweeps them like DelaySpecs.
+	AdversarySpec = engine.AdversarySpec
+	// AdversaryRun is one member of an adversary's run family.
+	AdversaryRun = engine.AdversaryRun
+	// WitnessSpec asks a scenario to record a lower-bound witness.
+	WitnessSpec = engine.WitnessSpec
+	// BoundWitness records the operation whose latency witnesses a
+	// theoretical lower bound in one run, and whether the run violated
+	// linearizability.
+	BoundWitness = engine.BoundWitness
+	// FamilyWitness aggregates one adversary run family's dichotomy
+	// verdict: a violation somewhere, or latency at least the bound.
+	FamilyWitness = engine.FamilyWitness
+	// TunableBackend is a backend whose wait durations can be overridden
+	// (Algorithm 1), the hook for premature implementations.
+	TunableBackend = engine.TunableBackend
+	// ShiftFraction scales an adversary's clock-shift magnitude relative
+	// to the proof's full shift.
+	ShiftFraction = adversary.ShiftFraction
 )
 
 // Workload pacing modes.
@@ -142,6 +165,25 @@ func DataTypeByName(name string) (DataType, error) {
 	}
 }
 
+// AdversaryNames lists the bundled lower-bound constructions:
+// fig1|c1|c1-queue|d1|e1|e1-dict.
+func AdversaryNames() []string { return adversary.SpecNames() }
+
+// AdversaryByName resolves a bundled lower-bound construction by name.
+// correct selects the proven-correct tuning (whose witness operation must
+// pay at least the bound) instead of the premature one (which the run
+// family must catch with a linearizability violation).
+func AdversaryByName(name string, correct bool) (AdversarySpec, error) {
+	return adversary.SpecByName(name, correct, ShiftFraction{})
+}
+
+// AdversaryByNameShifted is AdversaryByName with the construction's
+// clock-shift magnitude scaled to the given fraction of the proof's full
+// shift; below the threshold the premature witness disappears.
+func AdversaryByNameShifted(name string, correct bool, shiftFrac float64) (AdversarySpec, error) {
+	return adversary.SpecByName(name, correct, adversary.Frac(shiftFrac))
+}
+
 // NewEngine returns an engine with the given worker cap (≤0 = GOMAXPROCS).
 func NewEngine(workers int) *Engine { return engine.New(workers) }
 
@@ -172,7 +214,10 @@ func RaceWorkload(p Params, start, gap Time, rounds int, kinds ...OpKind) Worklo
 // would have built. Like the Config surface it bridges, the result is
 // single-run: when cfg.Delay is set, the bridged DelaySpec reuses that one
 // policy instance, so do not fan the scenario out across a grid — declare a
-// Scenario with a fresh-per-call DelaySpec.Policy instead.
+// Scenario with a fresh-per-call DelaySpec.Policy, or an AdversarySpec
+// whose runs build their policies fresh per expansion (all bundled
+// adversaries do, which is why adversary grids are bit-identical at any
+// engine parallelism).
 func (c Config) Scenario(dt DataType) Scenario {
 	sc := Scenario{
 		DataType: dt,
