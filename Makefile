@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: build test test-adversary bench vet fmt
+.PHONY: build test test-adversary bench bench-json vet fmt
 
 build:
 	$(GO) build ./...
 
+# vet = go vet plus the repo's supplementary checks (cmd/tbvet):
+# every package must carry a package-level doc comment.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/tbvet .
 
 fmt:
 	gofmt -l .
@@ -25,3 +28,11 @@ test-adversary:
 # ns/op measures simulator throughput. Record trajectories with -count.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json records one point on the benchmark trajectory: the tracked
+# hot-path suite (internal/perf — large verified grid, Wing–Gong checker,
+# sim event loop) written as BENCH_<date>.json at the repo root. An
+# existing file gains an appended point (a trajectory is history — it is
+# never silently truncated); see docs/PERFORMANCE.md.
+bench-json:
+	$(GO) run ./cmd/tbbench $(BENCH_ARGS)

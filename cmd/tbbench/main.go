@@ -1,0 +1,149 @@
+// Command tbbench records a point on the repository's benchmark
+// trajectory: it runs the tracked hot-path benchmarks of internal/perf —
+// the large verified scenario grid, the Wing–Gong checker on long
+// histories, and the simulator event loop — through testing.Benchmark and
+// writes the results as JSON.
+//
+// Usage:
+//
+//	tbbench [-out BENCH_<date>.json] [-label string] [-overwrite] [-list]
+//
+// If the output file already exists, the new point is appended to its
+// recorded points — a trajectory file is history and is never silently
+// truncated (pass -overwrite to start a file over). An existing file
+// that cannot be read or parsed is an error, not an empty trajectory.
+// `make bench-json` is the canonical invocation; docs/PERFORMANCE.md
+// explains how to read and compare the recorded points.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"timebounds/internal/perf"
+)
+
+// Result is one benchmark's measurements within a point.
+type Result struct {
+	// Name is the tracked benchmark identifier (internal/perf).
+	Name string `json:"name"`
+	// N is the iteration count testing.Benchmark settled on.
+	N int `json:"n"`
+	// NsPerOp is wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the allocation profile per iteration.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Metrics carries the benchmark's custom b.ReportMetric values
+	// (scenario counts, ops/s, history sizes).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Point is one recorded run of the whole suite.
+type Point struct {
+	// Label distinguishes points within a file, e.g. "pre-batching
+	// baseline" vs "batched+memoized".
+	Label string `json:"label"`
+	// Date is the recording date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// Go and MaxProcs pin the toolchain and parallelism the numbers were
+	// taken under.
+	Go       string `json:"go"`
+	MaxProcs int    `json:"maxprocs"`
+	// Results are the per-benchmark measurements, in suite order.
+	Results []Result `json:"results"`
+}
+
+// File is the BENCH_*.json schema.
+type File struct {
+	// Schema versions the file format.
+	Schema string `json:"schema"`
+	// Points are recorded suite runs, oldest first.
+	Points []Point `json:"points"`
+}
+
+const schema = "timebounds-bench/v1"
+
+func main() {
+	date := time.Now().Format("2006-01-02")
+	out := flag.String("out", "BENCH_"+date+".json", "output file (appended to if it exists)")
+	label := flag.String("label", "bench-json", "label for this point")
+	overwrite := flag.Bool("overwrite", false, "discard an existing file's points instead of appending")
+	list := flag.Bool("list", false, "list the tracked benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, bm := range perf.Benchmarks() {
+			fmt.Printf("%-24s %s\n", bm.Name, bm.Brief)
+		}
+		return
+	}
+
+	pt := Point{
+		Label:    *label,
+		Date:     date,
+		Go:       runtime.Version(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range perf.Benchmarks() {
+		fmt.Fprintf(os.Stderr, "running %s ...\n", bm.Name)
+		r := testing.Benchmark(bm.Func)
+		res := Result{
+			Name:        bm.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		fmt.Fprintf(os.Stderr, "  %s: %.3fms/op, %d allocs/op\n",
+			bm.Name, res.NsPerOp/1e6, res.AllocsPerOp)
+		pt.Results = append(pt.Results, res)
+	}
+
+	f := File{Schema: schema}
+	if !*overwrite {
+		data, err := os.ReadFile(*out)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(data, &f); err != nil {
+				fatalf("tbbench: %s exists but is not a bench file (pass -overwrite to replace it): %v", *out, err)
+			}
+			if f.Schema != schema {
+				fatalf("tbbench: %s has schema %q, want %q", *out, f.Schema, schema)
+			}
+		case os.IsNotExist(err):
+			// Fresh file.
+		default:
+			// An existing-but-unreadable trajectory must never be
+			// silently replaced by a single fresh point.
+			fatalf("tbbench: read %s: %v", *out, err)
+		}
+	}
+	f.Points = append(f.Points, pt)
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatalf("tbbench: encode: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("tbbench: write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d point(s))\n", *out, len(f.Points))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

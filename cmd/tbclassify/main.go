@@ -50,7 +50,7 @@ func main() {
 	fmt.Printf("%-12s %-14s %-5s %-8s %-8s %-6s %-6s %-8s %-6s %-8s\n",
 		"object", "operation", "class", "mutator", "accessor", "ovwr", "INSC", "strong", "ENSC", "lastperm")
 	for _, dt := range dts {
-		dom := types.DefaultDomain(dt)
+		dom := types.DomainFor(dt)
 		for _, c := range spec.ClassifyAll(dt, dom) {
 			fmt.Printf("%-12s %-14s %-5s %-8s %-8s %-6s %-6s %-8s %-6s %-8s\n",
 				dt.Name(), c.Kind, c.Class,
@@ -65,7 +65,7 @@ func main() {
 	p.Epsilon = p.OptimalSkew()
 	fmt.Printf("\nderived bounds (n=%d d=%s u=%s ε=%s, X=0):\n", p.N, p.D, p.U, p.Epsilon)
 	for _, dt := range dts {
-		dom := types.DefaultDomain(dt)
+		dom := types.DomainFor(dt)
 		for _, der := range bounds.DeriveAll(dt, dom) {
 			fmt.Printf("  %-12s %s\n", dt.Name(), bounds.FormatDerived(der, p, 0))
 		}

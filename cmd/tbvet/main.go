@@ -1,0 +1,90 @@
+// Command tbvet runs the repository's supplementary static checks —
+// currently the missing-package-doc check: every package (including
+// commands and examples) must carry a package-level doc comment on at
+// least one non-test file. It is wired into `make vet` next to go vet.
+//
+// Usage:
+//
+//	tbvet [dir]
+//
+// tbvet walks the tree rooted at dir (default ".") and exits non-zero
+// listing every package directory without a doc comment.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	missing, err := missingPackageDocs(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tbvet: %v\n", err)
+		os.Exit(1)
+	}
+	if len(missing) > 0 {
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "tbvet: package %s has no package doc comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// missingPackageDocs returns the package directories under root whose
+// non-test files all lack a package doc comment.
+func missingPackageDocs(root string) ([]string, error) {
+	// dir -> has at least one documented non-test file
+	documented := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if _, seen := documented[dir]; !seen {
+			documented[dir] = false
+		}
+		if documented[dir] {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("%s: %w", path, perr)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for dir, ok := range documented {
+		if !ok {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}

@@ -1,20 +1,41 @@
 // Package check decides linearizability of operation histories against a
 // sequential specification (Herlihy & Wing 1990; Chapter III.B.4 of the
 // paper), using the Wing–Gong depth-first search with memoization on
-// (linearized-set, object state).
+// (linearized-set, object state). See docs/PERFORMANCE.md (and Aspnes,
+// "Notes on Theory of Distributed Systems", the linearizability chapter)
+// for the algorithmic shape and its worst-case exponential cost.
 //
 // A history is linearizable iff there is a permutation π of its operations
 // such that (a) π is legal for the data type and (b) whenever op1 responds
 // before op2 is invoked in real time, op1 precedes op2 in π. Pending
 // operations may take effect at any point after their invocation or not at
 // all.
+//
+// The search is engineered for the engine's hot path (hundreds of
+// histories per grid):
+//
+//   - Candidates come from the real-time frontier — the prefix, in
+//     invocation order, of undone operations invoked no later than every
+//     earlier undone response — walked via a doubly linked list, so each
+//     node costs O(width) instead of O(n²).
+//   - A frontier of exactly one completed operation is forced: it is
+//     linearized without branching or memoization, which reduces fully
+//     sequential histories (and the sequential windows between concurrent
+//     bursts) to a linear-time replay.
+//   - Memo keys are done-set bitset bytes plus the canonical state
+//     encoding, built into a reused buffer.
+//   - State transitions (Apply + EncodeState) are memoized per
+//     (state, operation) — locally within one check, or across runs via a
+//     shared Cache handed down by the engine's worker pool.
 package check
 
 import (
+	"encoding/binary"
 	"sort"
-	"strings"
+	"sync"
 
 	"timebounds/internal/history"
+	"timebounds/internal/model"
 	"timebounds/internal/spec"
 )
 
@@ -26,41 +47,62 @@ type Result struct {
 	// Linearizable is true. Pending operations that were not linearized are
 	// omitted.
 	Witness []history.OpID
-	// StatesExplored counts memoized search states, for diagnostics.
+	// StatesExplored counts memoized dead-end search states, for
+	// diagnostics. Forced (non-branching) steps are not memoized, so a
+	// sequential history explores zero states.
 	StatesExplored int
 }
 
 // Check decides whether h is a linearizable history of dt.
 func Check(dt spec.DataType, h *history.History) Result {
+	return CheckCached(dt, h, nil)
+}
+
+// CheckCached is Check with a shared transition cache: Apply/EncodeState
+// results are reused across histories of the same data type. The engine
+// passes one Cache per data type to all workers of a grid; a nil cache
+// falls back to a per-call local cache.
+func CheckCached(dt spec.DataType, h *history.History, cache *Cache) Result {
 	ops := h.Ops()
 	n := len(ops)
 	if n == 0 {
 		return Result{Linearizable: true}
 	}
+	if res, ok := sequentialFastPath(dt, ops); ok {
+		return res
+	}
 
 	c := &checker{
-		dt:   dt,
-		ops:  ops,
-		done: make([]bool, n),
-		memo: make(map[string]bool),
+		dt:     dt,
+		ops:    ops,
+		n:      n,
+		shared: cache,
+		memo:   make(map[string]struct{}),
 	}
-	// Precompute the real-time precedence relation: pred[i] lists indexes
-	// that must be linearized before op i may be chosen.
-	c.pred = make([][]int, n)
+	if cache == nil {
+		c.local = make(map[string]transition)
+	}
+	c.argKey = make([]string, n)
 	for i := range ops {
-		for j := range ops {
-			if i == j {
-				continue
-			}
-			// ops[j] precedes ops[i] iff ops[j] responded strictly before
-			// ops[i] was invoked.
-			if !ops[j].Pending && ops[j].Respond < ops[i].Invoke {
-				c.pred[i] = append(c.pred[i], j)
-			}
+		c.argKey[i] = string(ops[i].Kind) + "\x00" + spec.CanonicalValue(ops[i].Arg)
+	}
+	// Doubly linked list of undone operations in invocation order, with
+	// sentinel n: the frontier walk and the forced-step rule read it.
+	c.next = make([]int32, n+1)
+	c.prev = make([]int32, n+1)
+	for i := 0; i <= n; i++ {
+		c.next[i] = int32((i + 1) % (n + 1))
+		c.prev[i] = int32((i + n) % (n + 1))
+	}
+	for _, op := range ops {
+		if !op.Pending {
+			c.remaining++
 		}
 	}
+	c.done = make([]uint64, (n+63)/64)
 
-	ok := c.search(dt.InitialState())
+	init := dt.InitialState()
+	ok := c.search(init, dt.EncodeState(init))
 	res := Result{Linearizable: ok, StatesExplored: len(c.memo)}
 	if ok {
 		res.Witness = make([]history.OpID, len(c.order))
@@ -71,87 +113,259 @@ func Check(dt spec.DataType, h *history.History) Result {
 	return res
 }
 
+// sequentialFastPath handles totally ordered complete histories — every
+// operation responds strictly before the next is invoked — in O(n): the
+// real-time order is the only admissible permutation, so the history is
+// linearizable iff replaying it is legal. Conformance suites built from
+// closed-loop single-process workloads take this path and skip the search
+// machinery entirely.
+func sequentialFastPath(dt spec.DataType, ops []history.Record) (Result, bool) {
+	for i := range ops {
+		if ops[i].Pending {
+			return Result{}, false
+		}
+		if i+1 < len(ops) && ops[i].Respond >= ops[i+1].Invoke {
+			return Result{}, false
+		}
+	}
+	state := dt.InitialState()
+	witness := make([]history.OpID, len(ops))
+	for i := range ops {
+		var ret spec.Value
+		state, ret = dt.Apply(state, ops[i].Kind, ops[i].Arg)
+		if !spec.ValueEqual(ret, ops[i].Ret) {
+			return Result{Linearizable: false}, true
+		}
+		witness[i] = ops[i].ID
+	}
+	return Result{Linearizable: true, Witness: witness}, true
+}
+
+// transition is one memoized state transition.
+type transition struct {
+	next spec.State
+	enc  string
+	ret  spec.Value
+}
+
+// Cache memoizes state transitions (Apply plus EncodeState) of one data
+// type, keyed by (canonical state encoding, operation kind, canonical
+// argument). It is safe for concurrent use: states are immutable by the
+// DataType contract, so sharing them across goroutines is sound. The
+// engine shares one Cache per data type across a grid's worker pool.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]transition
+}
+
+// maxCacheEntries bounds a shared cache; beyond it the cache serves hits
+// but stops growing (a grid sweeping huge state spaces must not hold every
+// state alive).
+const maxCacheEntries = 1 << 20
+
+// NewCache returns an empty transition cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]transition)} }
+
+// Len returns the number of memoized transitions.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+func (c *Cache) lookup(key []byte) (transition, bool) {
+	c.mu.RLock()
+	t, ok := c.m[string(key)] // compiler avoids allocating the string for the lookup
+	c.mu.RUnlock()
+	return t, ok
+}
+
+func (c *Cache) store(key string, t transition) {
+	c.mu.Lock()
+	if len(c.m) < maxCacheEntries {
+		c.m[key] = t
+	}
+	c.mu.Unlock()
+}
+
+// CacheSet lazily hands out one transition Cache per data-type name.
+// Name-keying is sound under the spec.DataType contract: Name identifies
+// the specification (Apply semantics), and EncodeState is injective —
+// behaviourally distinct states (including same-looking values of
+// different dynamic types, e.g. int 1 vs string "1") must encode
+// differently, which the bundled types guarantee by rendering values
+// with spec.CanonicalValue. TestSharedCacheAcrossValueTypes pins this.
+type CacheSet struct {
+	mu sync.Mutex
+	m  map[string]*Cache
+}
+
+// NewCacheSet returns an empty cache set.
+func NewCacheSet() *CacheSet { return &CacheSet{m: make(map[string]*Cache)} }
+
+// For returns the cache for dt, creating it on first use. A nil CacheSet
+// returns a nil Cache (per-call local caching).
+func (s *CacheSet) For(dt spec.DataType) *Cache {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[dt.Name()]
+	if !ok {
+		c = NewCache()
+		s.m[dt.Name()] = c
+	}
+	return c
+}
+
+// checker is the optimized Wing–Gong search state.
 type checker struct {
-	dt    spec.DataType
-	ops   []history.Record
-	done  []bool
-	order []int
-	pred  [][]int
-	memo  map[string]bool
+	dt  spec.DataType
+	ops []history.Record
+	n   int
+	// next/prev form the undone linked list over sorted indexes, with
+	// sentinel n.
+	next, prev []int32
+	done       []uint64 // done-set bitset, the memo key prefix
+	remaining  int      // completed operations not yet linearized
+	order      []int
+	memo       map[string]struct{} // dead-end (done set, state) keys
+	argKey     []string            // per-op transition-cache key suffix
+	shared     *Cache
+	local      map[string]transition
+	fronts     [][]int32 // per-depth frontier scratch
+	keyBuf     []byte    // memo key scratch
+	tkeyBuf    []byte    // transition key scratch
 }
 
-// remainingCompleted counts completed (non-pending) ops not yet linearized.
-func (c *checker) remainingCompleted() int {
-	n := 0
-	for i, op := range c.ops {
-		if !op.Pending && !c.done[i] {
-			n++
+// frontier collects the candidate operations at the current node: undone
+// operations, in invocation order, up to (and excluding) the first one
+// invoked after some earlier undone response. Only these can be minimal —
+// any later operation has an undone real-time predecessor.
+func (c *checker) frontier(depth int) []int32 {
+	for depth >= len(c.fronts) {
+		c.fronts = append(c.fronts, nil)
+	}
+	front := c.fronts[depth][:0]
+	var minResp model.Time
+	haveMin := false
+	for i := c.next[c.n]; int(i) != c.n; i = c.next[i] {
+		op := &c.ops[i]
+		if haveMin && minResp < op.Invoke {
+			break
+		}
+		front = append(front, i)
+		if !op.Pending && (!haveMin || op.Respond < minResp) {
+			minResp, haveMin = op.Respond, true
 		}
 	}
-	return n
+	c.fronts[depth] = front
+	return front
 }
 
-// key encodes (done set, state) for memoization.
-func (c *checker) key(state spec.State) string {
-	var sb strings.Builder
-	sb.Grow(len(c.done) + 16)
-	for _, d := range c.done {
-		if d {
-			sb.WriteByte('1')
-		} else {
-			sb.WriteByte('0')
-		}
+// take linearizes op i: unlink, mark done, extend the order.
+func (c *checker) take(i int32) {
+	c.next[c.prev[i]] = c.next[i]
+	c.prev[c.next[i]] = c.prev[i]
+	c.done[i>>6] |= 1 << (uint(i) & 63)
+	c.order = append(c.order, int(i))
+	if !c.ops[i].Pending {
+		c.remaining--
 	}
-	sb.WriteByte('|')
-	sb.WriteString(c.dt.EncodeState(state))
-	return sb.String()
 }
 
-// search tries to linearize all completed operations from the given state.
-// Pending operations are linearized opportunistically when doing so unblocks
-// progress; they never have to be linearized.
-func (c *checker) search(state spec.State) bool {
-	if c.remainingCompleted() == 0 {
+// untake reverses take; calls must nest LIFO (backtracking order).
+func (c *checker) untake(i int32) {
+	c.next[c.prev[i]] = i
+	c.prev[c.next[i]] = i
+	c.done[i>>6] &^= 1 << (uint(i) & 63)
+	c.order = c.order[:len(c.order)-1]
+	if !c.ops[i].Pending {
+		c.remaining++
+	}
+}
+
+// memoKey builds the (done set, state) key into the reused buffer.
+func (c *checker) memoKey(enc string) []byte {
+	buf := c.keyBuf[:0]
+	for _, w := range c.done {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	buf = append(buf, enc...)
+	c.keyBuf = buf
+	return buf
+}
+
+// apply resolves the transition for op i from the state with encoding enc,
+// through the shared or local cache. The key length-prefixes enc so that
+// (state encoding, op key) pairs cannot collide across different splits.
+func (c *checker) apply(state spec.State, enc string, i int32) (spec.State, string, spec.Value) {
+	buf := binary.AppendUvarint(c.tkeyBuf[:0], uint64(len(enc)))
+	buf = append(append(buf, enc...), c.argKey[i]...)
+	c.tkeyBuf = buf
+	if c.shared != nil {
+		if t, ok := c.shared.lookup(buf); ok {
+			return t.next, t.enc, t.ret
+		}
+	} else if t, ok := c.local[string(buf)]; ok {
+		return t.next, t.enc, t.ret
+	}
+	op := &c.ops[i]
+	next, ret := c.dt.Apply(state, op.Kind, op.Arg)
+	t := transition{next: next, enc: c.dt.EncodeState(next), ret: ret}
+	if c.shared != nil {
+		c.shared.store(string(buf), t)
+	} else {
+		c.local[string(buf)] = t
+	}
+	return t.next, t.enc, t.ret
+}
+
+// search tries to linearize all completed operations from the given state
+// (with canonical encoding enc). Pending operations are linearized
+// opportunistically when doing so unblocks progress; they never have to be
+// linearized.
+func (c *checker) search(state spec.State, enc string) bool {
+	if c.remaining == 0 {
 		return true
 	}
-	k := c.key(state)
-	if failed, seen := c.memo[k]; seen {
-		return !failed
+	front := c.frontier(len(c.order))
+	if len(front) == 1 {
+		// Forced step: the sole frontier operation responds before every
+		// other undone operation is invoked (it is necessarily completed —
+		// a pending op never bounds the frontier), so every linearization
+		// puts it next. No branching, no memo entry.
+		i := front[0]
+		next, nextEnc, ret := c.apply(state, enc, i)
+		if !spec.ValueEqual(ret, c.ops[i].Ret) {
+			return false
+		}
+		c.take(i)
+		if c.search(next, nextEnc) {
+			return true
+		}
+		c.untake(i)
+		return false
 	}
-
-	for i, op := range c.ops {
-		if c.done[i] {
-			continue
-		}
-		if !c.minimal(i) {
-			continue
-		}
-		next, ret := c.dt.Apply(state, op.Kind, op.Arg)
+	if _, dead := c.memo[string(c.memoKey(enc))]; dead {
+		return false
+	}
+	for _, i := range front {
+		op := &c.ops[i]
+		next, nextEnc, ret := c.apply(state, enc, i)
 		if !op.Pending && !spec.ValueEqual(ret, op.Ret) {
 			// A completed op must return exactly what the spec dictates.
 			continue
 		}
-		c.done[i] = true
-		c.order = append(c.order, i)
-		if c.search(next) {
+		c.take(i)
+		if c.search(next, nextEnc) {
 			return true
 		}
-		c.order = c.order[:len(c.order)-1]
-		c.done[i] = false
+		c.untake(i)
 	}
-	c.memo[k] = true // dead end from this (done set, state)
+	c.memo[string(c.memoKey(enc))] = struct{}{} // dead end
 	return false
-}
-
-// minimal reports whether op i may be linearized next: every operation that
-// really-time-precedes it is already linearized.
-func (c *checker) minimal(i int) bool {
-	for _, j := range c.pred[i] {
-		if !c.done[j] {
-			return false
-		}
-	}
-	return true
 }
 
 // MustOrder returns the pairs (a, b) of completed operation ids where a

@@ -21,7 +21,9 @@ func Explain(dt spec.DataType, h *history.History) string {
 	}
 
 	ops := h.Ops()
-	c := &checker{
+	// Diagnostics run on the reference checker: its explicit done/pred
+	// representation is what the blocked-operation report walks.
+	c := &refChecker{
 		dt:   dt,
 		ops:  ops,
 		done: make([]bool, len(ops)),
@@ -73,7 +75,7 @@ type frontier struct {
 
 // deepest explores the search space and returns the configuration with the
 // most completed operations linearized.
-func (c *checker) deepest(initial spec.State) frontier {
+func (c *refChecker) deepest(initial spec.State) frontier {
 	best := frontier{done: make([]bool, len(c.ops)), state: initial}
 	seen := make(map[string]bool)
 	var rec func(state spec.State)

@@ -23,7 +23,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"timebounds/internal/history"
@@ -103,34 +102,116 @@ type opMsg struct {
 	Entry entry
 }
 
-// Timer payloads.
+// Timer tick payloads. Each timer class fires after a duration that is
+// constant for a given replica (d-u, u+ε, ε+X, d+ε-X respectively), so
+// timers of one class fire in arming order; the replica keeps the timer's
+// data in a per-class FIFO and the payload itself is a zero-size marker —
+// boxing a zero-size value into the simulator's `any` payload does not
+// allocate, which keeps the per-operation timer traffic allocation-free.
 type (
-	// addSelfTimer fires d-u after a local MOP/OOP invocation: the invoker
+	// selfAddTick fires d-u after a local MOP/OOP invocation: the invoker
 	// inserts its own operation into its queue, pretending it arrived via
 	// the fastest message (Chapter V.A.1).
-	addSelfTimer struct{ e entry }
-	// executeTimer fires u+ε after an entry joined To_Execute: every
-	// buffered entry with a timestamp ≤ ts is executed in timestamp order.
-	executeTimer struct{ ts model.Timestamp }
-	// mutatorRespondTimer fires ε+X after a pure-mutator invocation.
-	mutatorRespondTimer struct{ id history.OpID }
-	// accessorRespondTimer fires d+ε-X after a pure-accessor invocation.
-	accessorRespondTimer struct {
-		id   history.OpID
-		kind spec.OpKind
-		arg  spec.Value
-		ts   model.Timestamp
-	}
+	selfAddTick struct{}
+	// executeTick fires u+ε after an entry joined To_Execute: every
+	// buffered entry with a timestamp ≤ the armed entry's is executed in
+	// timestamp order.
+	executeTick struct{}
+	// mutatorRespondTick fires ε+X after a pure-mutator invocation.
+	mutatorRespondTick struct{}
+	// accessorRespondTick fires d+ε-X after a pure-accessor invocation.
+	accessorRespondTick struct{}
 )
 
-// execHeap is the priority queue To_Execute, keyed by timestamp.
+// accessorPending is the queued data of one armed accessor response.
+type accessorPending struct {
+	id   history.OpID
+	kind spec.OpKind
+	arg  spec.Value
+	ts   model.Timestamp
+}
+
+// fifo is a head-indexed queue; the backing array is reused once drained,
+// so steady-state traffic does not allocate. Each entry carries the local-
+// clock time its timer is due: the order-based payload pairing is only
+// sound while a class's delay stays constant and nothing cancels its
+// timers, so pop asserts the invariant instead of trusting it.
+type fifo[T any] struct {
+	buf  []timed[T]
+	head int
+}
+
+type timed[T any] struct {
+	due model.Time
+	v   T
+}
+
+func (f *fifo[T]) push(due model.Time, v T) { f.buf = append(f.buf, timed[T]{due: due, v: v}) }
+
+// pop dequeues the oldest entry, asserting it is the one due now — a
+// desync (a per-operation tuning or a canceled class timer would cause
+// one) must fail loudly, not silently corrupt histories.
+func (f *fifo[T]) pop(now model.Time) T {
+	it := f.buf[f.head]
+	if it.due != now {
+		panic(fmt.Sprintf("core: timer FIFO desync: entry due at %s popped at %s "+
+			"(a timer class's delay varied, or one of its timers was canceled)", it.due, now))
+	}
+	f.buf[f.head] = timed[T]{} // drop payload references
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return it.v
+}
+
+// execHeap is the priority queue To_Execute, keyed by timestamp. It is a
+// hand-rolled binary heap: container/heap's `any` interface would box
+// every entry on Push and Pop, right on the simulator's hot path.
 type execHeap []entry
 
-func (h execHeap) Len() int           { return len(h) }
-func (h execHeap) Less(i, j int) bool { return h[i].ts.Less(h[j].ts) }
-func (h execHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *execHeap) Push(x any)        { *h = append(*h, x.(entry)) }
-func (h *execHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *execHeap) pushEntry(e entry) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].ts.Less(q[parent].ts) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *execHeap) popMin() entry {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = entry{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && q[r].ts.Less(q[l].ts) {
+			least = r
+		}
+		if !q[least].ts.Less(q[i].ts) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
+}
+
 func (h execHeap) peekMin() (entry, bool) {
 	if len(h) == 0 {
 		return entry{}, false
@@ -149,6 +230,11 @@ type Replica struct {
 	pendingOOP map[model.Timestamp]history.OpID
 	// applied counts operations executed on the local copy (diagnostics).
 	applied int
+	// Per-timer-class FIFOs; see the *Tick types.
+	selfQ fifo[entry]
+	execQ fifo[model.Timestamp]
+	mutQ  fifo[history.OpID]
+	accQ  fifo[accessorPending]
 }
 
 var _ sim.Process = (*Replica)(nil)
@@ -169,6 +255,15 @@ func (r *Replica) Applied() int { return r.applied }
 // LocalStateEncoding returns the canonical encoding of the local copy.
 func (r *Replica) LocalStateEncoding() string { return r.dt.EncodeState(r.local) }
 
+// clampWait floors a (possibly tuned-negative) wait at 0, mirroring
+// sim.Env.SetTimerAfter's clamp so FIFO due times match actual fire times.
+func clampWait(w model.Time) model.Time {
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
 // OnInvoke implements sim.Process.
 func (r *Replica) OnInvoke(env sim.Env, id history.OpID, kind spec.OpKind, arg spec.Value) {
 	p := r.cfg.Params
@@ -176,12 +271,14 @@ func (r *Replica) OnInvoke(env sim.Env, id history.OpID, kind spec.OpKind, arg s
 	case spec.ClassPureAccessor:
 		// Timestamp ⟨clock - X, pid⟩: pretend to be invoked X earlier.
 		ts := model.Timestamp{Clock: env.ClockTime() - r.cfg.X, Proc: env.Self()}
-		wait := r.cfg.Tuning.AccessorResponse.Or(p.D + p.Epsilon - r.cfg.X)
-		env.SetTimerAfter(wait, accessorRespondTimer{id: id, kind: kind, arg: arg, ts: ts})
+		wait := clampWait(r.cfg.Tuning.AccessorResponse.Or(p.D + p.Epsilon - r.cfg.X))
+		r.accQ.push(env.ClockTime()+wait, accessorPending{id: id, kind: kind, arg: arg, ts: ts})
+		env.SetTimerAfter(wait, accessorRespondTick{})
 	case spec.ClassPureMutator:
 		r.stampAndBroadcast(env, kind, arg)
-		wait := r.cfg.Tuning.MutatorResponse.Or(p.Epsilon + r.cfg.X)
-		env.SetTimerAfter(wait, mutatorRespondTimer{id: id})
+		wait := clampWait(r.cfg.Tuning.MutatorResponse.Or(p.Epsilon + r.cfg.X))
+		r.mutQ.push(env.ClockTime()+wait, id)
+		env.SetTimerAfter(wait, mutatorRespondTick{})
 	default: // OOP
 		e := r.stampAndBroadcast(env, kind, arg)
 		r.pendingOOP[e.ts] = id
@@ -198,7 +295,9 @@ func (r *Replica) stampAndBroadcast(env sim.Env, kind spec.OpKind, arg spec.Valu
 		arg:  arg,
 	}
 	env.Broadcast(opMsg{Entry: e})
-	env.SetTimerAfter(r.cfg.Tuning.SelfAddDelay.Or(p.D-p.U), addSelfTimer{e: e})
+	wait := clampWait(r.cfg.Tuning.SelfAddDelay.Or(p.D - p.U))
+	r.selfQ.push(env.ClockTime()+wait, e)
+	env.SetTimerAfter(wait, selfAddTick{})
 	return e
 }
 
@@ -214,25 +313,29 @@ func (r *Replica) OnMessage(env sim.Env, _ model.ProcessID, payload any) {
 // enqueue adds an entry to To_Execute and arms its u+ε execution timer.
 func (r *Replica) enqueue(env sim.Env, e entry) {
 	p := r.cfg.Params
-	heap.Push(&r.toExecute, e)
-	env.SetTimerAfter(r.cfg.Tuning.ExecuteWait.Or(p.U+p.Epsilon), executeTimer{ts: e.ts})
+	r.toExecute.pushEntry(e)
+	wait := clampWait(r.cfg.Tuning.ExecuteWait.Or(p.U + p.Epsilon))
+	r.execQ.push(env.ClockTime()+wait, e.ts)
+	env.SetTimerAfter(wait, executeTick{})
 }
 
 // OnTimer implements sim.Process.
 func (r *Replica) OnTimer(env sim.Env, payload any) {
-	switch t := payload.(type) {
-	case addSelfTimer:
-		r.enqueue(env, t.e)
-	case executeTimer:
-		r.executeUpTo(env, t.ts, true)
-	case mutatorRespondTimer:
-		env.Respond(t.id, nil)
-	case accessorRespondTimer:
+	now := env.ClockTime()
+	switch payload.(type) {
+	case selfAddTick:
+		r.enqueue(env, r.selfQ.pop(now))
+	case executeTick:
+		r.executeUpTo(env, r.execQ.pop(now), true)
+	case mutatorRespondTick:
+		env.Respond(r.mutQ.pop(now), nil)
+	case accessorRespondTick:
 		// Execute every buffered operation with a smaller timestamp, then
 		// evaluate the accessor on the local copy.
-		r.executeUpTo(env, t.ts, false)
-		_, ret := r.dt.Apply(r.local, t.kind, t.arg)
-		env.Respond(t.id, ret)
+		a := r.accQ.pop(now)
+		r.executeUpTo(env, a.ts, false)
+		_, ret := r.dt.Apply(r.local, a.kind, a.arg)
+		env.Respond(a.id, ret)
 	}
 }
 
@@ -249,7 +352,7 @@ func (r *Replica) executeUpTo(env sim.Env, ts model.Timestamp, inclusive bool) {
 		if cmp > 0 || (!inclusive && cmp == 0) {
 			return
 		}
-		heap.Pop(&r.toExecute)
+		r.toExecute.popMin()
 		next, ret := r.dt.Apply(r.local, e.kind, e.arg)
 		r.local = next
 		r.applied++

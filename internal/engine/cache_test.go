@@ -1,0 +1,76 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"timebounds/internal/engine"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+	"timebounds/internal/workload"
+)
+
+// cacheGrid is a verified multi-backend grid whose runs share checker
+// state through the engine's per-datatype cache set.
+func cacheGrid() []engine.Scenario {
+	ms := model.Time(time.Millisecond)
+	return engine.Grid{
+		Backends: engine.Backends(),
+		Objects:  []spec.DataType{types.NewRegister(0), types.NewQueue()},
+		Params:   []model.Params{{N: 3, D: 10 * ms, U: 4 * ms}},
+		Seeds:    []int64{1, 2, 3},
+		Delays: []engine.DelaySpec{
+			{Mode: engine.DelayRandom},
+			{Mode: engine.DelayExtremal},
+		},
+		Workloads: []workload.Spec{{OpsPerProcess: 4}},
+		Verify:    true,
+	}.Scenarios()
+}
+
+// TestSharedCheckerStateUnobservable reuses the workers-1-vs-8
+// determinism harness with the cross-run checker cache switched on and
+// off: all four Reports must be bit-identical. This is the engine-level
+// guarantee that memoized checking (and its sharing across the worker
+// pool) cannot change a verdict.
+func TestSharedCheckerStateUnobservable(t *testing.T) {
+	scenarios := cacheGrid()
+	if len(scenarios) < 16 {
+		t.Fatalf("grid expanded to %d scenarios, want ≥ 16", len(scenarios))
+	}
+
+	sharedSeq := engine.New(1).Run(scenarios)
+	sharedPar := engine.New(8).Run(scenarios)
+
+	restore := engine.SetSharedCheckerDisabled(true)
+	unsharedSeq := engine.New(1).Run(scenarios)
+	unsharedPar := engine.New(8).Run(scenarios)
+	restore()
+
+	if err := sharedPar.Err(); err != nil {
+		t.Fatalf("grid run: %v", err)
+	}
+	if !reflect.DeepEqual(sharedSeq, sharedPar) {
+		t.Error("shared-cache Report differs between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(unsharedSeq, unsharedPar) {
+		t.Error("uncached Report differs between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(sharedSeq, unsharedSeq) {
+		t.Error("shared-cache Report differs from uncached Report")
+	}
+	checked := 0
+	for _, res := range sharedSeq.Results {
+		if res.Checked {
+			checked++
+		}
+		if !res.Linearizable {
+			t.Errorf("%s: not linearizable", res.Name)
+		}
+	}
+	if checked != len(scenarios) {
+		t.Fatalf("only %d/%d runs were verified", checked, len(scenarios))
+	}
+}

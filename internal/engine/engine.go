@@ -17,6 +17,8 @@ package engine
 import (
 	"runtime"
 	"sync"
+
+	"timebounds/internal/check"
 )
 
 // Engine runs scenario grids in parallel. The zero value is ready to use.
@@ -28,12 +30,26 @@ type Engine struct {
 // New returns an engine with the given worker cap (≤0 means GOMAXPROCS).
 func New(workers int) *Engine { return &Engine{Workers: workers} }
 
+// disableSharedChecker turns off cross-run checker-state sharing; the
+// equivalence tests flip it to prove sharing is unobservable in Reports.
+var disableSharedChecker = false
+
 // Run executes every scenario and returns their results in input order.
 // Each scenario gets a fresh simulator, delay policy, and workload drawn
 // from its own seed, so the Report is a pure function of the scenario list:
 // same scenarios ⇒ identical Report, regardless of worker count.
+//
+// Verified runs share memoized checker state: one transition cache per
+// data type (check.CacheSet), safe across the worker pool because object
+// states are immutable and the cache is internally locked. Sharing only
+// reuses deterministic (state, operation) → (state, return) computations,
+// so it cannot change any verdict — only make it cheaper.
 func (e *Engine) Run(scenarios []Scenario) Report {
 	results := make([]Result, len(scenarios))
+	var caches *check.CacheSet
+	if !disableSharedChecker {
+		caches = check.NewCacheSet()
+	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -43,7 +59,7 @@ func (e *Engine) Run(scenarios []Scenario) Report {
 	}
 	if workers <= 1 {
 		for i, sc := range scenarios {
-			results[i] = sc.run()
+			results[i] = sc.run(caches)
 		}
 		return Report{Results: results}
 	}
@@ -54,7 +70,7 @@ func (e *Engine) Run(scenarios []Scenario) Report {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = scenarios[i].run()
+				results[i] = scenarios[i].run(caches)
 			}
 		}()
 	}

@@ -1,0 +1,10 @@
+package engine
+
+// SetSharedCheckerDisabled toggles cross-run checker-state sharing, so the
+// equivalence tests can prove sharing is unobservable in Reports. It
+// returns a restore function.
+func SetSharedCheckerDisabled(v bool) (restore func()) {
+	prev := disableSharedChecker
+	disableSharedChecker = v
+	return func() { disableSharedChecker = prev }
+}

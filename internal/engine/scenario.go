@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"timebounds/internal/check"
 	"timebounds/internal/core"
 	"timebounds/internal/model"
 	"timebounds/internal/runs"
@@ -193,8 +194,10 @@ func workloadLabel(wl workload.Spec) string {
 // Build constructs the scenario's isolated instance without running it —
 // the hook for tools that drive the simulator directly (tracing, custom
 // invocation patterns) while still constructing every world via a Backend.
+// Instances built this way always record step/message traces.
 func (sc Scenario) Build() (Instance, error) {
 	sc = sc.resolved()
+	sc.Trace = true // direct drivers inspect the simulator; keep its traces
 	inst, err := sc.build()
 	if err != nil {
 		return nil, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
@@ -204,6 +207,9 @@ func (sc Scenario) Build() (Instance, error) {
 
 // build constructs the instance for an already-resolved scenario, with
 // bare errors (run and Report.Err add the scenario context exactly once).
+// Untraced scenarios get a simulator that skips step/message trace
+// recording — measurement grids never read those traces, and not
+// recording them is a measurable win on large grids.
 func (sc Scenario) build() (Instance, error) {
 	if sc.expandErr != nil {
 		return nil, sc.expandErr
@@ -228,15 +234,17 @@ func (sc Scenario) build() (Instance, error) {
 		X:        sc.X,
 		DataType: sc.DataType,
 		Sim: sim.Config{
-			ClockOffsets: offsets,
-			Delay:        sc.Delay.build(sc.Params, sc.Seed),
-			StrictDelays: true,
+			ClockOffsets:  offsets,
+			Delay:         sc.Delay.build(sc.Params, sc.Seed),
+			StrictDelays:  true,
+			DiscardTraces: !sc.Trace,
 		},
 	})
 }
 
 // run executes the scenario in isolation and reduces it to a Result.
-func (sc Scenario) run() Result {
+// caches optionally shares checker transition state across a grid's runs.
+func (sc Scenario) run(caches *check.CacheSet) Result {
 	sc = sc.resolved()
 	res := Result{
 		Name:    sc.Name,
@@ -258,7 +266,11 @@ func (sc Scenario) run() Result {
 		res.Err = err.Error()
 		return res
 	}
-	rep, err := workload.Run(inst, sched, workload.RunOptions{Horizon: sc.Horizon, Verify: sc.Verify})
+	rep, err := workload.Run(inst, sched, workload.RunOptions{
+		Horizon: sc.Horizon,
+		Verify:  sc.Verify,
+		Checker: caches.For(sc.DataType),
+	})
 	if err != nil {
 		res.Err = err.Error()
 		return res

@@ -71,22 +71,31 @@ func (h *History) Invoke(proc model.ProcessID, kind spec.OpKind, arg spec.Value,
 
 // Respond records the response of a previously invoked operation.
 func (h *History) Respond(id OpID, ret spec.Value, at model.Time) error {
+	// Ids are assigned densely in invocation order, so the record for id
+	// lives at index id — the scan below only backs up the invariant.
+	if i := int(id); i >= 0 && i < len(h.ops) && h.ops[i].ID == id {
+		return h.respondAt(i, ret, at)
+	}
 	for i := range h.ops {
 		if h.ops[i].ID != id {
 			continue
 		}
-		if !h.ops[i].Pending {
-			return fmt.Errorf("history: duplicate response for op #%d", id)
-		}
-		if at < h.ops[i].Invoke {
-			return fmt.Errorf("history: response at %s before invocation at %s", at, h.ops[i].Invoke)
-		}
-		h.ops[i].Pending = false
-		h.ops[i].Ret = ret
-		h.ops[i].Respond = at
-		return nil
+		return h.respondAt(i, ret, at)
 	}
 	return fmt.Errorf("history: response for unknown op #%d", id)
+}
+
+func (h *History) respondAt(i int, ret spec.Value, at model.Time) error {
+	if !h.ops[i].Pending {
+		return fmt.Errorf("history: duplicate response for op #%d", h.ops[i].ID)
+	}
+	if at < h.ops[i].Invoke {
+		return fmt.Errorf("history: response at %s before invocation at %s", at, h.ops[i].Invoke)
+	}
+	h.ops[i].Pending = false
+	h.ops[i].Ret = ret
+	h.ops[i].Respond = at
+	return nil
 }
 
 // Ops returns a copy of the records, sorted by invocation time then id.

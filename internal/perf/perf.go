@@ -1,0 +1,239 @@
+// Package perf defines the repository's tracked hot-path benchmarks: the
+// large adversary-style scenario grid through the engine worker pool, the
+// Wing–Gong linearizability checker on long histories, and the raw
+// simulator event loop. The benchmark bodies are plain functions taking a
+// *testing.B so that the same code backs both `go test -bench` (via the
+// wrappers in perf_test.go) and cmd/tbbench, which runs them with
+// testing.Benchmark and appends a point to the BENCH_<date>.json
+// trajectory (see docs/PERFORMANCE.md).
+//
+// The benchmark shapes are part of the trajectory's contract: changing a
+// workload size or grid axis invalidates comparisons against previously
+// recorded points, so extend this package by adding benchmarks rather
+// than editing existing ones.
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"timebounds/internal/check"
+	"timebounds/internal/engine"
+	"timebounds/internal/experiments"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+	"timebounds/internal/workload"
+)
+
+// Benchmark names one tracked benchmark and its body.
+type Benchmark struct {
+	// Name is the stable identifier recorded in BENCH_*.json.
+	Name string
+	// Brief says what the benchmark exercises, for -list output.
+	Brief string
+	// Func is the benchmark body.
+	Func func(b *testing.B)
+}
+
+// Benchmarks returns the tracked benchmark suite in recording order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name:  "engine/large-grid",
+			Brief: "208-scenario verified grid (4 backends × 2 objects × 2 delay adversaries × 13 seeds, 200-op histories) through the worker pool",
+			Func:  BenchLargeGrid,
+		},
+		{
+			Name:  "check/long-history",
+			Brief: "Wing–Gong check of one 240-op concurrent register history",
+			Func:  BenchCheckerLongHistory,
+		},
+		{
+			Name:  "check/grid-histories",
+			Brief: "Wing–Gong checks across 16 distinct 200-op histories (fresh caches, exercises per-run setup)",
+			Func:  BenchCheckerGridHistories,
+		},
+		{
+			Name:  "sim/event-loop",
+			Brief: "one engine scenario run (Algorithm 1, 400 ops of message/timer traffic) on the discrete-event loop, as grids drive it",
+			Func:  BenchSimEventLoop,
+		},
+	}
+}
+
+// GridScenarios builds the large-grid benchmark's scenario list: hundreds
+// of verified scenarios whose histories are ≥ 200 operations each — the
+// shape the ROADMAP calls out as profile-dominating (simulator event loop
+// plus Wing–Gong checking on every run).
+func GridScenarios() []engine.Scenario {
+	grid := engine.Grid{
+		Backends: engine.Backends(),
+		Objects:  []spec.DataType{types.NewRegister(0), types.NewCounter()},
+		Params:   []model.Params{experiments.DefaultParams(4)},
+		Delays: []engine.DelaySpec{
+			{Mode: engine.DelayRandom},
+			{Mode: engine.DelayExtremal},
+		},
+		Seeds:     seeds(13),
+		Workloads: []workload.Spec{{OpsPerProcess: 50}},
+		Verify:    true,
+	}
+	return grid.Scenarios()
+}
+
+func seeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// BenchLargeGrid runs the full verified grid once per iteration and
+// reports scenario and operation throughput.
+func BenchLargeGrid(b *testing.B) {
+	scenarios := GridScenarios()
+	b.ReportAllocs()
+	b.ResetTimer()
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		rep := engine.Run(scenarios)
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+		ops = 0
+		for _, res := range rep.Results {
+			if !res.Linearizable {
+				b.Fatalf("%s: history not linearizable", res.Name)
+			}
+			ops += res.Ops
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(scenarios)), "scenarios")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(ops)*float64(b.N)/sec, "ops/s")
+	}
+}
+
+// LongHistory produces the checker benchmark's input: a deterministic
+// ≥ 240-operation register history with real concurrency (extremal delays,
+// maximal admissible skew), recorded from one engine run.
+func LongHistory() (spec.DataType, *workload.Report) {
+	dt := types.NewRegister(0)
+	sc := engine.Scenario{
+		DataType: dt,
+		Params:   experiments.DefaultParams(4),
+		Seed:     7,
+		Delay:    engine.DelaySpec{Mode: engine.DelayExtremal},
+		Workload: workload.Spec{OpsPerProcess: 60},
+	}
+	inst, err := sc.Build()
+	if err != nil {
+		panic(fmt.Sprintf("perf: build long-history scenario: %v", err))
+	}
+	sched, err := sc.Workload.WithDefaults(sc.Params, dt).Schedule(sc.Params, sc.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("perf: schedule long-history workload: %v", err))
+	}
+	rep, err := workload.Run(inst, sched, workload.RunOptions{})
+	if err != nil {
+		panic(fmt.Sprintf("perf: run long-history scenario: %v", err))
+	}
+	return dt, &rep
+}
+
+// BenchCheckerLongHistory measures repeated Wing–Gong checks of one long
+// concurrent history — the steady-state checker cost with any per-history
+// precomputation amortized away by the iteration count.
+func BenchCheckerLongHistory(b *testing.B) {
+	dt, rep := LongHistory()
+	if rep.History.Len() < 200 {
+		b.Fatalf("long history has %d ops, want ≥ 200", rep.History.Len())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := check.Check(dt, rep.History); !res.Linearizable {
+			b.Fatal("long history should be linearizable")
+		}
+	}
+	b.ReportMetric(float64(rep.History.Len()), "history-ops")
+}
+
+// BenchCheckerGridHistories measures the checker across 16 distinct
+// 200-op histories per iteration — the per-scenario cost profile of a
+// verified grid, where every run brings a new history.
+func BenchCheckerGridHistories(b *testing.B) {
+	type input struct {
+		dt spec.DataType
+		h  *workload.Report
+	}
+	var inputs []input
+	for _, dt := range []spec.DataType{types.NewRegister(0), types.NewCounter()} {
+		for seed := int64(1); seed <= 8; seed++ {
+			sc := engine.Scenario{
+				DataType: dt,
+				Params:   experiments.DefaultParams(4),
+				Seed:     seed,
+				Delay:    engine.DelaySpec{Mode: engine.DelayExtremal},
+				Workload: workload.Spec{OpsPerProcess: 50},
+			}
+			inst, err := sc.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched, err := sc.Workload.WithDefaults(sc.Params, dt).Schedule(sc.Params, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := workload.Run(inst, sched, workload.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs = append(inputs, input{dt: dt, h: &rep})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range inputs {
+			if res := check.Check(in.dt, in.h.History); !res.Linearizable {
+				b.Fatal("grid history should be linearizable")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(inputs)), "histories")
+}
+
+// BenchSimEventLoop measures one engine scenario run per iteration — an
+// Algorithm 1 cluster pushing 400 operations' worth of invocations,
+// broadcasts, and timers through the discrete-event loop, exactly the way
+// a grid's worker pool drives it (fresh isolated instance, no verifier).
+// Allocation counts here are the sim hot path's allocation budget.
+func BenchSimEventLoop(b *testing.B) {
+	sc := engine.Scenario{
+		DataType: types.NewRegister(0),
+		Params:   experiments.DefaultParams(4),
+		Seed:     3,
+		Delay:    engine.DelaySpec{Mode: engine.DelayWorst},
+		Workload: workload.Spec{OpsPerProcess: 100},
+	}
+	eng := engine.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		res, err := eng.RunOne(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.Ops
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ops), "ops")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(ops)*float64(b.N)/sec, "sim-ops/s")
+	}
+}

@@ -1,0 +1,52 @@
+package perf_test
+
+import (
+	"testing"
+
+	"timebounds/internal/perf"
+)
+
+// The tracked benchmarks double as go-test benchmarks, so `make bench`
+// and CI's bench smoke exercise exactly what cmd/tbbench records.
+
+func BenchmarkLargeGrid(b *testing.B)            { perf.BenchLargeGrid(b) }
+func BenchmarkCheckerLongHistory(b *testing.B)   { perf.BenchCheckerLongHistory(b) }
+func BenchmarkCheckerGridHistories(b *testing.B) { perf.BenchCheckerGridHistories(b) }
+func BenchmarkSimEventLoop(b *testing.B)         { perf.BenchSimEventLoop(b) }
+
+// TestBenchmarkCatalog pins the tracked-suite names: renaming or removing
+// a benchmark breaks comparability of the recorded trajectory, so it must
+// be a conscious change here too.
+func TestBenchmarkCatalog(t *testing.T) {
+	want := []string{
+		"engine/large-grid",
+		"check/long-history",
+		"check/grid-histories",
+		"sim/event-loop",
+	}
+	got := perf.Benchmarks()
+	if len(got) != len(want) {
+		t.Fatalf("tracked suite has %d benchmarks, want %d", len(got), len(want))
+	}
+	for i, bm := range got {
+		if bm.Name != want[i] {
+			t.Errorf("benchmark %d named %q, want %q", i, bm.Name, want[i])
+		}
+		if bm.Func == nil {
+			t.Errorf("benchmark %q has no body", bm.Name)
+		}
+	}
+}
+
+// TestGridScenariosShape guards the acceptance shape: hundreds of
+// scenarios, each verifying a ≥200-operation history.
+func TestGridScenariosShape(t *testing.T) {
+	scs := perf.GridScenarios()
+	if len(scs) < 200 {
+		t.Fatalf("large grid has %d scenarios, want ≥ 200", len(scs))
+	}
+	_, rep := perf.LongHistory()
+	if rep.History.Len() < 200 {
+		t.Fatalf("long history has %d ops, want ≥ 200", rep.History.Len())
+	}
+}

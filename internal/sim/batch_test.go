@@ -1,0 +1,211 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+)
+
+// chatterProc stresses every event kind: each invocation broadcasts a
+// round, arms two timers (one canceled), and responds on the second
+// timer; each received message is echoed back once.
+type chatterProc struct {
+	echoed map[int]bool
+}
+
+type chatterMsg struct {
+	Hop int
+	Tag int
+}
+
+type respondTimer struct{ id history.OpID }
+type doomedTimer struct{}
+
+func (c *chatterProc) OnInvoke(env sim.Env, id history.OpID, kind spec.OpKind, arg spec.Value) {
+	tag, _ := arg.(int)
+	env.Broadcast(chatterMsg{Hop: 0, Tag: tag})
+	doomed := env.SetTimerAfter(3*model.Time(time.Millisecond), doomedTimer{})
+	env.SetTimerAfter(5*model.Time(time.Millisecond), respondTimer{id: id})
+	env.CancelTimer(doomed)
+}
+
+func (c *chatterProc) OnMessage(env sim.Env, from model.ProcessID, payload any) {
+	m, ok := payload.(chatterMsg)
+	if !ok || m.Hop > 0 {
+		return
+	}
+	if c.echoed == nil {
+		c.echoed = make(map[int]bool)
+	}
+	if !c.echoed[m.Tag] {
+		c.echoed[m.Tag] = true
+		env.Send(from, chatterMsg{Hop: 1, Tag: m.Tag})
+	}
+}
+
+func (c *chatterProc) OnTimer(env sim.Env, payload any) {
+	switch t := payload.(type) {
+	case respondTimer:
+		env.Respond(t.id, nil)
+	case doomedTimer:
+		panic("canceled timer fired")
+	}
+}
+
+func chatterSim(t *testing.T, delay sim.DelayPolicy) *sim.Simulator {
+	t.Helper()
+	p := model.Params{N: 3, D: 10 * model.Time(time.Millisecond), U: 4 * model.Time(time.Millisecond),
+		Epsilon: 2 * model.Time(time.Millisecond)}
+	procs := make([]sim.Process, p.N)
+	for i := range procs {
+		procs[i] = &chatterProc{}
+	}
+	s, err := sim.New(sim.Config{
+		Params:       p,
+		ClockOffsets: []model.Time{0, p.Epsilon / 2, -p.Epsilon / 2},
+		Delay:        delay,
+		StrictDelays: true,
+	}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Colliding timestamps on purpose: simultaneous invocations at several
+	// processes, plus back-to-back (deferred) invocations.
+	ms := model.Time(time.Millisecond)
+	for wave := 0; wave < 6; wave++ {
+		at := model.Time(wave) * 7 * ms
+		for proc := 0; proc < p.N; proc++ {
+			s.Invoke(at, model.ProcessID(proc), "op", wave*10+proc)
+			s.Invoke(at+1, model.ProcessID(proc), "op", wave*10+proc+100)
+		}
+	}
+	return s
+}
+
+// TestBatchedDispatchEquivalence: Run's batched equal-timestamp dispatch
+// must be unobservable — bit-identical history, step trace, and message
+// trace versus the reference one-event-at-a-time loop, under both a
+// static (matrix-precomputed) and a dynamic delay policy.
+func TestBatchedDispatchEquivalence(t *testing.T) {
+	ms := model.Time(time.Millisecond)
+	policies := map[string]func() sim.DelayPolicy{
+		"static-fixed":   func() sim.DelayPolicy { return sim.FixedDelay(10 * ms) },
+		"dynamic-random": func() sim.DelayPolicy { return sim.NewRandomDelay(42, 6*ms, 10*ms) },
+	}
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			batched := chatterSim(t, mk())
+			reference := chatterSim(t, mk())
+			if err := batched.Run(model.Infinity); err != nil {
+				t.Fatalf("batched run: %v", err)
+			}
+			if err := reference.RunUnbatched(model.Infinity); err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			if got, want := batched.History().String(), reference.History().String(); got != want {
+				t.Errorf("histories differ:\nbatched:\n%s\nreference:\n%s", got, want)
+			}
+			if !reflect.DeepEqual(batched.Steps(), reference.Steps()) {
+				t.Error("step traces differ between batched and reference dispatch")
+			}
+			if !reflect.DeepEqual(batched.Messages(), reference.Messages()) {
+				t.Error("message traces differ between batched and reference dispatch")
+			}
+			if batched.History().Len() == 0 {
+				t.Fatal("empty run proves nothing")
+			}
+		})
+	}
+}
+
+// TestStaticDelayMatrixPrecomputed: fixed and matrix policies flatten into
+// the per-pair matrix; the seeded random policy must not.
+func TestStaticDelayMatrixPrecomputed(t *testing.T) {
+	ms := model.Time(time.Millisecond)
+	if s := chatterSim(t, sim.FixedDelay(10*ms)); !s.StaticDelayMatrix() {
+		t.Error("FixedDelay should precompute a static delay matrix")
+	}
+	if s := chatterSim(t, sim.NewMatrixDelay(3, 10*ms)); !s.StaticDelayMatrix() {
+		t.Error("MatrixDelay should precompute a static delay matrix")
+	}
+	if s := chatterSim(t, sim.NewRandomDelay(1, 6*ms, 10*ms)); s.StaticDelayMatrix() {
+		t.Error("RandomDelay must not claim a static delay matrix")
+	}
+}
+
+// TestStaticMatrixMatchesPolicyDelays: the precomputed-matrix fast path
+// must deliver exactly the delays the policy interface would.
+func TestStaticMatrixMatchesPolicyDelays(t *testing.T) {
+	ms := model.Time(time.Millisecond)
+	m := sim.NewMatrixDelay(3, 10*ms).Set(0, 1, 6*ms).Set(2, 0, 8*ms)
+	s := chatterSim(t, m)
+	if err := s.Run(model.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range s.Messages() {
+		want := m.Delay(msg.From, msg.To, msg.SentAt, msg.Seq)
+		if msg.Delay != want {
+			t.Fatalf("message %d %s→%s delayed %s, policy says %s",
+				msg.Seq, msg.From, msg.To, msg.Delay, want)
+		}
+	}
+}
+
+// quietProc is a minimal steady-state process: every invocation broadcasts
+// once and responds on a timer; messages are absorbed.
+type quietProc struct{}
+
+func (quietProc) OnInvoke(env sim.Env, id history.OpID, _ spec.OpKind, _ spec.Value) {
+	env.Broadcast(7)
+	env.SetTimerAfter(2*model.Time(time.Millisecond), respondTimer{id: id})
+}
+func (quietProc) OnMessage(sim.Env, model.ProcessID, any) {}
+func (q quietProc) OnTimer(env sim.Env, payload any) {
+	if t, ok := payload.(respondTimer); ok {
+		env.Respond(t.id, nil)
+	}
+}
+
+// TestEventLoopAllocs is the allocation-regression guard on the event
+// loop: once the event slab, heap, and pools are warm, pushing a wave of
+// invocations through Run must stay within a small per-wave allocation
+// budget (history records and timer-map growth amortize; events, heap
+// traffic, and Envs must not allocate at all).
+func TestEventLoopAllocs(t *testing.T) {
+	ms := model.Time(time.Millisecond)
+	p := model.Params{N: 4, D: 10 * ms, U: 4 * ms, Epsilon: 2 * ms}
+	procs := make([]sim.Process, p.N)
+	for i := range procs {
+		procs[i] = quietProc{}
+	}
+	s, err := sim.New(sim.Config{Params: p, Delay: sim.FixedDelay(10 * ms), StrictDelays: true,
+		DiscardTraces: true}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := model.Time(0)
+	wave := func() {
+		for proc := 0; proc < p.N; proc++ {
+			s.Invoke(at, model.ProcessID(proc), "op", nil)
+		}
+		at += 20 * ms
+		if err := s.Run(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		wave() // warm the slab, heap, pools, and history capacity
+	}
+	// Each wave is 4 invokes + 12 sends/deliveries + 4 timers = 20 events.
+	const eventsPerWave = 20
+	avg := testing.AllocsPerRun(50, wave)
+	if avg > 8 {
+		t.Errorf("event loop allocates %.1f allocs per %d-event wave (budget 8): "+
+			"the pooled loop should only pay amortized history/map growth", avg, eventsPerWave)
+	}
+}

@@ -24,6 +24,19 @@ type DelayPolicy interface {
 	Delay(from, to model.ProcessID, sentAt model.Time, seq int) model.Time
 }
 
+// StaticDelays is implemented by delay policies whose delay depends only
+// on the (from, to) pair — never on send time or message sequence. The
+// simulator flattens such a policy into an n×n matrix once per run, so
+// each Send costs a slice index instead of an interface call. FixedDelay
+// and MatrixDelay — the shapes used by every lower-bound construction —
+// qualify; time- or sequence-dependent policies must not implement it.
+type StaticDelays interface {
+	// DelayMatrix returns the row-major n×n delay matrix
+	// (entry [from*n+to]) and true, or false if the policy cannot commit
+	// to a static matrix for this n.
+	DelayMatrix(n int) ([]model.Time, bool)
+}
+
 // FixedDelay delays every message by the same amount.
 type FixedDelay model.Time
 
@@ -32,6 +45,15 @@ var _ DelayPolicy = FixedDelay(0)
 // Delay implements DelayPolicy.
 func (f FixedDelay) Delay(_, _ model.ProcessID, _ model.Time, _ int) model.Time {
 	return model.Time(f)
+}
+
+// DelayMatrix implements StaticDelays.
+func (f FixedDelay) DelayMatrix(n int) ([]model.Time, bool) {
+	mat := make([]model.Time, n*n)
+	for i := range mat {
+		mat[i] = model.Time(f)
+	}
+	return mat, true
 }
 
 // MatrixDelay assigns pairwise-uniform delays: every message from i to j
@@ -65,6 +87,23 @@ func (m MatrixDelay) Set(i, j model.ProcessID, d model.Time) MatrixDelay {
 // Delay implements DelayPolicy.
 func (m MatrixDelay) Delay(from, to model.ProcessID, _ model.Time, _ int) model.Time {
 	return m.M[from][to]
+}
+
+// DelayMatrix implements StaticDelays by flattening M. The flattened copy
+// is taken at simulator construction; later Set calls do not affect a
+// running simulator (policies must be deterministic anyway).
+func (m MatrixDelay) DelayMatrix(n int) ([]model.Time, bool) {
+	if len(m.M) != n {
+		return nil, false
+	}
+	mat := make([]model.Time, 0, n*n)
+	for _, row := range m.M {
+		if len(row) != n {
+			return nil, false
+		}
+		mat = append(mat, row...)
+	}
+	return mat, true
 }
 
 // RandomDelay draws each delay independently and uniformly from

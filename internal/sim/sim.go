@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"timebounds/internal/history"
@@ -22,7 +21,9 @@ type Process interface {
 }
 
 // Env is the narrow world interface handed to Process handlers during a
-// step. Processes see only their local clock, never real time.
+// step. Processes see only their local clock, never real time. An Env is
+// valid only for the duration of the handler call it is passed to; the
+// simulator reuses it between steps.
 type Env interface {
 	// Self returns the process's own id.
 	Self() model.ProcessID
@@ -73,28 +74,24 @@ type event struct {
 	msgSeq  int
 
 	// evTimer
-	timerID  TimerID
-	canceled *bool
+	timerID TimerID
 }
 
-type eventHeap []*event
+// qitem is one scheduled event in the heap: the (at, seq) ordering key —
+// real time, then creation sequence, the simulator's deterministic
+// dispatch order — held inline so heap maintenance never probes the slab,
+// plus the event's slab index.
+type qitem struct {
+	at  model.Time
+	seq int64
+	ref int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a qitem) less(b qitem) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // MessageTrace records one delivered (or in-flight) message, for the run
@@ -125,31 +122,59 @@ type Config struct {
 	// differences must be bounded by Params.Epsilon.
 	ClockOffsets []model.Time
 	// Delay chooses message delays. Nil defaults to FixedDelay(Params.D).
+	// Policies implementing StaticDelays are flattened into a per-pair
+	// matrix once at construction, so per-message lookups are a slice index.
 	Delay DelayPolicy
 	// StrictDelays makes the simulator return an error from Run if the
 	// policy ever emits a delay outside [D-U, D]. Adversary experiments
 	// that intentionally model inadmissible runs leave this false and
 	// inspect the trace instead.
 	StrictDelays bool
+	// DiscardTraces skips recording the step and message traces, for runs
+	// that will never be rendered or shifted (large measurement grids).
+	// Steps and Messages return empty slices on such a simulator; the
+	// history is always recorded.
+	DiscardTraces bool
 }
 
 // Simulator drives n processes through a single run.
+//
+// Events live in an index-addressed slab; the scheduling heap holds
+// (at, seq, slab-index) triples, so heap maintenance compares and moves
+// small pointer-free values — no slab probes, no GC write barriers — and
+// dispatched slots are recycled through a free list, making the
+// steady-state event loop allocation-free per event. The heap is 4-ary:
+// pending sets are small and a shallower tree means fewer moves per pop.
 type Simulator struct {
 	cfg     Config
 	procs   []Process
-	queue   eventHeap
+	events  []event // slab; grows only when the free list is empty
+	freed   []int32 // recycled slab slots
+	queue   []qitem // 4-ary min-heap ordered by (at, seq)
+	batch   []int32 // reused equal-timestamp dispatch batch (slab indexes)
+	env     procEnv // reused Env; valid only during one handler call
 	seq     int64
 	msgSeq  int
 	now     model.Time
 	hist    *history.History
 	msgs    []MessageTrace
 	steps   []StepTrace
+	trace   bool   // record steps/msgs (= !cfg.DiscardTraces)
 	pending []bool // per-process: has an operation in flight
 	// deferred invocations waiting for the previous op of the process to
 	// respond (the application layer invokes back-to-back, Chapter III.A).
 	deferred [][]deferredInvoke
-	timers   map[TimerID]*bool
-	nextTID  TimerID
+	// timerLive[id] reports whether timer id is pending (armed, un-fired,
+	// un-canceled). Ids are dense, so a flat slice beats a map on the
+	// timer-heavy hot path; one byte per timer ever armed.
+	timerLive []bool
+	nextTID   TimerID
+	// delayMat is the flattened n×n delay matrix when cfg.Delay is static
+	// (FixedDelay, MatrixDelay): delayMat[from*n+to]. Nil for dynamic
+	// policies, which go through the DelayPolicy interface per message.
+	delayMat []model.Time
+	minD     model.Time // admissible delay range, for the strict fast path
+	maxD     model.Time
 	err      error
 }
 
@@ -192,9 +217,17 @@ func New(cfg Config, procs []Process) (*Simulator, error) {
 		cfg:      cfg,
 		procs:    procs,
 		hist:     history.New(),
+		trace:    !cfg.DiscardTraces,
 		pending:  make([]bool, cfg.Params.N),
 		deferred: make([][]deferredInvoke, cfg.Params.N),
-		timers:   make(map[TimerID]*bool),
+		minD:     cfg.Params.MinDelay(),
+		maxD:     cfg.Params.D,
+	}
+	s.env.sim = s
+	if sd, ok := cfg.Delay.(StaticDelays); ok {
+		if mat, ok := sd.DelayMatrix(cfg.Params.N); ok && len(mat) == cfg.Params.N*cfg.Params.N {
+			s.delayMat = mat
+		}
 	}
 	return s, nil
 }
@@ -205,14 +238,16 @@ func (s *Simulator) Params() model.Params { return s.cfg.Params }
 // History returns the history recorded so far.
 func (s *Simulator) History() *history.History { return s.hist }
 
-// Messages returns the message trace recorded so far.
+// Messages returns the message trace recorded so far (empty when
+// Config.DiscardTraces is set).
 func (s *Simulator) Messages() []MessageTrace {
 	out := make([]MessageTrace, len(s.msgs))
 	copy(out, s.msgs)
 	return out
 }
 
-// Steps returns the step trace recorded so far.
+// Steps returns the step trace recorded so far (empty when
+// Config.DiscardTraces is set).
 func (s *Simulator) Steps() []StepTrace {
 	out := make([]StepTrace, len(s.steps))
 	copy(out, s.steps)
@@ -224,36 +259,146 @@ func (s *Simulator) ClockOffset(p model.ProcessID) model.Time {
 	return s.cfg.ClockOffsets[p]
 }
 
+// alloc reserves a slab slot for a new event.
+func (s *Simulator) alloc() int32 {
+	if n := len(s.freed); n > 0 {
+		ref := s.freed[n-1]
+		s.freed = s.freed[:n-1]
+		return ref
+	}
+	s.events = append(s.events, event{})
+	return int32(len(s.events) - 1)
+}
+
+// release zeroes a drained slot and recycles it.
+func (s *Simulator) release(ref int32) {
+	s.events[ref] = event{}
+	s.freed = append(s.freed, ref)
+}
+
+// push stamps the event's creation sequence and enqueues its slot.
+func (s *Simulator) push(ref int32) {
+	seq := s.seq
+	s.seq++
+	s.events[ref].seq = seq
+	it := qitem{at: s.events[ref].at, seq: seq, ref: ref}
+	q := append(s.queue, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q[i].less(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	s.queue = q
+}
+
+// pop removes and returns the earliest queued slot.
+func (s *Simulator) pop() int32 {
+	q := s.queue
+	n := len(q) - 1
+	top := q[0].ref
+	q[0] = q[n]
+	q = q[:n]
+	s.queue = q
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		least := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].less(q[least]) {
+				least = c
+			}
+		}
+		if !q[least].less(q[i]) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
+}
+
 // Invoke schedules an operation invocation at the given real time. If the
 // process still has a pending operation at that time, the invocation is
 // deferred until immediately after the pending operation responds,
 // preserving the one-pending-operation-per-process rule (Chapter III.A).
 func (s *Simulator) Invoke(at model.Time, proc model.ProcessID, kind spec.OpKind, arg spec.Value) {
-	s.push(&event{
-		at: at, kind: evInvoke, proc: proc,
-		opKind: kind, opArg: arg,
-	})
-}
-
-func (s *Simulator) push(e *event) {
-	e.seq = s.seq
-	s.seq++
-	heap.Push(&s.queue, e)
+	ref := s.alloc()
+	e := &s.events[ref]
+	e.at, e.kind, e.proc = at, evInvoke, proc
+	e.opKind, e.opArg = kind, arg
+	s.push(ref)
 }
 
 // Run processes events until the queue drains (quiescence) or the horizon
 // is reached. It returns the first configuration error encountered.
+//
+// Dispatch is batched: all events sharing the earliest delivery timestamp
+// are drained from the queue in one pass and dispatched in creation
+// order, so per-event heap traffic is paid once per distinct timestamp.
+// Events pushed during a batch (always at later sequence numbers) form
+// follow-up batches; the resulting dispatch order is identical to
+// one-at-a-time dispatch. Events beyond the horizon stay queued.
 func (s *Simulator) Run(horizon model.Time) error {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		if e.at > horizon {
+		t := s.queue[0].at
+		if t > horizon {
 			return s.err
 		}
-		if e.at < s.now {
-			return fmt.Errorf("sim: time went backwards: %s < %s", e.at, s.now)
+		if t < s.now {
+			return fmt.Errorf("sim: time went backwards: %s < %s", t, s.now)
 		}
-		s.now = e.at
-		s.dispatch(e)
+		s.now = t
+		// Drain the timestamp-t batch into the reused value buffer,
+		// recycling slots immediately — handlers dispatch against the
+		// copies. Heap pops yield ascending sequence numbers within an
+		// equal timestamp, so batch order is creation order — the same
+		// order repeated single-event dispatch would produce. Same-
+		// timestamp events pushed by handlers below carry later sequence
+		// numbers and are drained on the next pass.
+		batch := s.batch[:0]
+		for len(s.queue) > 0 && s.queue[0].at == t {
+			batch = append(batch, s.pop())
+		}
+		s.batch = batch
+		for _, ref := range batch {
+			s.dispatch(ref)
+			s.release(ref)
+			if s.err != nil {
+				return s.err
+			}
+		}
+	}
+	return s.err
+}
+
+// runUnbatched is the reference event loop: one heap pop, one dispatch.
+// It is semantically identical to Run and exists so the equivalence tests
+// can assert that batched dispatch is unobservable (bit-identical
+// histories and traces).
+func (s *Simulator) runUnbatched(horizon model.Time) error {
+	for len(s.queue) > 0 {
+		t := s.queue[0].at
+		if t > horizon {
+			return s.err
+		}
+		if t < s.now {
+			return fmt.Errorf("sim: time went backwards: %s < %s", t, s.now)
+		}
+		s.now = t
+		ref := s.pop()
+		s.dispatch(ref)
+		s.release(ref)
 		if s.err != nil {
 			return s.err
 		}
@@ -261,33 +406,46 @@ func (s *Simulator) Run(horizon model.Time) error {
 	return s.err
 }
 
-func (s *Simulator) dispatch(e *event) {
-	env := &procEnv{sim: s, proc: e.proc, real: e.at}
+// dispatch runs the handler for the event in slot ref. The needed fields
+// are copied to locals before the handler runs — handlers push events,
+// which may grow the slab and move the slot. The caller releases the slot
+// afterwards.
+func (s *Simulator) dispatch(ref int32) {
+	e := &s.events[ref]
+	proc, at := e.proc, e.at
+	env := &s.env
+	env.proc, env.real = proc, at
 	switch e.kind {
 	case evInvoke:
-		if s.pending[e.proc] {
+		opKind, opArg := e.opKind, e.opArg
+		if s.pending[proc] {
 			// Defer until the current operation responds.
-			s.deferred[e.proc] = append(s.deferred[e.proc], deferredInvoke{kind: e.opKind, arg: e.opArg})
+			s.deferred[proc] = append(s.deferred[proc], deferredInvoke{kind: opKind, arg: opArg})
 			return
 		}
-		s.pending[e.proc] = true
-		id := s.hist.Invoke(e.proc, e.opKind, e.opArg, e.at)
-		s.record(e.proc, e.at, "invoke")
-		s.procs[e.proc].OnInvoke(env, id, e.opKind, e.opArg)
+		s.pending[proc] = true
+		id := s.hist.Invoke(proc, opKind, opArg, at)
+		s.record(proc, at, "invoke")
+		s.procs[proc].OnInvoke(env, id, opKind, opArg)
 	case evDeliver:
-		s.record(e.proc, e.at, "deliver")
-		s.procs[e.proc].OnMessage(env, e.from, e.payload)
+		from, payload := e.from, e.payload
+		s.record(proc, at, "deliver")
+		s.procs[proc].OnMessage(env, from, payload)
 	case evTimer:
-		if e.canceled != nil && *e.canceled {
-			return
+		tid, payload := e.timerID, e.payload
+		if !s.timerLive[tid] {
+			return // canceled
 		}
-		delete(s.timers, e.timerID)
-		s.record(e.proc, e.at, "timer")
-		s.procs[e.proc].OnTimer(env, e.payload)
+		s.timerLive[tid] = false
+		s.record(proc, at, "timer")
+		s.procs[proc].OnTimer(env, payload)
 	}
 }
 
 func (s *Simulator) record(p model.ProcessID, real model.Time, kind string) {
+	if !s.trace {
+		return
+	}
 	s.steps = append(s.steps, StepTrace{
 		Proc:      p,
 		RealTime:  real,
@@ -296,7 +454,8 @@ func (s *Simulator) record(p model.ProcessID, real model.Time, kind string) {
 	})
 }
 
-// procEnv implements Env for one step of one process.
+// procEnv implements Env for one step of one process. The simulator owns
+// a single instance and re-points it at each dispatched step.
 type procEnv struct {
 	sim  *Simulator
 	proc model.ProcessID
@@ -313,27 +472,35 @@ func (e *procEnv) ClockTime() model.Time {
 }
 
 func (e *procEnv) Send(to model.ProcessID, payload any) {
+	s := e.sim
 	if to == e.proc {
-		e.sim.err = fmt.Errorf("sim: %s attempted to send to itself", e.proc)
+		s.err = fmt.Errorf("sim: %s attempted to send to itself", e.proc)
 		return
 	}
-	seq := e.sim.msgSeq
-	e.sim.msgSeq++
-	delay := e.sim.cfg.Delay.Delay(e.proc, to, e.real, seq)
-	if e.sim.cfg.StrictDelays {
-		if err := ValidateDelay(e.sim.cfg.Params, delay); err != nil {
-			e.sim.err = fmt.Errorf("sim: message %d %s→%s: %w", seq, e.proc, to, err)
-			return
-		}
+	seq := s.msgSeq
+	s.msgSeq++
+	var delay model.Time
+	if s.delayMat != nil {
+		delay = s.delayMat[int(e.proc)*s.cfg.Params.N+int(to)]
+	} else {
+		delay = s.cfg.Delay.Delay(e.proc, to, e.real, seq)
+	}
+	if s.cfg.StrictDelays && (delay < s.minD || delay > s.maxD) {
+		s.err = fmt.Errorf("sim: message %d %s→%s: %w", seq, e.proc, to,
+			ValidateDelay(s.cfg.Params, delay))
+		return
 	}
 	recv := e.real + delay
-	e.sim.msgs = append(e.sim.msgs, MessageTrace{
-		Seq: seq, From: e.proc, To: to, SentAt: e.real, RecvAt: recv, Delay: delay,
-	})
-	e.sim.push(&event{
-		at: recv, kind: evDeliver, proc: to,
-		from: e.proc, payload: payload, sentAt: e.real, msgSeq: seq,
-	})
+	if s.trace {
+		s.msgs = append(s.msgs, MessageTrace{
+			Seq: seq, From: e.proc, To: to, SentAt: e.real, RecvAt: recv, Delay: delay,
+		})
+	}
+	ref := s.alloc()
+	ev := &s.events[ref]
+	ev.at, ev.kind, ev.proc = recv, evDeliver, to
+	ev.from, ev.payload, ev.sentAt, ev.msgSeq = e.proc, payload, e.real, seq
+	s.push(ref)
 }
 
 func (e *procEnv) Broadcast(payload any) {
@@ -348,21 +515,21 @@ func (e *procEnv) SetTimerAfter(d model.Time, payload any) TimerID {
 	if d < 0 {
 		d = 0
 	}
-	id := e.sim.nextTID
-	e.sim.nextTID++
-	canceled := new(bool)
-	e.sim.timers[id] = canceled
-	e.sim.push(&event{
-		at: e.real + d, kind: evTimer, proc: e.proc,
-		timerID: id, payload: payload, canceled: canceled,
-	})
+	s := e.sim
+	id := s.nextTID
+	s.nextTID++
+	s.timerLive = append(s.timerLive, true)
+	ref := s.alloc()
+	ev := &s.events[ref]
+	ev.at, ev.kind, ev.proc = e.real+d, evTimer, e.proc
+	ev.timerID, ev.payload = id, payload
+	s.push(ref)
 	return id
 }
 
 func (e *procEnv) CancelTimer(id TimerID) {
-	if flag, ok := e.sim.timers[id]; ok {
-		*flag = true
-		delete(e.sim.timers, id)
+	if id >= 0 && int64(id) < int64(len(e.sim.timerLive)) {
+		e.sim.timerLive[id] = false
 	}
 }
 
@@ -381,9 +548,10 @@ func (e *procEnv) Respond(id history.OpID, ret spec.Value) {
 		// back-to-back operation sequences do. "After" is strict in the
 		// continuous-time model (Chapter III.B.2: increasing clock times),
 		// so the deferred invocation lands one tick later.
-		s.push(&event{
-			at: e.real + 1, kind: evInvoke, proc: p,
-			opKind: next.kind, opArg: next.arg,
-		})
+		ref := s.alloc()
+		ev := &s.events[ref]
+		ev.at, ev.kind, ev.proc = e.real+1, evInvoke, p
+		ev.opKind, ev.opArg = next.kind, next.arg
+		s.push(ref)
 	}
 }

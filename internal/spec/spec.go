@@ -127,11 +127,41 @@ func (s Sequence) Append(ops ...Op) Sequence {
 // ValueEqual reports whether two operation values are equal. It treats nil
 // as equal only to nil and otherwise uses canonical formatting, which is
 // sound for the comparable value kinds used by the bundled data types.
+// Same-typed comparable values short-circuit through ==, keeping the
+// checker's hot path off the formatter; mixed-type pairs keep the
+// formatting semantics (int 1 equals int64 1).
 func ValueEqual(a, b Value) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
 	}
-	return fmt.Sprintf("%#v", a) == fmt.Sprintf("%#v", b)
+	switch x := a.(type) {
+	case int:
+		if y, ok := b.(int); ok {
+			return x == y
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return x == y
+		}
+	case bool:
+		if y, ok := b.(bool); ok {
+			return x == y
+		}
+	case int64:
+		if y, ok := b.(int64); ok {
+			return x == y
+		}
+	}
+	return CanonicalValue(a) == CanonicalValue(b)
+}
+
+// CanonicalValue renders one value in the canonical form ValueEqual
+// compares with — the key form for transition caches (internal/check).
+func CanonicalValue(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%#v", v)
 }
 
 // Replay applies seq from state s, checking recorded return values.

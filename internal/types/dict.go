@@ -114,7 +114,11 @@ func (Dict) EncodeState(s spec.State) string {
 	d, _ := s.(dictState)
 	parts := make([]string, 0, len(d))
 	for k, v := range d {
-		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		// Canonical rendering on both sides: keys are quoted/escaped so a
+		// key containing '=' or ',' cannot forge another state's encoding,
+		// and int 1 / string "1" values do not collide — checker memo and
+		// the shared transition caches treat encodings as injective.
+		parts = append(parts, fmt.Sprintf("%s=%s", spec.CanonicalValue(k), spec.CanonicalValue(v)))
 	}
 	sort.Strings(parts)
 	return "dict:{" + strings.Join(parts, ",") + "}"

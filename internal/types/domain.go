@@ -1,6 +1,31 @@
 package types
 
-import "timebounds/internal/spec"
+import (
+	"sync"
+
+	"timebounds/internal/spec"
+)
+
+// domainCache memoizes DomainFor per data-type name: grids and tools used
+// to re-derive the same domain for every scenario; now there is one
+// cached entry point.
+var domainCache sync.Map // data-type name -> spec.Domain
+
+// DomainFor is the cached entry point for classifier search domains: the
+// brute-force classifiers (internal/spec) and bound derivation
+// (internal/bounds) re-consult the same domain for every operation kind,
+// and grid tooling does so for every scenario, so the construction is
+// memoized per data-type name. The returned Domain is shared — callers
+// must treat it as read-only. Use DefaultDomain for a fresh private copy.
+func DomainFor(dt spec.DataType) spec.Domain {
+	name := dt.Name()
+	if v, ok := domainCache.Load(name); ok {
+		return v.(spec.Domain)
+	}
+	dom := DefaultDomain(dt)
+	domainCache.Store(name, dom)
+	return dom
+}
 
 // DefaultDomain returns a small, representative search domain for the given
 // data type, sufficient for the brute-force classifiers in internal/spec to

@@ -1,0 +1,31 @@
+package types_test
+
+import (
+	"reflect"
+	"testing"
+
+	"timebounds/internal/types"
+)
+
+// TestDomainForCachesPerTypeName: the cached entry point must hand back
+// the same shared Domain for repeated lookups (no re-derivation) and keep
+// distinct types distinct.
+func TestDomainForCachesPerTypeName(t *testing.T) {
+	q := types.NewQueue()
+	d1 := types.DomainFor(q)
+	d2 := types.DomainFor(q)
+	if len(d1.Prefixes) == 0 || len(d1.Args) == 0 {
+		t.Fatal("queue domain is empty")
+	}
+	// Same backing storage: the cache returned the shared instance.
+	if &d1.Prefixes[0] != &d2.Prefixes[0] {
+		t.Error("DomainFor re-derived the domain instead of caching it")
+	}
+	if !reflect.DeepEqual(d1, types.DefaultDomain(q)) {
+		t.Error("cached domain differs from a fresh derivation")
+	}
+	reg := types.NewRegister(0)
+	if reflect.DeepEqual(types.DomainFor(reg), d1) {
+		t.Error("register and queue must not share a domain")
+	}
+}

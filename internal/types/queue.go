@@ -1,7 +1,6 @@
 package types
 
 import (
-	"fmt"
 	"strings"
 
 	"timebounds/internal/spec"
@@ -83,7 +82,9 @@ func (Queue) EncodeState(s spec.State) string {
 	q, _ := s.(queueState)
 	parts := make([]string, len(q))
 	for i, v := range q {
-		parts[i] = fmt.Sprintf("%v", v)
+		// Type-faithful rendering: int 1 and string "1" must not collide
+		// (checker memo + shared transition caches key on encodings).
+		parts[i] = spec.CanonicalValue(v)
 	}
 	return "q:[" + strings.Join(parts, " ") + "]"
 }

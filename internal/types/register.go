@@ -5,11 +5,7 @@
 // spec.DataType with immutable states and a canonical encoding.
 package types
 
-import (
-	"fmt"
-
-	"timebounds/internal/spec"
-)
+import "timebounds/internal/spec"
 
 // Operation kinds on registers.
 const (
@@ -95,5 +91,8 @@ func (r *Register) Class(kind spec.OpKind) spec.OpClass {
 	}
 }
 
-// EncodeState implements spec.DataType.
-func (r *Register) EncodeState(s spec.State) string { return fmt.Sprintf("reg:%v", s) }
+// EncodeState implements spec.DataType. Values render type-faithfully
+// (spec.CanonicalValue): int 1 and string "1" are behaviourally distinct
+// states and must not share an encoding — checker memoization and the
+// engine's shared transition caches key on it.
+func (r *Register) EncodeState(s spec.State) string { return "reg:" + spec.CanonicalValue(s) }

@@ -1,7 +1,6 @@
 package types
 
 import (
-	"fmt"
 	"strings"
 
 	"timebounds/internal/spec"
@@ -83,7 +82,9 @@ func (Stack) EncodeState(s spec.State) string {
 	st, _ := s.(stackState)
 	parts := make([]string, len(st))
 	for i, v := range st {
-		parts[i] = fmt.Sprintf("%v", v)
+		// Type-faithful rendering: int 1 and string "1" must not collide
+		// (checker memo + shared transition caches key on encodings).
+		parts[i] = spec.CanonicalValue(v)
 	}
 	return "s:[" + strings.Join(parts, " ") + "]"
 }

@@ -107,6 +107,10 @@ type RunOptions struct {
 	// Verify runs the linearizability checker on the resulting history.
 	// Only use for histories small enough for exhaustive search.
 	Verify bool
+	// Checker optionally shares a transition cache with the verifier —
+	// the engine passes one per data type so a grid's worker pool reuses
+	// Apply/EncodeState work across runs. Nil means a per-run cache.
+	Checker *check.Cache
 }
 
 // Target is the slice of a shared-object instance the harness needs: the
@@ -147,7 +151,7 @@ func Run(target Target, sched Schedule, opt RunOptions) (Report, error) {
 	rep := Report{PerKind: Summarize(h), History: h}
 	if opt.Verify {
 		rep.Checked = true
-		rep.Linearizable = check.Check(target.DataType(), h).Linearizable
+		rep.Linearizable = check.CheckCached(target.DataType(), h, opt.Checker).Linearizable
 	}
 	return rep, nil
 }
