@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-adversary bench bench-json vet fmt
+.PHONY: build test test-adversary bench bench-json bench-compare cover vet fmt
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,10 @@ fmt:
 test: vet
 	$(GO) test -race ./...
 
+# Coverage summary per package (uploaded as a CI artifact).
+cover:
+	$(GO) test -cover ./...
+
 # The lower-bound adversary suites: engine witness machinery, the theorem
 # run families (correct witness ≥ bound, premature violation, shift
 # threshold), the cross-backend conformance grid, and the checker property
@@ -30,9 +34,25 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-json records one point on the benchmark trajectory: the tracked
-# hot-path suite (internal/perf — large verified grid, Wing–Gong checker,
-# sim event loop) written as BENCH_<date>.json at the repo root. An
-# existing file gains an appended point (a trajectory is history — it is
-# never silently truncated); see docs/PERFORMANCE.md.
+# hot-path suite (internal/perf — large verified grid, sharded store,
+# Wing–Gong checker, sim event loop). BENCH_OUT picks the file (default:
+# BENCH_<today>.json at the repo root) and BENCH_LABEL the point label —
+# the knobs CI uses for its per-run artifact. An existing file gains an
+# appended point (a trajectory is history — it is never silently
+# truncated); see docs/PERFORMANCE.md.
+BENCH_OUT ?=
+BENCH_LABEL ?= bench-json
 bench-json:
-	$(GO) run ./cmd/tbbench $(BENCH_ARGS)
+	$(GO) run ./cmd/tbbench -label "$(BENCH_LABEL)" $(if $(BENCH_OUT),-out "$(BENCH_OUT)")
+
+# bench-compare is the regression gate: judge a fresh suite run (or, with
+# BENCH_AGAINST, an already-recorded file) against the newest point of
+# BENCH_BASELINE (default: the newest committed BENCH_*.json) and fail
+# beyond BENCH_TOLERANCE (default 25%). BENCH_METRICS narrows the gated
+# metrics (e.g. allocs/op — the machine-independent one CI gates on).
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_TOLERANCE ?= 0.25
+BENCH_METRICS ?=
+bench-compare:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_*.json baseline found (set BENCH_BASELINE)"; exit 1; }
+	$(GO) run ./cmd/tbbench -compare "$(BENCH_BASELINE)" -tolerance $(BENCH_TOLERANCE) $(if $(BENCH_AGAINST),-against "$(BENCH_AGAINST)") $(if $(BENCH_METRICS),-metrics "$(BENCH_METRICS)")

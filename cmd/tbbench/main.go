@@ -1,91 +1,99 @@
-// Command tbbench records a point on the repository's benchmark
+// Command tbbench records and gates the repository's benchmark
 // trajectory: it runs the tracked hot-path benchmarks of internal/perf —
-// the large verified scenario grid, the Wing–Gong checker on long
-// histories, and the simulator event loop — through testing.Benchmark and
-// writes the results as JSON.
+// the large verified scenario grid, the sharded store, the Wing–Gong
+// checker on long histories, and the simulator event loop — through
+// testing.Benchmark.
 //
-// Usage:
+// Record mode (the default) writes the results as a point in a
+// BENCH_<date>.json trajectory file:
 //
 //	tbbench [-out BENCH_<date>.json] [-label string] [-overwrite] [-list]
 //
 // If the output file already exists, the new point is appended to its
 // recorded points — a trajectory file is history and is never silently
-// truncated (pass -overwrite to start a file over). An existing file
-// that cannot be read or parsed is an error, not an empty trajectory.
-// `make bench-json` is the canonical invocation; docs/PERFORMANCE.md
-// explains how to read and compare the recorded points.
+// truncated (pass -overwrite to start a file over; an existing file that
+// cannot be parsed is an error, not an empty trajectory). `make
+// bench-json` is the canonical invocation; docs/PERFORMANCE.md explains
+// how to read and compare the recorded points.
+//
+// Compare mode is the CI regression gate:
+//
+//	tbbench -compare BASELINE.json [-against FRESH.json] [-tolerance 0.25]
+//	        [-metrics ns/op,allocs/op]
+//
+// It diffs a fresh run (or, with -against, an already-recorded file —
+// what CI uses so the suite runs once) against the newest point of the
+// committed baseline and exits non-zero if any gated benchmark metric
+// exceeds baseline·(1+tolerance). -metrics narrows the gate: CI gates
+// allocs/op only, because allocation counts are machine-independent
+// while the committed wall-clock baselines come from a different
+// machine class. Benchmarks without history in the baseline are
+// skipped. `make bench-compare` wires this into CI's bench-json job.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"timebounds/internal/perf"
 )
 
-// Result is one benchmark's measurements within a point.
-type Result struct {
-	// Name is the tracked benchmark identifier (internal/perf).
-	Name string `json:"name"`
-	// N is the iteration count testing.Benchmark settled on.
-	N int `json:"n"`
-	// NsPerOp is wall-clock nanoseconds per iteration.
-	NsPerOp float64 `json:"ns_per_op"`
-	// AllocsPerOp and BytesPerOp are the allocation profile per iteration.
-	AllocsPerOp int64 `json:"allocs_per_op"`
-	BytesPerOp  int64 `json:"bytes_per_op"`
-	// Metrics carries the benchmark's custom b.ReportMetric values
-	// (scenario counts, ops/s, history sizes).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Point is one recorded run of the whole suite.
-type Point struct {
-	// Label distinguishes points within a file, e.g. "pre-batching
-	// baseline" vs "batched+memoized".
-	Label string `json:"label"`
-	// Date is the recording date (YYYY-MM-DD).
-	Date string `json:"date"`
-	// Go and MaxProcs pin the toolchain and parallelism the numbers were
-	// taken under.
-	Go       string `json:"go"`
-	MaxProcs int    `json:"maxprocs"`
-	// Results are the per-benchmark measurements, in suite order.
-	Results []Result `json:"results"`
-}
-
-// File is the BENCH_*.json schema.
-type File struct {
-	// Schema versions the file format.
-	Schema string `json:"schema"`
-	// Points are recorded suite runs, oldest first.
-	Points []Point `json:"points"`
-}
-
-const schema = "timebounds-bench/v1"
-
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	date := time.Now().Format("2006-01-02")
-	out := flag.String("out", "BENCH_"+date+".json", "output file (appended to if it exists)")
-	label := flag.String("label", "bench-json", "label for this point")
-	overwrite := flag.Bool("overwrite", false, "discard an existing file's points instead of appending")
-	list := flag.Bool("list", false, "list the tracked benchmarks and exit")
+	var (
+		out       = flag.String("out", "BENCH_"+date+".json", "output file (appended to if it exists)")
+		label     = flag.String("label", "bench-json", "label for this point")
+		overwrite = flag.Bool("overwrite", false, "discard an existing file's points instead of appending")
+		list      = flag.Bool("list", false, "list the tracked benchmarks and exit")
+		compare   = flag.String("compare", "", "baseline BENCH_*.json to gate against (newest point); exits non-zero on regression")
+		against   = flag.String("against", "", "with -compare: already-recorded BENCH_*.json to judge (newest point) instead of running the suite")
+		tolerance = flag.Float64("tolerance", 0.25, "with -compare: allowed slowdown fraction per metric (0.25 = fail beyond 25%)")
+		metrics   = flag.String("metrics", "", "with -compare: comma-separated metrics to gate, from ns/op,allocs/op (empty = both; CI gates allocs/op, the machine-independent one)")
+	)
 	flag.Parse()
+	if *against != "" && *compare == "" {
+		return fmt.Errorf("-against only makes sense with -compare")
+	}
 
 	if *list {
 		for _, bm := range perf.Benchmarks() {
 			fmt.Printf("%-24s %s\n", bm.Name, bm.Brief)
 		}
-		return
+		return nil
+	}
+	if *compare != "" {
+		gate, err := gatedMetrics(*metrics)
+		if err != nil {
+			return err
+		}
+		return runCompare(*compare, *against, *tolerance, gate)
 	}
 
-	pt := Point{
-		Label:    *label,
+	pt := record(*label, date)
+	f, err := perf.AppendPoint(*out, pt, *overwrite)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d point(s))\n", *out, len(f.Points))
+	return nil
+}
+
+// record runs the tracked suite once and packages it as a point.
+func record(label, date string) perf.Point {
+	pt := perf.Point{
+		Label:    label,
 		Date:     date,
 		Go:       runtime.Version(),
 		MaxProcs: runtime.GOMAXPROCS(0),
@@ -93,7 +101,7 @@ func main() {
 	for _, bm := range perf.Benchmarks() {
 		fmt.Fprintf(os.Stderr, "running %s ...\n", bm.Name)
 		r := testing.Benchmark(bm.Func)
-		res := Result{
+		m := perf.Measurement{
 			Name:        bm.Name,
 			N:           r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -101,49 +109,87 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
 		if len(r.Extra) > 0 {
-			res.Metrics = make(map[string]float64, len(r.Extra))
+			m.Metrics = make(map[string]float64, len(r.Extra))
 			for k, v := range r.Extra {
-				res.Metrics[k] = v
+				m.Metrics[k] = v
 			}
 		}
 		fmt.Fprintf(os.Stderr, "  %s: %.3fms/op, %d allocs/op\n",
-			bm.Name, res.NsPerOp/1e6, res.AllocsPerOp)
-		pt.Results = append(pt.Results, res)
+			bm.Name, m.NsPerOp/1e6, m.AllocsPerOp)
+		pt.Results = append(pt.Results, m)
 	}
-
-	f := File{Schema: schema}
-	if !*overwrite {
-		data, err := os.ReadFile(*out)
-		switch {
-		case err == nil:
-			if err := json.Unmarshal(data, &f); err != nil {
-				fatalf("tbbench: %s exists but is not a bench file (pass -overwrite to replace it): %v", *out, err)
-			}
-			if f.Schema != schema {
-				fatalf("tbbench: %s has schema %q, want %q", *out, f.Schema, schema)
-			}
-		case os.IsNotExist(err):
-			// Fresh file.
-		default:
-			// An existing-but-unreadable trajectory must never be
-			// silently replaced by a single fresh point.
-			fatalf("tbbench: read %s: %v", *out, err)
-		}
-	}
-	f.Points = append(f.Points, pt)
-
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		fatalf("tbbench: encode: %v", err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatalf("tbbench: write: %v", err)
-	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d point(s))\n", *out, len(f.Points))
+	return pt
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+// gatedMetrics parses the -metrics flag into Compare's metric filter,
+// rejecting unknown names — a typo'd metric would otherwise gate
+// nothing and pass the CI gate vacuously.
+func gatedMetrics(flagValue string) ([]string, error) {
+	if flagValue == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, m := range strings.Split(flagValue, ",") {
+		switch m = strings.TrimSpace(m); m {
+		case "":
+		case "ns/op", "allocs/op":
+			out = append(out, m)
+		default:
+			return nil, fmt.Errorf("unknown metric %q in -metrics (want ns/op,allocs/op)", m)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-metrics %q selects no metrics (want ns/op,allocs/op)", flagValue)
+	}
+	return out, nil
+}
+
+// runCompare gates a fresh point against the newest baseline point.
+func runCompare(baselinePath, againstPath string, tolerance float64, metrics []string) error {
+	baseFile, err := perf.ReadTrajectory(baselinePath)
+	if err != nil {
+		return err
+	}
+	base, ok := baseFile.Latest()
+	if !ok {
+		return fmt.Errorf("baseline %s has no recorded points", baselinePath)
+	}
+	var fresh perf.Point
+	if againstPath != "" {
+		freshFile, err := perf.ReadTrajectory(againstPath)
+		if err != nil {
+			return err
+		}
+		fresh, ok = freshFile.Latest()
+		if !ok {
+			return fmt.Errorf("%s has no recorded points", againstPath)
+		}
+	} else {
+		fresh = record("compare", time.Now().Format("2006-01-02"))
+	}
+
+	gate := "ns/op,allocs/op"
+	if len(metrics) > 0 {
+		gate = strings.Join(metrics, ",")
+	}
+	fmt.Printf("comparing against %s (point %q, %s, go %s), tolerance %.0f%% on %s\n",
+		baselinePath, base.Label, base.Date, base.Go, tolerance*100, gate)
+	for _, bm := range base.Results {
+		got, ok := fresh.Find(bm.Name)
+		if !ok {
+			fmt.Printf("  %-24s (missing from fresh run — skipped)\n", bm.Name)
+			continue
+		}
+		fmt.Printf("  %-24s ns/op %.4g -> %.4g (%.2fx)  allocs/op %d -> %d\n",
+			bm.Name, bm.NsPerOp, got.NsPerOp, got.NsPerOp/bm.NsPerOp, bm.AllocsPerOp, got.AllocsPerOp)
+	}
+	regs := perf.Compare(base, fresh, tolerance, metrics...)
+	if len(regs) == 0 {
+		fmt.Println("no regressions beyond tolerance")
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+	}
+	return fmt.Errorf("%d benchmark metric(s) regressed beyond %.0f%%", len(regs), tolerance*100)
 }

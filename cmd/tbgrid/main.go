@@ -10,11 +10,19 @@
 //	       [-ns 3,4] [-d 10ms] [-u 4ms] [-xs 0,3ms] [-delays random,worst]
 //	       [-seeds 2] [-ops 4] [-workers 0] [-verify]
 //	       [-adversary fig1,c1,c1-queue,d1,e1,e1-dict]
+//	       [-shards 8 [-keys 24]]
 //
 // With -adversary, the named lower-bound constructions are expanded
 // alongside the regular cross product (premature and correct tunings both),
 // and the witness table is appended to the report; see cmd/tbadv for the
 // dedicated sweep runner.
+//
+// With -shards, tbgrid instead drives the engine's sharded path: a keyed
+// workload over -keys keys is partitioned into -shards dictionary
+// sub-clusters per backend × cluster size × -xs × -delays × seed, run
+// across the worker pool, and folded into one sharded report per store
+// (composed linearizability, aggregate bound margins, shard skew).
+// -adversary does not combine with -shards.
 package main
 
 import (
@@ -48,8 +56,17 @@ func run() error {
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		verify    = flag.Bool("verify", false, "run the linearizability checker on every history")
 		advF      = flag.String("adversary", "", "comma-separated lower-bound constructions to run alongside the grid")
+		shards    = flag.Int("shards", 0, "run the sharded keyed-workload path with this many shards (0 = off, -1 = one shard per key)")
+		keys      = flag.Int("keys", 24, "key-space size for -shards")
 	)
 	flag.Parse()
+
+	if *shards != 0 {
+		if *advF != "" {
+			return fmt.Errorf("-adversary cannot be combined with -shards (adversary run families are unsharded)")
+		}
+		return runSharded(*backendsF, *nsF, *xsF, *delaysF, *d, *u, *shards, *keys, *ops, *seeds, *workers, *verify)
+	}
 
 	var grid timebounds.Grid
 	for _, name := range strings.Split(*backendsF, ",") {
@@ -116,5 +133,77 @@ func run() error {
 		return err
 	}
 	fmt.Println("all scenarios within bounds, converged" + map[bool]string{true: ", linearizable", false: ""}[*verify])
+	return nil
+}
+
+// runSharded drives the engine's sharded path: one sharded scenario per
+// backend × cluster size × tradeoff × delay adversary × seed, each
+// partitioning a generated key space into dictionary sub-clusters.
+func runSharded(backendsF, nsF, xsF, delaysF string, d, u time.Duration, shards, keys, ops, seeds, workers int, verify bool) error {
+	if shards < 0 {
+		shards = 0 // engine convention: 0 = one shard per key
+	}
+	space := make([]string, keys)
+	for i := range space {
+		space[i] = fmt.Sprintf("key-%03d", i)
+	}
+	var xs []time.Duration
+	for _, s := range strings.Split(xsF, ",") {
+		x, err := time.ParseDuration(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad x %q: %v", s, err)
+		}
+		xs = append(xs, x)
+	}
+	var delays []timebounds.DelaySpec
+	for _, s := range strings.Split(delaysF, ",") {
+		m, err := timebounds.DelayModeByName(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		delays = append(delays, timebounds.DelaySpec{Mode: m})
+	}
+	eng := timebounds.NewEngine(workers)
+	for _, name := range strings.Split(backendsF, ",") {
+		b, err := timebounds.BackendByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		for _, s := range strings.Split(nsF, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+				return fmt.Errorf("bad n %q", s)
+			}
+			for _, x := range xs {
+				for _, delay := range delays {
+					for seed := int64(1); seed <= int64(seeds); seed++ {
+						rep, err := eng.RunSharded(timebounds.ShardedScenario{
+							Backend: b,
+							Params:  timebounds.Params{N: n, D: d, U: u},
+							X:       x,
+							Seed:    seed,
+							Delay:   delay,
+							Workload: timebounds.ShardedWorkload{
+								Name:   fmt.Sprintf("sharded/x=%s/%s", x, delay.Mode),
+								Keys:   space,
+								Shards: shards,
+								PerKey: timebounds.Workload{OpsPerProcess: ops},
+							},
+							Verify: verify,
+						})
+						if err != nil {
+							return err
+						}
+						fmt.Print(rep)
+						fmt.Println()
+						if err := rep.Err(); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	fmt.Println("all sharded stores within bounds, converged" + map[bool]string{true: ", composed linearizable", false: ""}[verify])
 	return nil
 }

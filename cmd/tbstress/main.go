@@ -7,6 +7,11 @@
 //	                  seeds, verifying latency bounds, convergence and
 //	                  linearizability
 //
+//	-mode sharded     sharded keyed-workload sweep: shard counts × seeds,
+//	                  verifying composed linearizability, convergence,
+//	                  aggregate bounds, and worker-count determinism of
+//	                  the merged report
+//
 // Exit status is non-zero if any world or run fails — suitable for CI.
 package main
 
@@ -14,13 +19,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"time"
 
 	"timebounds/internal/core"
+	"timebounds/internal/engine"
 	"timebounds/internal/explore"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
 	"timebounds/internal/types"
+	"timebounds/internal/workload"
 )
 
 func main() {
@@ -32,13 +40,14 @@ func main() {
 
 func run() error {
 	var (
-		mode  = flag.String("mode", "campaign", "exhaustive|campaign")
+		mode  = flag.String("mode", "campaign", "exhaustive|campaign|sharded")
 		n     = flag.Int("n", 3, "number of processes")
 		d     = flag.Duration("d", 10*time.Millisecond, "delay bound d")
 		u     = flag.Duration("u", 4*time.Millisecond, "delay uncertainty u")
-		seeds = flag.Int("seeds", 5, "seeds per object × policy (campaign)")
-		ops   = flag.Int("ops", 4, "operations per process (campaign)")
+		seeds = flag.Int("seeds", 5, "seeds per object × policy (campaign) / per shard count (sharded)")
+		ops   = flag.Int("ops", 4, "operations per process (campaign, sharded)")
 		msgs  = flag.Int("msgs", 6, "independent delay slots (exhaustive)")
+		keys  = flag.Int("keys", 12, "key-space size (sharded)")
 	)
 	flag.Parse()
 	p := model.Params{N: *n, D: *d, U: *u}
@@ -98,8 +107,65 @@ func run() error {
 			return fmt.Errorf("%d failures", len(res.Failures))
 		}
 		fmt.Println("all runs linearizable, convergent and within the class bounds")
+	case "sharded":
+		if err := shardedSweep(p, *keys, *seeds, *ops); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	return nil
+}
+
+// shardedSweep stresses the engine's sharded path: every shard count from
+// the coarsest (1) to the finest (one per key) across several seeds, each
+// verified for composed linearizability, convergence, and aggregate
+// bounds — and each merged report re-run single-threaded to pin the
+// worker-count determinism the engine promises.
+func shardedSweep(p model.Params, keys, seeds, ops int) error {
+	space := make([]string, keys)
+	for i := range space {
+		space[i] = fmt.Sprintf("key-%03d", i)
+	}
+	var counts []int
+	for _, c := range []int{1, 2, keys / 2, keys} { // coarsest → finest (one per key)
+		if c >= 1 && (len(counts) == 0 || c > counts[len(counts)-1]) {
+			counts = append(counts, c)
+		}
+	}
+	runs, opsTotal := 0, 0
+	for _, shards := range counts {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			ss := engine.ShardedScenario{
+				Params: p,
+				Seed:   seed,
+				Workload: workload.Sharded{
+					Keys:   space,
+					Shards: shards,
+					PerKey: workload.Spec{OpsPerProcess: ops},
+				},
+				Verify: true,
+			}
+			rep, err := engine.RunSharded(ss)
+			if err != nil {
+				return err
+			}
+			if err := rep.Err(); err != nil {
+				return fmt.Errorf("shards=%d seed=%d: %w", shards, seed, err)
+			}
+			serial, err := engine.New(1).RunSharded(ss)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(rep, serial) {
+				return fmt.Errorf("shards=%d seed=%d: merged report differs between parallel and single-worker runs", shards, seed)
+			}
+			runs++
+			opsTotal += rep.Ops
+		}
+	}
+	fmt.Printf("sharded sweep: %d stores (%d keys, shard counts %v), %d operations\n",
+		runs, keys, counts, opsTotal)
+	fmt.Println("all stores composed-linearizable, convergent, within bounds, and worker-count deterministic")
 	return nil
 }

@@ -1,9 +1,11 @@
-// A linearizable key-value store composed from per-key shared registers.
+// A linearizable key-value store on the engine's sharded path.
 // Linearizability is a local (composable) property — Herlihy & Wing 1990 —
-// so a store built from independently linearizable registers is itself
-// linearizable. Each key becomes one Scenario (its own register cluster and
-// delay draws); the engine runs all keys in parallel and verifies every
-// per-key history.
+// so a store partitioned into independently linearizable shards is itself
+// linearizable. Earlier versions of this example hand-rolled per-key
+// schedule bookkeeping and ran one scenario per key; the engine now owns
+// all of that: a ShardedWorkload declares the keyed operations, and
+// RunSharded partitions the key space, runs one isolated sub-cluster per
+// shard across the worker pool, and composes the per-shard verdicts.
 package main
 
 import (
@@ -14,55 +16,6 @@ import (
 	"timebounds"
 )
 
-// store accumulates per-key explicit schedules, then runs one scenario per
-// key through the engine.
-type store struct {
-	params    timebounds.Params
-	seed      int64
-	schedules map[string][]timebounds.Invocation
-	order     []string
-}
-
-func newStore(params timebounds.Params, seed int64, keys ...string) *store {
-	s := &store{params: params, seed: seed, schedules: make(map[string][]timebounds.Invocation, len(keys))}
-	for _, k := range keys {
-		s.schedules[k] = nil
-		s.order = append(s.order, k)
-	}
-	return s
-}
-
-// put schedules a write of key=value from proc at the given time.
-func (s *store) put(at time.Duration, proc timebounds.ProcessID, key string, value any) {
-	s.schedules[key] = append(s.schedules[key], timebounds.Invocation{
-		At: at, Proc: proc, Kind: timebounds.OpWrite, Arg: value,
-	})
-}
-
-// get schedules a read of key from proc at the given time.
-func (s *store) get(at time.Duration, proc timebounds.ProcessID, key string) {
-	s.schedules[key] = append(s.schedules[key], timebounds.Invocation{
-		At: at, Proc: proc, Kind: timebounds.OpRead,
-	})
-}
-
-// run executes every key's scenario in parallel and returns the report,
-// results in key declaration order.
-func (s *store) run() timebounds.Report {
-	var scenarios []timebounds.Scenario
-	for i, key := range s.order {
-		scenarios = append(scenarios, timebounds.Scenario{
-			Name:     "key/" + key,
-			DataType: timebounds.NewRegister(nil),
-			Params:   s.params,
-			Seed:     s.seed + int64(i), // independent delay draws per key
-			Workload: timebounds.Workload{Explicit: s.schedules[key]},
-			Verify:   true,
-		})
-	}
-	return timebounds.RunScenarios(scenarios)
-}
-
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -70,29 +23,42 @@ func main() {
 }
 
 func run() error {
-	params := timebounds.Params{N: 4, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
-	kv := newStore(params, 99, "alpha", "beta", "gamma")
-
-	// Four clients update and read three keys concurrently.
-	kv.put(0, 0, "alpha", 1)
-	kv.put(0, 1, "beta", "hello")
-	kv.put(2*time.Millisecond, 2, "alpha", 2) // racing write to alpha
-	kv.get(5*time.Millisecond, 3, "alpha")    // may see 1, 2 or nil (concurrent)
-	kv.put(30*time.Millisecond, 3, "gamma", 3.14)
-	kv.get(60*time.Millisecond, 0, "alpha") // settled: must see the race winner
-	kv.get(60*time.Millisecond, 1, "beta")
-	kv.get(60*time.Millisecond, 2, "gamma")
-
-	rep := kv.run()
+	ms := time.Millisecond
+	rep, err := timebounds.RunSharded(timebounds.ShardedScenario{
+		Params: timebounds.Params{N: 4, D: 10 * ms, U: 4 * ms},
+		Seed:   99,
+		Workload: timebounds.ShardedWorkload{
+			Name: "kv",
+			Keys: []string{"alpha", "beta", "gamma"},
+			// Four clients update and read three keys concurrently.
+			Explicit: []timebounds.KeyOp{
+				timebounds.PutKey(0, 0, "alpha", 1),
+				timebounds.PutKey(0, 1, "beta", "hello"),
+				timebounds.PutKey(2*ms, 2, "alpha", 2), // racing write to alpha
+				timebounds.GetKey(5*ms, 3, "alpha"),    // may see 1, 2 or nil (concurrent)
+				timebounds.PutKey(30*ms, 3, "gamma", 3.14),
+				timebounds.GetKey(60*ms, 0, "alpha"), // settled: must see the race winner
+				timebounds.GetKey(60*ms, 1, "beta"),
+				timebounds.GetKey(60*ms, 2, "gamma"),
+			},
+			// Shards 0 = one sub-cluster per key; set e.g. Shards: 2 to
+			// hash the three keys into two sub-clusters instead.
+		},
+		Verify: true,
+	})
+	if err != nil {
+		return err
+	}
 	if err := rep.Err(); err != nil {
 		return err
 	}
-	for _, res := range rep.Results {
-		fmt.Printf("%-10s linearizable=%-5v state=%s\n", res.Name, res.Linearizable, res.State)
+	for _, res := range rep.Shards {
+		fmt.Printf("%-12s linearizable=%-5v state=%s\n", res.Name, res.Linearizable, res.State)
 		for _, op := range res.History.Ops() {
 			fmt.Printf("    %s\n", op)
 		}
 	}
-	fmt.Println("\nper-key linearizability composes: the whole store is linearizable.")
+	fmt.Printf("\n%s\n", rep)
+	fmt.Println("per-shard linearizability composes: the whole store is linearizable.")
 	return nil
 }

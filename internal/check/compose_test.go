@@ -1,0 +1,66 @@
+package check
+
+import "testing"
+
+func TestComposeAllLinearizable(t *testing.T) {
+	c := Compose(
+		Component{Name: "shard-0", Checked: true, Linearizable: true},
+		Component{Name: "shard-1", Checked: true, Linearizable: true},
+	)
+	if !c.Checked() || !c.Linearizable() {
+		t.Fatalf("composition of linearizable components must be linearizable: %+v", c)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if f := c.Failing(); len(f) != 0 {
+		t.Fatalf("no component should fail, got %v", f)
+	}
+}
+
+func TestComposeOneViolationFailsWhole(t *testing.T) {
+	c := Compose(
+		Component{Name: "shard-0", Checked: true, Linearizable: true},
+		Component{Name: "shard-1", Checked: true, Linearizable: false},
+		Component{Name: "shard-2", Checked: true, Linearizable: true},
+	)
+	if c.Linearizable() {
+		t.Fatal("a non-linearizable component must fail the composed verdict")
+	}
+	if !c.Checked() {
+		t.Fatal("all components were checked")
+	}
+	f := c.Failing()
+	if len(f) != 1 || f[0] != "shard-1" {
+		t.Fatalf("Failing() = %v, want [shard-1]", f)
+	}
+	if err := c.Err(); err == nil {
+		t.Fatal("Err() must report the violating component")
+	}
+}
+
+func TestComposeUncheckedComponentLeavesCompositionUnchecked(t *testing.T) {
+	c := Compose(
+		Component{Name: "shard-0", Checked: true, Linearizable: true},
+		Component{Name: "shard-1", Checked: false},
+	)
+	if c.Checked() {
+		t.Fatal("an unchecked component must leave the composition unchecked")
+	}
+	if c.Linearizable() {
+		t.Fatal("an unchecked composition must not claim linearizability")
+	}
+	if err := c.Err(); err == nil {
+		t.Fatal("Err() must flag the unchecked component")
+	}
+}
+
+func TestComposeEmptyIsVacuouslyLinearizable(t *testing.T) {
+	c := Compose()
+	if !c.Checked() || !c.Linearizable() {
+		t.Fatal("the empty composition is vacuously checked and linearizable")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

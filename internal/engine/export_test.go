@@ -8,3 +8,18 @@ func SetSharedCheckerDisabled(v bool) (restore func()) {
 	disableSharedChecker = v
 	return func() { disableSharedChecker = prev }
 }
+
+// ExpandSharded exposes the sharded expansion, and MergeSharded the
+// fold from per-shard Results back into a ShardedReport, so tests can
+// inject doctored shard results (e.g. a per-shard linearizability
+// violation) and assert the composed verdict fails.
+func ExpandSharded(ss ShardedScenario) (plan ShardPlan, scs []Scenario, err error) {
+	return ss.expand()
+}
+
+// ShardPlan aliases the unexported plan type for test signatures.
+type ShardPlan = shardPlan
+
+// MergeSharded folds an engine Report of per-shard results into the
+// sharded report under the given plan.
+func MergeSharded(plan ShardPlan, rep Report) ShardedReport { return plan.merge(rep) }

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timebounds/internal/check"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+	"timebounds/internal/workload"
+)
+
+// ShardedScenario runs one keyed workload as engine-managed per-shard
+// sub-clusters: the key space is partitioned into shards, every shard
+// becomes an ordinary Scenario over its own dictionary sub-cluster
+// (isolated simulator, own delay draws), the shards run across the
+// engine's worker pool, and the per-shard Results fold back into a single
+// ShardedReport — a composed linearizability verdict (linearizability is
+// local, so the store is linearizable iff every shard is), aggregate
+// latency-vs-bound margins, and shard-skew statistics.
+//
+// This is the engine-managed form of what examples/kvstore used to
+// hand-roll with per-key schedule bookkeeping.
+type ShardedScenario struct {
+	// Name labels the sharded run; empty names are derived from the
+	// coordinates.
+	Name string
+	// Backend is the implementation strategy of every shard; nil means
+	// Algorithm1.
+	Backend Backend
+	// Params are the per-shard system timing parameters.
+	Params model.Params
+	// X is Algorithm 1's accessor/mutator tradeoff.
+	X model.Time
+	// Seed drives the keyed workload generation and each shard's delay
+	// draws (shard i runs under a seed derived from Seed and i).
+	Seed int64
+	// Delay is the message-delay adversary, applied per shard.
+	Delay DelaySpec
+	// Workload is the keyed operation-stream spec.
+	Workload workload.Sharded
+	// Verify runs the linearizability checker on every shard history and
+	// composes the verdicts.
+	Verify bool
+	// Horizon bounds each shard simulation; zero picks a generous default.
+	Horizon model.Time
+}
+
+// resolved fills the derived name in.
+func (ss ShardedScenario) resolved() ShardedScenario {
+	if ss.Backend == nil {
+		ss.Backend = Algorithm1{}
+	}
+	if ss.Params.Epsilon == 0 {
+		// Same default the per-shard scenarios resolve to; the merged
+		// bound checks must use identical parameters.
+		ss.Params.Epsilon = ss.Params.OptimalSkew()
+	}
+	if ss.Name == "" {
+		label := ss.Workload.Name
+		if label == "" {
+			label = "sharded"
+		}
+		// Shards 0 means one shard per key; the partition size is only
+		// known after expansion, so the name echoes the declared value.
+		ss.Name = fmt.Sprintf("%s/%s/n=%d,d=%s,u=%s/keys=%d,shards=%d/seed=%d",
+			label, ss.Backend.Name(), ss.Params.N, ss.Params.D, ss.Params.U,
+			len(ss.Workload.Keys), ss.Workload.Shards, ss.Seed)
+	}
+	return ss
+}
+
+// shardPlan carries the expansion bookkeeping from expand to merge.
+type shardPlan struct {
+	ss     ShardedScenario
+	shards []workload.Shard // every shard, including empty ones
+	run    []int            // indices into shards of the scenarios actually run
+}
+
+// expand partitions the keyed workload and derives one Scenario per
+// non-empty shard. Empty shards (keys whose explicit schedule holds no
+// operations) contribute no history and are vacuously linearizable, so
+// they are planned but not run.
+func (ss ShardedScenario) expand() (shardPlan, []Scenario, error) {
+	ss = ss.resolved()
+	shards, err := ss.Workload.Expand(ss.Params, ss.Seed)
+	if err != nil {
+		return shardPlan{}, nil, fmt.Errorf("engine: sharded scenario %q: %w", ss.Name, err)
+	}
+	plan := shardPlan{ss: ss, shards: shards}
+	var scs []Scenario
+	for i, sh := range shards {
+		if len(sh.Spec.Explicit) == 0 {
+			continue
+		}
+		plan.run = append(plan.run, i)
+		scs = append(scs, Scenario{
+			Name:     fmt.Sprintf("%s/shard=%d", ss.Name, sh.Index),
+			Backend:  ss.Backend,
+			DataType: types.NewDict(),
+			Params:   ss.Params,
+			X:        ss.X,
+			// Shard-index-derived seeds keep the delay draws of the
+			// sub-clusters independent while staying a pure function of
+			// (Seed, shard index).
+			Seed:     ss.Seed + int64(sh.Index)*1_000_003,
+			Delay:    ss.Delay,
+			Workload: sh.Spec,
+			Verify:   ss.Verify,
+			Horizon:  ss.Horizon,
+		})
+	}
+	return plan, scs, nil
+}
+
+// Scenarios returns the per-shard engine scenarios the sharded scenario
+// expands into, for tools that want to inspect or re-run the expansion.
+func (ss ShardedScenario) Scenarios() ([]Scenario, error) {
+	_, scs, err := ss.expand()
+	return scs, err
+}
+
+// ShardStats summarizes how evenly the keyed workload spread across the
+// sub-clusters.
+type ShardStats struct {
+	// Shards is the partition size; Empty counts shards that received no
+	// operations (planned but not run).
+	Shards int
+	Empty  int
+	// MinOps/MaxOps/MeanOps summarize completed operations per shard
+	// (empty shards count as 0).
+	MinOps  int
+	MaxOps  int
+	MeanOps float64
+	// Imbalance is MaxOps / MeanOps: 1 means perfectly balanced; large
+	// values mean one shard carries the workload (MeanOps 0 yields 0).
+	Imbalance float64
+	// SlowestShard names the shard with the largest worst-case latency.
+	SlowestShard string
+	// WorstLatency is that shard's worst completed-operation latency.
+	WorstLatency model.Time
+}
+
+// ShardedReport is the folded outcome of one sharded scenario: the
+// per-shard Results plus the composed verdicts of the whole store.
+type ShardedReport struct {
+	// Name identifies the sharded scenario.
+	Name string
+	// Shards holds the per-shard Results, in shard order (empty shards
+	// omitted — they hold no history).
+	Shards []Result
+	// Composition is the per-shard linearizability composition; its
+	// verdict is the store's (locality of linearizability).
+	Composition check.Composition
+	// PerKind aggregates latency statistics across every shard, computed
+	// from the merged per-shard histories.
+	PerKind map[spec.OpKind]workload.Stats
+	// Bounds compares the worst measured latency across shards per
+	// operation class against the backend's theoretical bound.
+	Bounds []BoundCheck
+	// Stats summarizes shard skew.
+	Stats ShardStats
+	// Ops is the total number of completed operations across shards.
+	Ops int
+}
+
+// Linearizable reports the composed store verdict (only meaningful when
+// the scenario verified).
+func (r ShardedReport) Linearizable() bool { return r.Composition.Linearizable() }
+
+// OK reports whether every shard ran, converged, linearized (when
+// checked), and stayed within every class bound.
+func (r ShardedReport) OK() bool { return r.Err() == nil }
+
+// Err returns the first shard failure, composition violation, or bound
+// violation as an error, or nil.
+func (r ShardedReport) Err() error {
+	for _, res := range r.Shards {
+		if res.Err != "" {
+			return fmt.Errorf("engine: shard %q: %s", res.Name, res.Err)
+		}
+		if !res.Converged {
+			return fmt.Errorf("engine: shard %q: %s", res.Name, res.Diverged)
+		}
+	}
+	if len(r.Shards) > 0 && r.Shards[0].Checked {
+		if err := r.Composition.Err(); err != nil {
+			return fmt.Errorf("engine: sharded scenario %q: %w", r.Name, err)
+		}
+	}
+	for _, b := range r.Bounds {
+		if !b.OK {
+			return fmt.Errorf("engine: sharded scenario %q: %s worst latency %s exceeds bound %s",
+				r.Name, b.Class, b.Measured, b.Bound)
+		}
+	}
+	return nil
+}
+
+// String renders the sharded report: one row per shard plus the composed
+// verdict, aggregate bounds, and skew line.
+func (r ShardedReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Name)
+	w := 8
+	for _, res := range r.Shards {
+		if len(res.Name) > w {
+			w = len(res.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %5s  %-6s  %10s  %s\n", w, "shard", "ops", "linear", "worst", "state")
+	for _, res := range r.Shards {
+		if res.Err != "" {
+			fmt.Fprintf(&b, "%-*s  ERROR %s\n", w, res.Name, res.Err)
+			continue
+		}
+		lin := "-"
+		if res.Checked {
+			lin = fmt.Sprintf("%v", res.Linearizable)
+		}
+		state := res.State
+		if !res.Converged {
+			state = "DIVERGED"
+		}
+		if len(state) > 32 {
+			state = state[:29] + "..."
+		}
+		fmt.Fprintf(&b, "%-*s  %5d  %-6s  %10s  %s\n", w, res.Name, res.Ops, lin, res.WorstLatency(), state)
+	}
+	for _, bc := range r.Bounds {
+		fmt.Fprintf(&b, "class %-4s  count=%-5d worst=%-10s bound=%-10s margin=%s\n",
+			bc.Class, bc.Count, bc.Measured, bc.Bound, bc.Margin())
+	}
+	fmt.Fprintf(&b, "shards=%d (empty=%d) ops min/mean/max = %d/%.1f/%d, imbalance=%.2f, slowest=%s (%s)\n",
+		r.Stats.Shards, r.Stats.Empty, r.Stats.MinOps, r.Stats.MeanOps, r.Stats.MaxOps,
+		r.Stats.Imbalance, r.Stats.SlowestShard, r.Stats.WorstLatency)
+	if len(r.Shards) > 0 && r.Shards[0].Checked {
+		fmt.Fprintf(&b, "composed linearizable: %v\n", r.Linearizable())
+	}
+	return b.String()
+}
+
+// RunSharded expands the sharded scenario, runs its shards across the
+// worker pool, and folds the per-shard Results into one ShardedReport.
+// Same scenario ⇒ bit-identical report at any worker count, exactly like
+// Run.
+func (e *Engine) RunSharded(ss ShardedScenario) (ShardedReport, error) {
+	plan, scs, err := ss.expand()
+	if err != nil {
+		return ShardedReport{}, err
+	}
+	return plan.merge(e.Run(scs)), nil
+}
+
+// RunSharded executes a sharded scenario on a default engine; shorthand
+// for New(0).RunSharded.
+func RunSharded(ss ShardedScenario) (ShardedReport, error) { return New(0).RunSharded(ss) }
+
+// merge folds the per-shard engine Results back into the store-level
+// report: composed linearizability, aggregate per-kind stats recomputed
+// from the merged histories, per-class worst-vs-bound checks, and skew.
+func (p shardPlan) merge(rep Report) ShardedReport {
+	out := ShardedReport{
+		Name:   p.ss.Name,
+		Shards: rep.Results,
+	}
+	out.Stats.Shards = len(p.shards)
+	out.Stats.Empty = len(p.shards) - len(p.run)
+	out.Stats.MinOps = -1 // sentinel until the first shard (or empty shard) is folded
+
+	components := make([]check.Component, 0, len(rep.Results))
+	latencies := make(map[spec.OpKind][]model.Time)
+	worstByClass := make(map[spec.OpClass]model.Time)
+	countByClass := make(map[spec.OpClass]int)
+	for _, res := range rep.Results {
+		components = append(components, check.Component{
+			Name:         res.Name,
+			Checked:      res.Checked,
+			Linearizable: res.Linearizable,
+		})
+		out.Ops += res.Ops
+		if res.Ops < out.Stats.MinOps || out.Stats.MinOps < 0 {
+			out.Stats.MinOps = res.Ops
+		}
+		if res.Ops > out.Stats.MaxOps {
+			out.Stats.MaxOps = res.Ops
+		}
+		if wl := res.WorstLatency(); wl > out.Stats.WorstLatency || out.Stats.SlowestShard == "" {
+			out.Stats.WorstLatency = wl
+			out.Stats.SlowestShard = res.Name
+		}
+		if res.History != nil {
+			for _, op := range res.History.Ops() {
+				if op.Pending {
+					continue
+				}
+				latencies[op.Kind] = append(latencies[op.Kind], op.Latency())
+			}
+		}
+		for _, bc := range res.Bounds {
+			if _, ok := worstByClass[bc.Class]; !ok {
+				worstByClass[bc.Class] = 0
+			}
+			if bc.Measured > worstByClass[bc.Class] {
+				worstByClass[bc.Class] = bc.Measured
+			}
+			countByClass[bc.Class] += bc.Count
+		}
+	}
+	if out.Stats.Empty > 0 || out.Stats.MinOps < 0 {
+		out.Stats.MinOps = 0
+	}
+	if out.Stats.Shards > 0 {
+		out.Stats.MeanOps = float64(out.Ops) / float64(out.Stats.Shards)
+	}
+	if out.Stats.MeanOps > 0 {
+		out.Stats.Imbalance = float64(out.Stats.MaxOps) / out.Stats.MeanOps
+	}
+	out.Composition = check.Compose(components...)
+	out.PerKind = workload.SummarizeSamples(latencies)
+
+	classes := make([]spec.OpClass, 0, len(worstByClass))
+	for class := range worstByClass {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		bound := p.ss.Backend.Bound(p.ss.Params, p.ss.X, class)
+		out.Bounds = append(out.Bounds, BoundCheck{
+			Class:    class,
+			Count:    countByClass[class],
+			Bound:    bound,
+			Measured: worstByClass[class],
+			OK:       worstByClass[class] <= bound,
+		})
+	}
+	return out
+}

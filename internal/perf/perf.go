@@ -59,6 +59,11 @@ func Benchmarks() []Benchmark {
 			Brief: "one engine scenario run (Algorithm 1, 400 ops of message/timer traffic) on the discrete-event loop, as grids drive it",
 			Func:  BenchSimEventLoop,
 		},
+		{
+			Name:  "engine/sharded-store",
+			Brief: "sharded store: 24-key keyed workload hashed into 8 verified dictionary sub-clusters, run and merged through the worker pool",
+			Func:  BenchShardedStore,
+		},
 	}
 }
 
@@ -205,6 +210,56 @@ func BenchCheckerGridHistories(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(inputs)), "histories")
+}
+
+// ShardedStoreScenario builds the sharded benchmark's input: a 24-key
+// keyed workload hashed into 8 dictionary shards, every shard verified —
+// the engine's single-workload scaling path (expansion, per-shard
+// isolated runs across the worker pool, merged composed report).
+func ShardedStoreScenario() engine.ShardedScenario {
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	return engine.ShardedScenario{
+		Params: experiments.DefaultParams(4),
+		Seed:   5,
+		Workload: workload.Sharded{
+			Keys:   keys,
+			Shards: 8,
+			PerKey: workload.Spec{OpsPerProcess: 4},
+		},
+		Verify: true,
+	}
+}
+
+// BenchShardedStore runs the sharded store once per iteration — keyed
+// expansion, per-shard sub-cluster runs, verification, and the merged
+// report — and reports shard count and operation throughput.
+func BenchShardedStore(b *testing.B) {
+	ss := ShardedStoreScenario()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep engine.ShardedReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = engine.RunSharded(ss)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Linearizable() {
+			b.Fatal("sharded store must compose linearizable")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Stats.Shards), "shards")
+	b.ReportMetric(float64(rep.Ops), "ops")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(rep.Ops)*float64(b.N)/sec, "ops/s")
+	}
 }
 
 // BenchSimEventLoop measures one engine scenario run per iteration — an

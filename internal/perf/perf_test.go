@@ -13,6 +13,7 @@ func BenchmarkLargeGrid(b *testing.B)            { perf.BenchLargeGrid(b) }
 func BenchmarkCheckerLongHistory(b *testing.B)   { perf.BenchCheckerLongHistory(b) }
 func BenchmarkCheckerGridHistories(b *testing.B) { perf.BenchCheckerGridHistories(b) }
 func BenchmarkSimEventLoop(b *testing.B)         { perf.BenchSimEventLoop(b) }
+func BenchmarkShardedStore(b *testing.B)         { perf.BenchShardedStore(b) }
 
 // TestBenchmarkCatalog pins the tracked-suite names: renaming or removing
 // a benchmark breaks comparability of the recorded trajectory, so it must
@@ -23,6 +24,7 @@ func TestBenchmarkCatalog(t *testing.T) {
 		"check/long-history",
 		"check/grid-histories",
 		"sim/event-loop",
+		"engine/sharded-store",
 	}
 	got := perf.Benchmarks()
 	if len(got) != len(want) {

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// The trajectory file format (BENCH_<date>.json) and the comparison rules
+// behind cmd/tbbench: a File holds recorded Points, oldest first; a Point
+// holds one run of the tracked suite. AppendPoint is the only writer — a
+// trajectory is history, so an existing file always gains an appended
+// point and is never silently truncated or replaced. Compare is the CI
+// regression gate: a fresh point against a committed baseline, failing
+// beyond a tolerance.
+
+// Schema versions the BENCH_*.json format.
+const Schema = "timebounds-bench/v1"
+
+// Measurement is one benchmark's measurements within a point.
+type Measurement struct {
+	// Name is the tracked benchmark identifier (see Benchmarks).
+	Name string `json:"name"`
+	// N is the iteration count testing.Benchmark settled on.
+	N int `json:"n"`
+	// NsPerOp is wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the allocation profile per iteration.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Metrics carries the benchmark's custom b.ReportMetric values
+	// (scenario counts, ops/s, history sizes).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Point is one recorded run of the whole tracked suite.
+type Point struct {
+	// Label distinguishes points within a file, e.g. "pre-batching
+	// baseline" vs "batched+memoized".
+	Label string `json:"label"`
+	// Date is the recording date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// Go and MaxProcs pin the toolchain and parallelism the numbers were
+	// taken under.
+	Go       string `json:"go"`
+	MaxProcs int    `json:"maxprocs"`
+	// Results are the per-benchmark measurements, in suite order.
+	Results []Measurement `json:"results"`
+}
+
+// Find returns the named measurement of the point, if recorded.
+func (p Point) Find(name string) (Measurement, bool) {
+	for _, m := range p.Results {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// File is the BENCH_*.json schema: recorded points, oldest first.
+type File struct {
+	// Schema versions the file format.
+	Schema string `json:"schema"`
+	// Points are recorded suite runs, oldest first.
+	Points []Point `json:"points"`
+}
+
+// Latest returns the newest recorded point.
+func (f File) Latest() (Point, bool) {
+	if len(f.Points) == 0 {
+		return Point{}, false
+	}
+	return f.Points[len(f.Points)-1], true
+}
+
+// ReadTrajectory loads and validates a BENCH_*.json file.
+func ReadTrajectory(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("perf: read %s: %w", path, err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("perf: %s is not a bench trajectory: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return File{}, fmt.Errorf("perf: %s has schema %q, want %q", path, f.Schema, Schema)
+	}
+	return f, nil
+}
+
+// AppendPoint records pt in the trajectory at path and returns the
+// written file. An existing trajectory gains an appended point — history
+// is never silently truncated (overwrite starts the file over). An
+// existing file that cannot be read or parsed is an error, never an
+// empty trajectory.
+func AppendPoint(path string, pt Point, overwrite bool) (File, error) {
+	f := File{Schema: Schema}
+	if !overwrite {
+		switch existing, err := ReadTrajectory(path); {
+		case err == nil:
+			f = existing
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh file.
+		default:
+			// An existing-but-unreadable trajectory must never be
+			// silently replaced by a single fresh point.
+			return File{}, err
+		}
+	}
+	f.Points = append(f.Points, pt)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return File{}, fmt.Errorf("perf: encode trajectory: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return File{}, fmt.Errorf("perf: write %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Regression is one benchmark metric that got slower than the baseline
+// allows.
+type Regression struct {
+	// Name is the benchmark; Metric is "ns/op" or "allocs/op".
+	Name   string
+	Metric string
+	// Base and Got are the baseline and fresh values; Ratio is Got/Base.
+	Base  float64
+	Got   float64
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s regressed %.2fx (%.4g -> %.4g)", r.Name, r.Metric, r.Ratio, r.Base, r.Got)
+}
+
+// Compare judges a fresh point against a baseline point: every benchmark
+// recorded in both is compared on the gated metrics ("ns/op" and
+// "allocs/op"; passing none gates both), and any metric exceeding
+// baseline·(1+tolerance) is reported as a regression, sorted worst
+// first. Benchmarks present in only one point are skipped — a newly
+// added benchmark has no history to regress against, and a benchmark
+// missing from the fresh point is the catalog test's job to flag.
+// Tolerance 0.25 means "fail beyond 25% slower". Narrowing metrics to
+// allocs/op is how CI gates across machine classes: allocation counts
+// are machine-independent where wall clock is not.
+func Compare(baseline, fresh Point, tolerance float64, metrics ...string) []Regression {
+	gated := func(metric string) bool {
+		if len(metrics) == 0 {
+			return true
+		}
+		for _, m := range metrics {
+			if m == metric {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Regression
+	for _, base := range baseline.Results {
+		got, ok := fresh.Find(base.Name)
+		if !ok {
+			continue
+		}
+		check := func(metric string, b, g float64) {
+			if !gated(metric) || b <= 0 {
+				return
+			}
+			if ratio := g / b; ratio > 1+tolerance {
+				out = append(out, Regression{Name: base.Name, Metric: metric, Base: b, Got: g, Ratio: ratio})
+			}
+		}
+		check("ns/op", base.NsPerOp, got.NsPerOp)
+		check("allocs/op", float64(base.AllocsPerOp), float64(got.AllocsPerOp))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}

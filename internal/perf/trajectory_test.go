@@ -1,0 +1,176 @@
+package perf_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"timebounds/internal/perf"
+)
+
+func point(label string, ns float64, allocs int64) perf.Point {
+	return perf.Point{
+		Label: label,
+		Date:  "2026-07-29",
+		Results: []perf.Measurement{
+			{Name: "engine/large-grid", N: 10, NsPerOp: ns, AllocsPerOp: allocs},
+			{Name: "sim/event-loop", N: 100, NsPerOp: ns / 10, AllocsPerOp: allocs / 10},
+		},
+	}
+}
+
+func TestAppendPointCreatesFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-07-29.json")
+	f, err := perf.AppendPoint(path, point("first", 1e6, 500), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != perf.Schema || len(f.Points) != 1 {
+		t.Fatalf("fresh file = %+v, want schema %q with 1 point", f, perf.Schema)
+	}
+	read, err := perf.ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(read.Points) != 1 || read.Points[0].Label != "first" {
+		t.Fatalf("round-trip = %+v", read.Points)
+	}
+}
+
+// TestAppendPointAppendsOnDateCollision pins the date-collision behavior
+// behind `make bench-json`: recording twice on one day appends a second
+// point to the same file instead of truncating history.
+func TestAppendPointAppendsOnDateCollision(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-07-29.json")
+	if _, err := perf.AppendPoint(path, point("first", 1e6, 500), false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := perf.AppendPoint(path, point("second", 2e6, 600), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 2 {
+		t.Fatalf("file has %d points after second append, want 2", len(f.Points))
+	}
+	if f.Points[0].Label != "first" || f.Points[1].Label != "second" {
+		t.Fatalf("points out of order: %q, %q", f.Points[0].Label, f.Points[1].Label)
+	}
+}
+
+func TestAppendPointOverwriteStartsOver(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if _, err := perf.AppendPoint(path, point("old", 1e6, 500), false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := perf.AppendPoint(path, point("new", 2e6, 600), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 1 || f.Points[0].Label != "new" {
+		t.Fatalf("overwrite kept old points: %+v", f.Points)
+	}
+}
+
+// TestAppendPointRefusesCorruptFile: an existing-but-unreadable
+// trajectory must never be silently replaced by a single fresh point.
+func TestAppendPointRefusesCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perf.AppendPoint(path, point("p", 1e6, 500), false); err == nil {
+		t.Fatal("appending to a corrupt trajectory must fail")
+	}
+	if _, err := perf.AppendPoint(path, point("p", 1e6, 500), true); err != nil {
+		t.Fatalf("overwrite must be the explicit escape hatch: %v", err)
+	}
+}
+
+func TestAppendPointRefusesWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9","points":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perf.AppendPoint(path, point("p", 1e6, 500), false); err == nil {
+		t.Fatal("appending to a foreign-schema file must fail")
+	}
+}
+
+func TestCompareWithinToleranceIsClean(t *testing.T) {
+	base := point("base", 1e6, 500)
+	fresh := point("fresh", 1.2e6, 550) // 20% slower, 10% more allocs
+	if regs := perf.Compare(base, fresh, 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+}
+
+// TestCompareFlagsSyntheticSlowdown is the gate's acceptance shape: a
+// ≥25% slowdown against the baseline must fail.
+func TestCompareFlagsSyntheticSlowdown(t *testing.T) {
+	base := point("base", 1e6, 500)
+	fresh := point("fresh", 1.6e6, 500) // 60% slower on ns/op only
+	regs := perf.Compare(base, fresh, 0.25)
+	if len(regs) != 2 { // both benchmarks in the point scale together
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Metric != "ns/op" || r.Ratio < 1.59 || r.Ratio > 1.61 {
+		t.Fatalf("regression = %+v, want ns/op at 1.6x", r)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := point("base", 1e6, 500)
+	fresh := point("fresh", 1e6, 1000) // allocations doubled, time flat
+	regs := perf.Compare(base, fresh, 0.25)
+	if len(regs) == 0 {
+		t.Fatal("doubled allocations must be flagged")
+	}
+	for _, r := range regs {
+		if r.Metric != "allocs/op" {
+			t.Fatalf("unexpected regression metric: %+v", r)
+		}
+	}
+}
+
+// TestCompareMetricFilter: narrowing the gate to allocs/op (what CI does
+// across machine classes) must ignore wall-clock regressions.
+func TestCompareMetricFilter(t *testing.T) {
+	base := point("base", 1e6, 500)
+	fresh := point("fresh", 3e6, 1000) // 3x slower AND doubled allocs
+	regs := perf.Compare(base, fresh, 0.25, "allocs/op")
+	if len(regs) == 0 {
+		t.Fatal("doubled allocations must be flagged under the allocs/op gate")
+	}
+	for _, r := range regs {
+		if r.Metric != "allocs/op" {
+			t.Fatalf("ns/op gated despite the metric filter: %+v", r)
+		}
+	}
+	if regs := perf.Compare(base, fresh, 0.25, "ns/op"); len(regs) == 0 || regs[0].Metric != "ns/op" {
+		t.Fatalf("ns/op filter regressions = %v, want ns/op only", regs)
+	}
+}
+
+// TestCompareSkipsUnmatchedBenchmarks: a newly added benchmark has no
+// history to regress against, and must not fail the gate.
+func TestCompareSkipsUnmatchedBenchmarks(t *testing.T) {
+	base := point("base", 1e6, 500)
+	fresh := point("fresh", 1e6, 500)
+	fresh.Results = append(fresh.Results, perf.Measurement{Name: "engine/sharded-store", NsPerOp: 9e9})
+	if regs := perf.Compare(base, fresh, 0.25); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged against no history: %v", regs)
+	}
+}
+
+func TestFileLatest(t *testing.T) {
+	var f perf.File
+	if _, ok := f.Latest(); ok {
+		t.Fatal("empty file has no latest point")
+	}
+	f.Points = []perf.Point{point("a", 1, 1), point("b", 2, 2)}
+	pt, ok := f.Latest()
+	if !ok || pt.Label != "b" {
+		t.Fatalf("Latest() = %+v, want the newest point", pt)
+	}
+}

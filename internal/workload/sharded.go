@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+// A Sharded spec is the keyed analogue of Spec: a key space plus a per-key
+// operation stream, partitioned into shards. Each shard becomes one
+// ordinary explicit Spec over a dictionary object restricted to the
+// shard's keys; the engine runs one isolated sub-cluster per shard and
+// composes the per-shard verdicts (linearizability is local, so the
+// composed store is linearizable iff every shard is — see
+// internal/check.Compose).
+type Sharded struct {
+	// Name labels the workload in reports ("" is fine).
+	Name string
+	// Keys is the key space. May be left empty when Explicit is set, in
+	// which case the key space is derived from the explicit operations in
+	// first-appearance order.
+	Keys []string
+	// Shards is the number of sub-clusters the key space is partitioned
+	// into; 0 means one shard per key (the finest partition).
+	Shards int
+	// Partition maps a key to a shard index in [0, shards); nil means
+	// FNV-1a hash partitioning. It must be a pure function.
+	Partition func(key string, shards int) int
+	// PerKey generates each key's operation stream. Its Mix defaults to a
+	// put/get/delete mix on the key itself; Explicit inside PerKey is
+	// rejected (use the Sharded.Explicit hook for handcrafted schedules).
+	PerKey Spec
+	// Explicit, when non-empty, is the complete keyed schedule and PerKey
+	// is ignored — the hook for handcrafted stores (examples/kvstore).
+	Explicit []KeyOp
+}
+
+// KeyOp is one keyed operation of a sharded workload: a put, get, or
+// delete on Key. It is translated into the equivalent dictionary
+// invocation of the key's shard.
+type KeyOp struct {
+	At   model.Time
+	Proc model.ProcessID
+	// Kind is a dictionary operation kind: types.OpPut, types.OpDictGet,
+	// or types.OpDelete.
+	Kind spec.OpKind
+	Key  string
+	// Value is the value written (OpPut only).
+	Value spec.Value
+}
+
+// Put returns a keyed write of key=value by proc at the given time.
+func Put(at model.Time, proc model.ProcessID, key string, value spec.Value) KeyOp {
+	return KeyOp{At: at, Proc: proc, Kind: types.OpPut, Key: key, Value: value}
+}
+
+// Get returns a keyed read of key by proc at the given time.
+func Get(at model.Time, proc model.ProcessID, key string) KeyOp {
+	return KeyOp{At: at, Proc: proc, Kind: types.OpDictGet, Key: key}
+}
+
+// Del returns a keyed delete of key by proc at the given time.
+func Del(at model.Time, proc model.ProcessID, key string) KeyOp {
+	return KeyOp{At: at, Proc: proc, Kind: types.OpDelete, Key: key}
+}
+
+// invocation translates the keyed operation into its dictionary form.
+func (op KeyOp) invocation() (Invocation, error) {
+	inv := Invocation{At: op.At, Proc: op.Proc, Kind: op.Kind}
+	switch op.Kind {
+	case types.OpPut:
+		inv.Arg = types.KV{Key: op.Key, Value: op.Value}
+	case types.OpDictGet, types.OpDelete:
+		inv.Arg = op.Key
+	default:
+		return Invocation{}, fmt.Errorf("workload: keyed op kind %q is not a dictionary operation (want put|dict-get|delete)", op.Kind)
+	}
+	return inv, nil
+}
+
+// keySpace returns the effective key space: Keys, or — when empty — the
+// distinct explicit keys in first-appearance order.
+func (s Sharded) keySpace() ([]string, error) {
+	keys := s.Keys
+	if len(keys) == 0 {
+		seen := make(map[string]bool)
+		for _, op := range s.Explicit {
+			if !seen[op.Key] {
+				seen[op.Key] = true
+				keys = append(keys, op.Key)
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("workload: sharded spec %q has no keys and no explicit operations", s.Name)
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			return nil, fmt.Errorf("workload: sharded spec %q declares key %q twice", s.Name, k)
+		}
+		seen[k] = true
+	}
+	if len(s.Keys) > 0 {
+		for _, op := range s.Explicit {
+			if !seen[op.Key] {
+				return nil, fmt.Errorf("workload: explicit operation on key %q outside the declared key space", op.Key)
+			}
+		}
+	}
+	return keys, nil
+}
+
+// ShardCount returns the effective shard count for the given key space
+// size: Shards clamped to [1, keys], with 0 meaning one shard per key.
+func (s Sharded) ShardCount(keys int) int {
+	n := s.Shards
+	if n <= 0 || n > keys {
+		n = keys
+	}
+	return n
+}
+
+// hashShard is the default partition: FNV-1a of the key, mod shards.
+func hashShard(key string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// shardOf places the key at key-space position pos: the explicit
+// Partition if set; otherwise each key gets its own shard when the
+// partition is finest (shards == keys, so hashing could only collide),
+// and FNV hashing when it is coarser. Out-of-range placements from a
+// buggy Partition are rejected.
+func (s Sharded) shardOf(key string, pos, shards, keyCount int) (int, error) {
+	var idx int
+	switch {
+	case s.Partition != nil:
+		idx = s.Partition(key, shards)
+	case shards == keyCount:
+		idx = pos
+	default:
+		idx = hashShard(key, shards)
+	}
+	if idx < 0 || idx >= shards {
+		return 0, fmt.Errorf("workload: partition placed key %q in shard %d of %d", key, idx, shards)
+	}
+	return idx, nil
+}
+
+// keySeed derives the per-key schedule seed: independent streams per key,
+// deterministic in (seed, key) only — never in the partition — so the
+// per-key streams (and thus the merged shard schedules) are a pure
+// function of the spec and seed.
+func keySeed(seed int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return seed ^ int64(h.Sum64())
+}
+
+// keyMix is the default per-key operation mix: a write-biased
+// put/get/delete stream on the key.
+func keyMix(key string) OpMix {
+	return OpMix{
+		{Kind: types.OpPut, Weight: 4, Arg: func(i int) spec.Value { return types.KV{Key: key, Value: i} }},
+		{Kind: types.OpDictGet, Weight: 3, Arg: func(int) spec.Value { return key }},
+		{Kind: types.OpDelete, Weight: 1, Arg: func(int) spec.Value { return key }},
+	}
+}
+
+// Shard is one expanded shard: its keys and the merged explicit Spec the
+// engine runs on the shard's own dictionary sub-cluster.
+type Shard struct {
+	// Index is the shard's position in [0, ShardCount).
+	Index int
+	// Keys are the shard's keys, in key-space order.
+	Keys []string
+	// Spec is the shard's explicit operation schedule.
+	Spec Spec
+}
+
+// Expand partitions the key space and merges each shard's per-key
+// operation streams into one explicit Spec per shard, ordered by
+// invocation time (ties in key-space order). The result is a pure
+// function of (spec, p, seed): same inputs ⇒ identical shards, which is
+// what makes engine-level sharded reports bit-reproducible.
+func (s Sharded) Expand(p model.Params, seed int64) ([]Shard, error) {
+	keys, err := s.keySpace()
+	if err != nil {
+		return nil, err
+	}
+	shards := s.ShardCount(len(keys))
+	out := make([]Shard, shards)
+	for i := range out {
+		out[i].Index = i
+	}
+	place := make(map[string]int, len(keys))
+	for i, k := range keys {
+		idx, err := s.shardOf(k, i, shards, len(keys))
+		if err != nil {
+			return nil, err
+		}
+		place[k] = idx
+		out[idx].Keys = append(out[idx].Keys, k)
+	}
+
+	type timed struct {
+		inv Invocation
+		ord int // global generation order, the tie-break
+	}
+	buckets := make([][]timed, shards)
+	add := func(key string, inv Invocation, ord int) {
+		idx := place[key]
+		buckets[idx] = append(buckets[idx], timed{inv: inv, ord: ord})
+	}
+
+	if len(s.Explicit) > 0 {
+		for ord, op := range s.Explicit {
+			inv, err := op.invocation()
+			if err != nil {
+				return nil, err
+			}
+			add(op.Key, inv, ord)
+		}
+	} else {
+		if len(s.PerKey.Explicit) > 0 {
+			return nil, fmt.Errorf("workload: sharded spec %q sets PerKey.Explicit; use Sharded.Explicit for handcrafted schedules", s.Name)
+		}
+		ord := 0
+		for _, key := range keys {
+			per := s.PerKey
+			if per.Mix == nil && len(per.PerProcess) == 0 {
+				per.Mix = keyMix(key)
+			}
+			per = per.WithDefaults(p, nil)
+			sched, err := per.Schedule(p, keySeed(seed, key))
+			if err != nil {
+				return nil, fmt.Errorf("workload: key %q: %w", key, err)
+			}
+			for _, inv := range sched.Invocations {
+				add(key, inv, ord)
+				ord++
+			}
+		}
+	}
+
+	name := s.Name
+	if name == "" {
+		name = "sharded"
+	}
+	for i := range out {
+		b := buckets[i]
+		sort.SliceStable(b, func(x, y int) bool {
+			if b[x].inv.At != b[y].inv.At {
+				return b[x].inv.At < b[y].inv.At
+			}
+			return b[x].ord < b[y].ord
+		})
+		invs := make([]Invocation, len(b))
+		for j, t := range b {
+			invs[j] = t.inv
+		}
+		out[i].Spec = Spec{
+			Name:     fmt.Sprintf("%s/shard=%d", name, i),
+			Explicit: invs,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"timebounds/internal/model"
+	"timebounds/internal/types"
+)
+
+func shardedParams() model.Params {
+	p := model.Params{N: 3, D: 10 * time.Millisecond, U: 4 * time.Millisecond}
+	p.Epsilon = p.OptimalSkew()
+	return p
+}
+
+func TestShardedExpandDeterministic(t *testing.T) {
+	s := Sharded{
+		Keys:   []string{"alpha", "beta", "gamma", "delta", "epsilon"},
+		Shards: 2,
+		PerKey: Spec{OpsPerProcess: 3},
+	}
+	p := shardedParams()
+	a, err := s.Expand(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Expand(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 {
+		t.Fatalf("expanded to %d shards, want 2", len(a))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Keys, b[i].Keys) {
+			t.Fatalf("shard %d keys differ across expansions: %v vs %v", i, a[i].Keys, b[i].Keys)
+		}
+		if !reflect.DeepEqual(a[i].Spec.Explicit, b[i].Spec.Explicit) {
+			t.Fatalf("shard %d schedules differ across identical expansions", i)
+		}
+	}
+	c, err := s.Expand(p, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Spec.Explicit, c[i].Spec.Explicit) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should draw different per-key schedules")
+	}
+}
+
+func TestShardedPartitionCoversEveryKeyOnce(t *testing.T) {
+	s := Sharded{
+		Keys:   []string{"a", "b", "c", "d", "e", "f", "g"},
+		Shards: 3,
+		PerKey: Spec{OpsPerProcess: 1},
+	}
+	shards, err := s.Expand(shardedParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for _, sh := range shards {
+		for _, k := range sh.Keys {
+			seen[k]++
+		}
+	}
+	for _, k := range s.Keys {
+		if seen[k] != 1 {
+			t.Fatalf("key %q placed in %d shards, want exactly 1", k, seen[k])
+		}
+	}
+}
+
+func TestShardedExplicitPartitionFunc(t *testing.T) {
+	order := []string{"a", "b", "c", "d"}
+	s := Sharded{
+		Keys:   order,
+		Shards: 2,
+		// Round-robin by key-space position via a lookup, so the function
+		// stays pure in its (key, shards) arguments.
+		Partition: func(key string, shards int) int {
+			for i, k := range order {
+				if k == key {
+					return i % shards
+				}
+			}
+			return 0
+		},
+		PerKey: Spec{OpsPerProcess: 1},
+	}
+	shards, err := s.Expand(shardedParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shards[0].Keys; !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("shard 0 keys = %v, want [a c]", got)
+	}
+	if got := shards[1].Keys; !reflect.DeepEqual(got, []string{"b", "d"}) {
+		t.Fatalf("shard 1 keys = %v, want [b d]", got)
+	}
+}
+
+func TestShardedOutOfRangePartitionRejected(t *testing.T) {
+	s := Sharded{
+		Keys:      []string{"a", "b"},
+		Shards:    2,
+		Partition: func(string, int) int { return 7 },
+		PerKey:    Spec{OpsPerProcess: 1},
+	}
+	if _, err := s.Expand(shardedParams(), 1); err == nil {
+		t.Fatal("an out-of-range partition must be rejected")
+	}
+}
+
+func TestShardedZeroShardsMeansOnePerKey(t *testing.T) {
+	s := Sharded{Keys: []string{"x", "y", "z"}, PerKey: Spec{OpsPerProcess: 1}}
+	shards, err := s.Expand(shardedParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("Shards=0 expanded to %d shards, want one per key", len(shards))
+	}
+	for _, sh := range shards {
+		if len(sh.Keys) != 1 {
+			t.Fatalf("shard %d holds keys %v, want exactly one", sh.Index, sh.Keys)
+		}
+	}
+}
+
+func TestShardedShardsClampedToKeySpace(t *testing.T) {
+	s := Sharded{Keys: []string{"x", "y"}, Shards: 10, PerKey: Spec{OpsPerProcess: 1}}
+	shards, err := s.Expand(shardedParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("10 shards over 2 keys expanded to %d shards, want 2", len(shards))
+	}
+}
+
+func TestShardedExplicitScheduleRoutesByKey(t *testing.T) {
+	s := Sharded{
+		Explicit: []KeyOp{
+			Put(0, 0, "k1", 1),
+			Put(time.Millisecond, 1, "k2", "v"),
+			Get(2*time.Millisecond, 2, "k1"),
+			Del(3*time.Millisecond, 0, "k2"),
+		},
+	}
+	shards, err := s.Expand(shardedParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("derived key space expanded to %d shards, want 2 (one per key)", len(shards))
+	}
+	byKey := make(map[string][]Invocation)
+	for _, sh := range shards {
+		if len(sh.Keys) != 1 {
+			t.Fatalf("shard holds keys %v, want one", sh.Keys)
+		}
+		byKey[sh.Keys[0]] = sh.Spec.Explicit
+	}
+	k1 := byKey["k1"]
+	if len(k1) != 2 || k1[0].Kind != types.OpPut || k1[1].Kind != types.OpDictGet {
+		t.Fatalf("k1 schedule = %v, want put then dict-get", k1)
+	}
+	if kv, ok := k1[0].Arg.(types.KV); !ok || kv.Key != "k1" || kv.Value != 1 {
+		t.Fatalf("k1 put arg = %v, want KV{k1, 1}", k1[0].Arg)
+	}
+	k2 := byKey["k2"]
+	if len(k2) != 2 || k2[0].Kind != types.OpPut || k2[1].Kind != types.OpDelete {
+		t.Fatalf("k2 schedule = %v, want put then delete", k2)
+	}
+	if k2[1].Arg != "k2" {
+		t.Fatalf("delete arg = %v, want the key", k2[1].Arg)
+	}
+}
+
+func TestShardedExplicitSchedulesSortedByTime(t *testing.T) {
+	s := Sharded{
+		Keys:   []string{"a", "b"},
+		Shards: 1,
+		Explicit: []KeyOp{
+			Put(5*time.Millisecond, 0, "a", 1),
+			Put(time.Millisecond, 1, "b", 2),
+			Get(3*time.Millisecond, 2, "a"),
+		},
+	}
+	shards, err := s.Expand(shardedParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs := shards[0].Spec.Explicit
+	for i := 1; i < len(invs); i++ {
+		if invs[i].At < invs[i-1].At {
+			t.Fatalf("shard schedule out of time order at %d: %v", i, invs)
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	p := shardedParams()
+	cases := map[string]Sharded{
+		"no keys":           {},
+		"duplicate keys":    {Keys: []string{"a", "a"}, PerKey: Spec{OpsPerProcess: 1}},
+		"undeclared key":    {Keys: []string{"a"}, Explicit: []KeyOp{Put(0, 0, "b", 1)}},
+		"non-dict keyed op": {Explicit: []KeyOp{{At: 0, Proc: 0, Kind: types.OpRead, Key: "a"}}},
+		"per-key explicit":  {Keys: []string{"a"}, PerKey: Spec{Explicit: []Invocation{{Kind: types.OpPut}}}},
+	}
+	for name, s := range cases {
+		if _, err := s.Expand(p, 1); err == nil {
+			t.Errorf("%s: expected an expansion error", name)
+		}
+	}
+}

@@ -178,6 +178,14 @@ func Summarize(h *history.History) map[spec.OpKind]Stats {
 		}
 		byKind[op.Kind] = append(byKind[op.Kind], op.Latency())
 	}
+	return SummarizeSamples(byKind)
+}
+
+// SummarizeSamples folds raw per-kind latency samples into Stats — the
+// single fold behind Summarize and the engine's cross-shard aggregation
+// (which must recompute from samples, because percentiles do not compose
+// across shards). Sample slices are sorted in place.
+func SummarizeSamples(byKind map[spec.OpKind][]model.Time) map[spec.OpKind]Stats {
 	out := make(map[spec.OpKind]Stats, len(byKind))
 	for kind, ls := range byKind {
 		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })

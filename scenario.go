@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"timebounds/internal/adversary"
+	"timebounds/internal/check"
 	"timebounds/internal/engine"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
@@ -76,6 +77,28 @@ type (
 	// TunableBackend is a backend whose wait durations can be overridden
 	// (Algorithm 1), the hook for premature implementations.
 	TunableBackend = engine.TunableBackend
+	// ShardedScenario runs one keyed workload as engine-managed per-shard
+	// sub-clusters and folds the shard Results into a ShardedReport with a
+	// composed linearizability verdict (linearizability is local, so the
+	// store is linearizable iff every shard is).
+	ShardedScenario = engine.ShardedScenario
+	// ShardedReport is the folded outcome of a sharded scenario: per-shard
+	// Results, the composed verdict, aggregate latency-vs-bound margins,
+	// and shard-skew statistics.
+	ShardedReport = engine.ShardedReport
+	// ShardStats summarizes how evenly a keyed workload spread across the
+	// shards.
+	ShardStats = engine.ShardStats
+	// ShardedWorkload is a keyed workload spec: a key space, a per-key
+	// operation stream (or explicit keyed schedule), and a hash or
+	// explicit partitioning into shards.
+	ShardedWorkload = workload.Sharded
+	// KeyOp is one keyed operation (put/get/delete on a key) of a sharded
+	// workload.
+	KeyOp = workload.KeyOp
+	// Composition is the locality verdict over independently checked
+	// components (Herlihy & Wing's composition theorem as a value).
+	Composition = check.Composition
 	// ShiftFraction scales an adversary's clock-shift magnitude relative
 	// to the proof's full shift.
 	ShiftFraction = adversary.ShiftFraction
@@ -194,6 +217,24 @@ func RunScenarios(scenarios []Scenario) Report { return engine.Run(scenarios) }
 // RunScenario executes one scenario and surfaces its failure, if any, as
 // an error.
 func RunScenario(sc Scenario) (Result, error) { return engine.New(0).RunOne(sc) }
+
+// RunSharded expands a sharded scenario into per-shard sub-clusters, runs
+// them across a default engine's worker pool, and folds the results into
+// one ShardedReport. Same scenario ⇒ bit-identical report at any worker
+// count.
+func RunSharded(ss ShardedScenario) (ShardedReport, error) { return engine.RunSharded(ss) }
+
+// PutKey returns a keyed write of key=value by proc at the given time,
+// for ShardedWorkload explicit schedules.
+func PutKey(at Time, proc ProcessID, key string, value Value) KeyOp {
+	return workload.Put(at, proc, key, value)
+}
+
+// GetKey returns a keyed read of key by proc at the given time.
+func GetKey(at Time, proc ProcessID, key string) KeyOp { return workload.Get(at, proc, key) }
+
+// DeleteKey returns a keyed delete of key by proc at the given time.
+func DeleteKey(at Time, proc ProcessID, key string) KeyOp { return workload.Del(at, proc, key) }
 
 // DefaultMix returns the representative operation mix used for dt by the
 // measured tables and default workloads.

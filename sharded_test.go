@@ -1,0 +1,85 @@
+package timebounds_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"timebounds"
+)
+
+// The facade's sharded surface: a keyed workload partitioned into
+// engine-managed sub-clusters, composed back into one report.
+func facadeShardedScenario(seed int64) timebounds.ShardedScenario {
+	return timebounds.ShardedScenario{
+		Params: timebounds.Params{N: 3, D: 10 * time.Millisecond, U: 4 * time.Millisecond},
+		Seed:   seed,
+		Workload: timebounds.ShardedWorkload{
+			Keys:   []string{"a", "b", "c", "d"},
+			Shards: 2,
+			PerKey: timebounds.Workload{OpsPerProcess: 2},
+		},
+		Verify: true,
+	}
+}
+
+func TestFacadeRunSharded(t *testing.T) {
+	rep, err := timebounds.RunSharded(facadeShardedScenario(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Linearizable() {
+		t.Fatal("composed store must be linearizable")
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("ran %d shards, want 2", len(rep.Shards))
+	}
+}
+
+func TestFacadeRunShardedDeterministic(t *testing.T) {
+	a, err := timebounds.RunSharded(facadeShardedScenario(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := timebounds.NewEngine(1).RunSharded(facadeShardedScenario(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sharded report differs between default and single-worker engines")
+	}
+}
+
+func TestFacadeKeyOpConstructors(t *testing.T) {
+	rep, err := timebounds.RunSharded(timebounds.ShardedScenario{
+		Params: timebounds.Params{N: 2, D: 10 * time.Millisecond, U: 4 * time.Millisecond},
+		Workload: timebounds.ShardedWorkload{
+			Explicit: []timebounds.KeyOp{
+				timebounds.PutKey(0, 0, "k", "v"),
+				timebounds.GetKey(50*time.Millisecond, 1, "k"),
+				timebounds.DeleteKey(100*time.Millisecond, 0, "k"),
+				timebounds.GetKey(150*time.Millisecond, 1, "k"),
+			},
+		},
+		Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ops := rep.Shards[0].History.Ops()
+	if len(ops) != 4 {
+		t.Fatalf("history has %d ops, want 4", len(ops))
+	}
+	if ops[1].Ret != "v" {
+		t.Fatalf("settled get returned %v, want v", ops[1].Ret)
+	}
+	if ops[3].Ret != nil {
+		t.Fatalf("get after delete returned %v, want nil", ops[3].Ret)
+	}
+}
