@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-adversary bench bench-json bench-compare cover vet fmt
+.PHONY: build test test-adversary bench bench-json bench-compare cover vet fmt examples
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ test: vet
 # Coverage summary per package (uploaded as a CI artifact).
 cover:
 	$(GO) test -cover ./...
+
+# Smoke-run every examples/ main end to end (each declares its own tiny
+# grid, so the whole sweep is a few seconds). CI runs this so a facade or
+# engine change cannot silently break a documented walkthrough.
+examples:
+	@set -e; for dir in examples/*/; do \
+		echo "== $$dir"; \
+		$(GO) run ./$$dir > /dev/null; \
+	done; echo "all examples ran clean"
 
 # The lower-bound adversary suites: engine witness machinery, the theorem
 # run families (correct witness ≥ bound, premature violation, shift

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -122,7 +123,7 @@ func run() error {
 	}
 
 	scenarios := grid.Scenarios()
-	rep := timebounds.NewEngine(*workers).Run(scenarios)
+	rep := streamWithProgress(timebounds.NewEngine(*workers), scenarios)
 	fmt.Print(rep)
 	if wt := rep.RenderWitnesses(); wt != "" {
 		fmt.Println("\nlower-bound witnesses:")
@@ -134,6 +135,23 @@ func run() error {
 	}
 	fmt.Println("all scenarios within bounds, converged" + map[bool]string{true: ", linearizable", false: ""}[*verify])
 	return nil
+}
+
+// streamWithProgress collects the scenarios through the engine's result
+// stream, ticking a progress line on stderr as runs complete (Ctrl-C'ing
+// the process kills the run; the stream itself would honor a cancelled
+// context with a partial report). The collected Report is bit-identical
+// to Engine.Run's.
+func streamWithProgress(eng *timebounds.Engine, scenarios []timebounds.Scenario) timebounds.Report {
+	results := make([]timebounds.Result, len(scenarios))
+	done := 0
+	for i, res := range eng.Stream(context.Background(), scenarios) {
+		results[i] = res
+		done++
+		fmt.Fprintf(os.Stderr, "\r%d/%d scenarios", done, len(scenarios))
+	}
+	fmt.Fprintln(os.Stderr)
+	return timebounds.Report{Results: results}
 }
 
 // runSharded drives the engine's sharded path: one sharded scenario per

@@ -1,4 +1,4 @@
-// Command tbsweep prints parameter-sweep series as TSV:
+// Command tbsweep prints parameter-sweep series as TSV (CSV for load):
 //
 //	-sweep x   — the accessor/mutator tradeoff across X ∈ [0, d+ε-u]
 //	             (experiment E13; §V.A.2's latency regulation knob)
@@ -9,14 +9,25 @@
 //	             and Algorithm 1's d+ε upper bound across u (experiment
 //	             E15; the witness column comes from the engine-run
 //	             adversary grid)
+//	-sweep load — the saturation study: open-loop offered load swept
+//	             across a geometric ramp (or -loads), each point streamed
+//	             through the engine and folded online, with a bisection
+//	             locating the saturation knee. Emits CSV: offered load,
+//	             per-class p50/p99 sojourn, class bound, bound margin,
+//	             utilization, and a knee marker. A progress line streams
+//	             to stderr as points complete.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"timebounds"
 	"timebounds/internal/experiments"
 	"timebounds/internal/model"
 	"timebounds/internal/types"
@@ -31,13 +42,16 @@ func main() {
 
 func run() error {
 	var (
-		sweep = flag.String("sweep", "x", "sweep kind: x|n|base|gap")
-		n     = flag.Int("n", 4, "number of processes (x and base sweeps)")
-		maxN  = flag.Int("maxn", 10, "largest n (n sweep)")
-		d     = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
-		u     = flag.Duration("u", 4*time.Millisecond, "message delay uncertainty u")
-		steps = flag.Int("steps", 9, "sample count (x sweep)")
-		seed  = flag.Int64("seed", 1, "workload/delay seed")
+		sweep    = flag.String("sweep", "x", "sweep kind: x|n|base|gap|load")
+		n        = flag.Int("n", 4, "number of processes (x, base and load sweeps)")
+		maxN     = flag.Int("maxn", 10, "largest n (n sweep)")
+		d        = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
+		u        = flag.Duration("u", 4*time.Millisecond, "message delay uncertainty u")
+		steps    = flag.Int("steps", 9, "sample count (x sweep; ramp points for load)")
+		seed     = flag.Int64("seed", 1, "workload/delay seed")
+		backendF = flag.String("backend", "algorithm1", "backend under load (load sweep)")
+		loadsF   = flag.String("loads", "", "explicit comma-separated offered loads in ops/sec (load sweep; empty = auto geometric ramp)")
+		opsPt    = flag.Int("ops", 24, "operations per process per load point (load sweep)")
 	)
 	flag.Parse()
 
@@ -91,6 +105,54 @@ func run() error {
 		for _, pt := range pts {
 			fmt.Printf("%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 				pt.U, pt.Epsilon, pt.Lower, pt.Measured, pt.Witness, pt.Upper, pt.Gap())
+		}
+	case "load":
+		p := model.Params{N: *n, D: *d, U: *u}
+		p.Epsilon = p.OptimalSkew()
+		backend, err := timebounds.BackendByName(*backendF)
+		if err != nil {
+			return err
+		}
+		var loads []float64
+		if *loadsF != "" {
+			for _, s := range strings.Split(*loadsF, ",") {
+				load, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil {
+					return fmt.Errorf("bad load %q: %v", s, err)
+				}
+				loads = append(loads, load)
+			}
+		}
+		// With only Points set, LoadSweep fills the span around the
+		// nominal service rate n/(2d).
+		ramp := timebounds.LoadRamp{Points: *steps}
+		points := 0
+		rep, err := experiments.LoadSweep(context.Background(), experiments.LoadSweepOptions{
+			Backend:     backend,
+			Params:      p,
+			Seed:        *seed,
+			Loads:       loads,
+			Ramp:        ramp,
+			OpsPerPoint: *opsPt,
+			OnPoint: func(pt timebounds.StudyPoint) {
+				points++
+				state := "attached"
+				if pt.Saturated {
+					state = "SATURATED"
+				}
+				fmt.Fprintf(os.Stderr, "point %d: load %.1f ops/s util %.2f %s\n",
+					points, pt.Load, pt.Utilization, state)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.LoadSweepCSV(rep))
+		if rep.Knee != nil {
+			fmt.Fprintf(os.Stderr, "knee: %s p99 %s ≥ 2×bound %s at ≈%.1f ops/s (bracket %.1f–%.1f)\n",
+				rep.Knee.Class, rep.Knee.P99, rep.Knee.Bound, rep.Knee.Load, rep.Knee.Low, rep.Knee.Load)
+		} else {
+			fmt.Fprintln(os.Stderr, "no saturation knee within the swept axis")
 		}
 	default:
 		return fmt.Errorf("unknown sweep %q", *sweep)

@@ -1,0 +1,139 @@
+package timebounds_test
+
+// Regression tests for the deprecated compatibility surface — Config,
+// NewCluster, RenderTable — pinning its behavior against the live engine
+// so execution-layer redesigns (like the streaming Engine) cannot silently
+// break the shims the pre-Scenario API still routes through.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"timebounds"
+)
+
+// TestCompatNewClusterMatchesScenarioBuild drives the deprecated cluster
+// and a Scenario.Build instance through the same invocations and requires
+// bit-identical histories — the shim is a pure bridge, not a fork.
+func TestCompatNewClusterMatchesScenarioBuild(t *testing.T) {
+	cfg := facadeConfig(3)
+	dt := timebounds.NewQueue()
+	cluster, err := timebounds.NewCluster(cfg, dt)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	inst, err := cfg.Scenario(timebounds.NewQueue()).Build()
+	if err != nil {
+		t.Fatalf("Scenario.Build: %v", err)
+	}
+	for _, drive := range []interface {
+		Invoke(at time.Duration, proc timebounds.ProcessID, kind timebounds.OpKind, arg timebounds.Value)
+		Run(horizon time.Duration) error
+	}{cluster, inst} {
+		drive.Invoke(10*time.Millisecond, 0, timebounds.OpEnqueue, 1)
+		drive.Invoke(12*time.Millisecond, 1, timebounds.OpEnqueue, 2)
+		drive.Invoke(60*time.Millisecond, 2, timebounds.OpDequeue, nil)
+		if err := drive.Run(time.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	if got, want := cluster.History().String(), inst.History().String(); got != want {
+		t.Fatalf("shim history diverged from Scenario.Build:\n--- shim ---\n%s\n--- scenario ---\n%s", got, want)
+	}
+	cState, cErr := cluster.ConvergedState()
+	iState, iErr := inst.ConvergedState()
+	if cErr != nil || iErr != nil || cState != iState {
+		t.Fatalf("converged states differ: %q/%v vs %q/%v", cState, cErr, iState, iErr)
+	}
+}
+
+// TestCompatConfigDefaultsAndBounds pins the Config-surface formulas the
+// shims expose (optimal skew, bound helpers) to their engine values.
+func TestCompatConfigDefaultsAndBounds(t *testing.T) {
+	cfg := facadeConfig(4)
+	if got, want := timebounds.OptimalSkew(cfg), 3*time.Millisecond; got != want {
+		t.Errorf("OptimalSkew = %v, want (1-1/4)·4ms = %v", got, want)
+	}
+	eps := timebounds.OptimalSkew(cfg)
+	if got, want := timebounds.UpperBoundOOP(cfg), cfg.D+eps; got != want {
+		t.Errorf("UpperBoundOOP = %v, want d+ε = %v", got, want)
+	}
+	if got, want := timebounds.UpperBoundMutator(cfg), eps+cfg.X; got != want {
+		t.Errorf("UpperBoundMutator = %v, want ε+X = %v", got, want)
+	}
+	if got, want := timebounds.UpperBoundAccessor(cfg), cfg.D+eps-cfg.X; got != want {
+		t.Errorf("UpperBoundAccessor = %v, want d+ε-X = %v", got, want)
+	}
+	if got := timebounds.LowerBoundMutator(cfg); got != eps {
+		t.Errorf("LowerBoundMutator = %v, want (1-1/n)u = %v", got, eps)
+	}
+}
+
+// TestCompatRenderTableMeasuredColumn pins RenderTable: every row label
+// renders, theoretical bounds appear, and a measured map fills the
+// measured column.
+func TestCompatRenderTableMeasuredColumn(t *testing.T) {
+	cfg := facadeConfig(4)
+	tables := timebounds.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("Tables() returned %d tables, want 4", len(tables))
+	}
+	tbl := tables[0]
+	plain := timebounds.RenderTable(tbl, cfg, nil)
+	measured := make(map[string]timebounds.Time)
+	for _, row := range tbl.Rows {
+		if !strings.Contains(plain, row.Label) {
+			t.Errorf("RenderTable missing row %q:\n%s", row.Label, plain)
+		}
+		measured[row.Label] = 1234567 * time.Nanosecond
+	}
+	withMeasured := timebounds.RenderTable(tbl, cfg, measured)
+	if !strings.Contains(withMeasured, "1.234567ms") {
+		t.Errorf("RenderTable ignored the measured column:\n%s", withMeasured)
+	}
+	if withMeasured == plain {
+		t.Error("measured map did not change RenderTable output")
+	}
+}
+
+// TestCompatClusterRunsOnStreamingEngine is the canary for execution-layer
+// redesigns: a shim-built cluster scheduled through the deprecated Invoke
+// path must produce the exact run RunScenario reports for the bridged
+// scenario, even though RunScenario now collects over Engine.Stream.
+func TestCompatClusterRunsOnStreamingEngine(t *testing.T) {
+	cfg := facadeConfig(3)
+	invs := []timebounds.Invocation{
+		{At: 5 * time.Millisecond, Proc: 0, Kind: timebounds.OpWrite, Arg: 9},
+		{At: 40 * time.Millisecond, Proc: 1, Kind: timebounds.OpRead},
+		{At: 41 * time.Millisecond, Proc: 2, Kind: timebounds.OpRead},
+	}
+	cluster, err := timebounds.NewCluster(cfg, timebounds.NewRegister(0))
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	for _, inv := range invs {
+		cluster.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
+	}
+	if err := cluster.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	sc := cfg.Scenario(timebounds.NewRegister(0))
+	sc.Workload = timebounds.Workload{Explicit: invs}
+	sc.Verify = true
+	res, err := timebounds.RunScenario(sc)
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if got, want := cluster.History().String(), res.History.String(); got != want {
+		t.Fatalf("deprecated path diverged from streaming engine:\n--- shim ---\n%s\n--- engine ---\n%s", got, want)
+	}
+	if !res.Linearizable {
+		t.Error("bridged scenario history not linearizable")
+	}
+	state, err := cluster.ConvergedState()
+	if err != nil || state != res.State {
+		t.Errorf("states differ: shim %q (%v) vs engine %q", state, err, res.State)
+	}
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+	"timebounds/internal/workload"
+)
+
+// TestAggregateMatchesExactStats is the acceptance criterion for online
+// aggregation: folding a grid's streamed Results into an Aggregate must
+// reproduce the exact (retain-everything) statistics — count, min, max and
+// mean bit for bit, and p99 within the documented sketch error (the
+// sketch rounds up to a bucket edge, never down, by at most 2^-7).
+func TestAggregateMatchesExactStats(t *testing.T) {
+	dt := types.NewRegister(0)
+	scenarios := streamGrid(6)
+	agg := NewAggregate()
+	exact := make(map[spec.OpKind][]model.Time)
+	for _, res := range New(4).Stream(context.Background(), scenarios) {
+		agg.Add(dt, res)
+		for _, op := range res.History.Ops() {
+			exact[op.Kind] = append(exact[op.Kind], op.Latency())
+		}
+	}
+	want := workload.SummarizeSamples(exact)
+	got := agg.KindStats()
+	if len(got) != len(want) {
+		t.Fatalf("aggregate has %d kinds, exact fold has %d", len(got), len(want))
+	}
+	for kind, w := range want {
+		g, ok := got[kind]
+		if !ok {
+			t.Fatalf("kind %s missing from aggregate", kind)
+		}
+		if g.Count != w.Count || g.Min != w.Min || g.Max != w.Max || g.Mean != w.Mean {
+			t.Errorf("%s: online {count %d min %s max %s mean %s} vs exact {%d %s %s %s}",
+				kind, g.Count, g.Min, g.Max, g.Mean, w.Count, w.Min, w.Max, w.Mean)
+		}
+		if g.P99 < w.P99 {
+			t.Errorf("%s: sketched p99 %s underestimates exact %s", kind, g.P99, w.P99)
+		}
+		if float64(g.P99) > float64(w.P99)*(1+1.0/128)+1 {
+			t.Errorf("%s: sketched p99 %s beyond 0.8%% of exact %s", kind, g.P99, w.P99)
+		}
+	}
+	if !agg.OK() {
+		t.Errorf("clean grid aggregated as failing: %+v", agg.Errs)
+	}
+	if agg.Scenarios != len(scenarios) {
+		t.Errorf("aggregate saw %d scenarios, want %d", agg.Scenarios, len(scenarios))
+	}
+	if u := agg.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v outside (0, 1] for an unsaturated closed loop", u)
+	}
+}
+
+func TestAggregateCountsFailures(t *testing.T) {
+	agg := NewAggregate()
+	agg.Add(nil, Result{Name: "boom", Err: "exploded"})
+	agg.Add(nil, Result{Name: "ok", Converged: true})
+	if agg.Failed != 1 || len(agg.Errs) != 1 || agg.OK() {
+		t.Fatalf("failure accounting wrong: %+v", agg)
+	}
+	agg2 := NewAggregate()
+	agg2.Add(nil, Result{Name: "viol", Checked: true, Linearizable: false, Converged: true})
+	agg2.Add(nil, Result{Name: "div", Converged: false})
+	agg2.Add(nil, Result{Name: "exceed", Converged: true, Bounds: []BoundCheck{{OK: false}}})
+	if agg2.NotLinearizable != 1 || agg2.Diverged != 1 || agg2.BoundExceeded != 1 || agg2.OK() {
+		t.Fatalf("verdict counters wrong: %+v", agg2)
+	}
+}
+
+// TestAggregateErrsCapped keeps a failing mega-grid from growing the
+// aggregate unboundedly.
+func TestAggregateErrsCapped(t *testing.T) {
+	agg := NewAggregate()
+	for i := 0; i < 100; i++ {
+		agg.Add(nil, Result{Name: "boom", Err: "exploded"})
+	}
+	if agg.Failed != 100 {
+		t.Fatalf("Failed = %d, want 100", agg.Failed)
+	}
+	if len(agg.Errs) > 16 {
+		t.Fatalf("Errs grew to %d entries, want ≤ 16", len(agg.Errs))
+	}
+}
+
+// TestSojournSeesQueueingDelay drives one process open-loop faster than
+// its service rate and asserts sojourn time (arrival→response) grows while
+// service latency stays within the class bound — the signal the Study API
+// detects saturation with.
+func TestSojournSeesQueueingDelay(t *testing.T) {
+	p := engParams(3)
+	// Offered interarrival far below the ~d service time of an OOP-class
+	// operation: arrivals must queue behind the one-pending rule.
+	sc := Scenario{
+		DataType: types.NewRMWRegister(0),
+		Params:   p,
+		Seed:     1,
+		Delay:    DelaySpec{Mode: DelayWorst},
+		Workload: workload.Spec{
+			Mode:          workload.Open,
+			Mix:           workload.OpMix{{Kind: types.OpRMW, Weight: 1, Arg: func(i int) spec.Value { return i }}},
+			OpsPerProcess: 10,
+			Spacing:       p.D / 10,
+			Start:         p.D,
+		},
+	}
+	res, err := New(1).RunOne(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := Algorithm1{}.Bound(p, 0, spec.ClassOther)
+	sawQueueing := false
+	for _, op := range res.History.Ops() {
+		if op.Latency() > bound {
+			t.Errorf("op %d service latency %s exceeds bound %s", op.ID, op.Latency(), bound)
+		}
+		if op.Sojourn() > op.Latency() {
+			sawQueueing = true
+			if op.Arrival >= op.Invoke {
+				t.Errorf("op %d: deferred op has arrival %s ≥ invoke %s", op.ID, op.Arrival, op.Invoke)
+			}
+		}
+	}
+	if !sawQueueing {
+		t.Fatal("an overloaded open loop recorded no queueing wait (Sojourn == Latency everywhere)")
+	}
+}

@@ -5,6 +5,13 @@
 // statistics, measured-vs-theoretical bound margins, linearizability
 // verdicts, replica convergence).
 //
+// Execution is streaming-first: Stream yields Results in completion order
+// as an iterator (StreamChan is the channel form), honoring context
+// cancellation without leaking workers; Run is a thin collect-over-Stream
+// that reassembles input order. Constant-memory consumers fold the stream
+// into an Aggregate (online statistics, no retained histories), and Study
+// sweeps open-loop offered load over the stream to find saturation knees.
+//
 // The public facade (package timebounds), every cmd/ tool, and the
 // experiment harnesses (internal/experiments, internal/explore) are built
 // on this package. The lower-bound proof machinery (internal/adversary)
@@ -15,6 +22,8 @@
 package engine
 
 import (
+	"context"
+	"iter"
 	"runtime"
 	"sync"
 
@@ -34,18 +43,55 @@ func New(workers int) *Engine { return &Engine{Workers: workers} }
 // equivalence tests flip it to prove sharing is unobservable in Reports.
 var disableSharedChecker = false
 
-// Run executes every scenario and returns their results in input order.
-// Each scenario gets a fresh simulator, delay policy, and workload drawn
-// from its own seed, so the Report is a pure function of the scenario list:
-// same scenarios ⇒ identical Report, regardless of worker count.
+// IndexedResult pairs a streamed Result with the input index of its
+// scenario, so completion-order consumers can reassemble input order.
+type IndexedResult struct {
+	// Index is the scenario's position in the Stream/StreamChan input.
+	Index int
+	// Result is the scenario's structured outcome.
+	Result Result
+}
+
+// Stream executes the scenarios across the worker pool and returns an
+// iterator yielding (input index, Result) pairs in completion order. Each
+// scenario still gets a fresh simulator, delay policy, and workload drawn
+// from its own seed, so every yielded Result is bit-identical to what Run
+// would report at that index — only the yield order depends on scheduling.
 //
-// Verified runs share memoized checker state: one transition cache per
-// data type (check.CacheSet), safe across the worker pool because object
-// states are immutable and the cache is internally locked. Sharing only
-// reuses deterministic (state, operation) → (state, return) computations,
-// so it cannot change any verdict — only make it cheaper.
-func (e *Engine) Run(scenarios []Scenario) Report {
-	results := make([]Result, len(scenarios))
+// Cancelling ctx stops the stream promptly: no new scenarios start,
+// in-flight runs finish but may be dropped, and the iterator ends after
+// the pool drains — consumers get a partial result set, never a leaked
+// worker. Breaking out of the loop early cancels the same way.
+//
+// Verified runs share memoized checker state for the lifetime of the
+// stream: one transition cache per data type (check.CacheSet), safe across
+// the worker pool because object states are immutable and the cache is
+// internally locked. Sharing only reuses deterministic
+// (state, operation) → (state, return) computations, so it cannot change
+// any verdict — only make it cheaper.
+func (e *Engine) Stream(ctx context.Context, scenarios []Scenario) iter.Seq2[int, Result] {
+	return func(yield func(int, Result) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		ch := e.StreamChan(ctx, scenarios)
+		defer func() {
+			cancel()
+			for range ch { // unblock and drain the pool so workers exit
+			}
+		}()
+		for ir := range ch {
+			if !yield(ir.Index, ir.Result) {
+				return
+			}
+		}
+	}
+}
+
+// StreamChan is the channel form of Stream, for consumers that select
+// across sources (cmd/ progress loops). The channel closes once every
+// worker has exited — after all scenarios completed, or promptly after
+// ctx is cancelled. The caller must either drain the channel or cancel
+// ctx; otherwise workers block forever on the send.
+func (e *Engine) StreamChan(ctx context.Context, scenarios []Scenario) <-chan IndexedResult {
 	var caches *check.CacheSet
 	if !disableSharedChecker {
 		caches = check.NewCacheSet()
@@ -57,29 +103,76 @@ func (e *Engine) Run(scenarios []Scenario) Report {
 	if workers > len(scenarios) {
 		workers = len(scenarios)
 	}
-	if workers <= 1 {
-		for i, sc := range scenarios {
-			results[i] = sc.run(caches)
-		}
-		return Report{Results: results}
+	if workers < 1 {
+		workers = 1
 	}
-	var wg sync.WaitGroup
+	out := make(chan IndexedResult)
 	next := make(chan int)
+	done := ctx.Done()
+	go func() {
+		defer close(next)
+		for i := range scenarios {
+			select {
+			case next <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = scenarios[i].run(caches)
+				res := scenarios[i].run(caches)
+				select {
+				case out <- IndexedResult{Index: i, Result: res}:
+				case <-done:
+					return
+				}
 			}
 		}()
 	}
-	for i := range scenarios {
-		next <- i
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Run executes every scenario and returns their results in input order.
+// It is a thin collect over Stream: each scenario gets a fresh simulator,
+// delay policy, and workload drawn from its own seed, so the Report is a
+// pure function of the scenario list — same scenarios ⇒ identical Report,
+// regardless of worker count or completion order.
+func (e *Engine) Run(scenarios []Scenario) Report {
+	return e.RunContext(context.Background(), scenarios)
+}
+
+// RunContext is Run with cancellation: it collects the Stream into a
+// Report until ctx is cancelled, then returns promptly with a partial
+// Report — the Results completed so far, still in input order, with
+// Report.Incomplete counting the scenarios that never reported.
+func (e *Engine) RunContext(ctx context.Context, scenarios []Scenario) Report {
+	results := make([]Result, len(scenarios))
+	got := make([]bool, len(scenarios))
+	n := 0
+	for i, res := range e.Stream(ctx, scenarios) {
+		results[i] = res
+		got[i] = true
+		n++
 	}
-	close(next)
-	wg.Wait()
-	return Report{Results: results}
+	if n == len(scenarios) {
+		return Report{Results: results}
+	}
+	partial := make([]Result, 0, n)
+	for i, ok := range got {
+		if ok {
+			partial = append(partial, results[i])
+		}
+	}
+	return Report{Results: partial, Incomplete: len(scenarios) - n}
 }
 
 // RunOne executes a single scenario synchronously.

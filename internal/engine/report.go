@@ -200,6 +200,11 @@ func (r Result) MinMargin() model.Time {
 // Report aggregates the results of a scenario grid, in input order.
 type Report struct {
 	Results []Result
+	// Incomplete counts scenarios that never reported because the run was
+	// cancelled (Engine.RunContext); 0 for a complete grid. OK and Err
+	// judge only the recorded Results — callers deciding whether a
+	// cancelled grid "passed" must check Incomplete themselves.
+	Incomplete int
 }
 
 // OK reports whether every scenario run is OK and every adversary run

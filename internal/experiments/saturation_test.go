@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestLoadSweepCSVGolden pins the -sweep load CSV byte for byte: the
+// simulation is deterministic in model time, so the sweep (axis points,
+// bisection probes, knee marker and all) must reproduce exactly on any
+// machine at any worker count. Regenerate with -update-golden after an
+// intentional format or engine change.
+func TestLoadSweepCSVGolden(t *testing.T) {
+	rep, err := LoadSweep(context.Background(), LoadSweepOptions{
+		Params:      DefaultParams(3),
+		Seed:        1,
+		Loads:       []float64{30, 120, 900},
+		OpsPerPoint: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incomplete {
+		t.Fatal("sweep incomplete")
+	}
+	got := LoadSweepCSV(rep)
+	path := filepath.Join("testdata", "load_sweep.golden.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/experiments -run LoadSweepCSVGolden -update-golden` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CSV diverged from golden %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+	// Shape checks independent of the exact bytes: a knee marker exists
+	// and the header names every promised column.
+	if !strings.Contains(got, ",knee\n") && !strings.Contains(got, ",knee") {
+		t.Error("CSV missing knee column/marker")
+	}
+	for _, col := range []string{"load_ops_per_sec", "p50_ns", "p99_ns", "bound_ns", "margin_ns", "utilization", "knee"} {
+		if !strings.Contains(got, col) {
+			t.Errorf("CSV header missing %q", col)
+		}
+	}
+	if rep.Knee == nil {
+		t.Error("sweep found no knee despite a 30×-spanning axis")
+	} else if !strings.Contains(got, "knee\n") {
+		t.Error("knee detected but no row carries the knee marker")
+	}
+}
+
+// TestLoadSweepDefaultsRampAroundNominalRate checks the auto axis spans
+// the nominal service rate so a default sweep brackets the knee.
+func TestLoadSweepDefaultsRampAroundNominalRate(t *testing.T) {
+	rep, err := LoadSweep(context.Background(), LoadSweepOptions{
+		Params:      DefaultParams(3),
+		Seed:        1,
+		OpsPerPoint: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) < 8 {
+		t.Fatalf("default ramp measured %d points, want ≥ 8", len(rep.Points))
+	}
+	if rep.Knee == nil {
+		t.Error("default ramp failed to bracket the saturation knee")
+	}
+}

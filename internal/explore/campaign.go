@@ -1,7 +1,9 @@
 package explore
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"timebounds/internal/engine"
 	"timebounds/internal/model"
@@ -37,16 +39,28 @@ type CampaignResult struct {
 	Failures []string
 	// WorstLatency is the largest completed-operation latency seen.
 	WorstLatency model.Time
+	// Incomplete counts scenarios that never reported because the
+	// campaign's context was cancelled; 0 for a complete campaign.
+	Incomplete int
 }
 
-// OK reports whether the campaign saw no failures.
-func (r CampaignResult) OK() bool { return len(r.Failures) == 0 }
+// OK reports whether the campaign ran to completion with no failures —
+// a cancelled partial campaign is not a passing one.
+func (r CampaignResult) OK() bool { return len(r.Failures) == 0 && r.Incomplete == 0 }
 
 // Campaign runs the randomized sweep as one engine grid — every object ×
 // delay adversary × seed becomes a scenario, executed across the worker
 // pool. Every history must complete, respect the class latency bounds,
 // converge across replicas, and (optionally) linearize.
 func Campaign(cfg CampaignConfig) (CampaignResult, error) {
+	return CampaignContext(context.Background(), cfg)
+}
+
+// CampaignContext is Campaign with cancellation. It consumes the engine's
+// result stream directly — each Result is folded into the campaign tally
+// and dropped, so memory stays constant however many scenarios the grid
+// expands to. Cancelling ctx returns the tally of the runs that finished.
+func CampaignContext(ctx context.Context, cfg CampaignConfig) (CampaignResult, error) {
 	p := cfg.Params
 	if err := p.Validate(); err != nil {
 		return CampaignResult{}, err
@@ -79,30 +93,47 @@ func Campaign(cfg CampaignConfig) (CampaignResult, error) {
 		}},
 		Verify: cfg.Verify,
 	}
-	rep := engine.New(cfg.Workers).Run(grid.Scenarios())
 	var res CampaignResult
-	for _, r := range rep.Results {
+	// Results stream in completion order; failures are keyed by input
+	// index and sorted at the end so the failure list stays deterministic
+	// at any worker count.
+	type failure struct {
+		index int
+		msg   string
+	}
+	var failures []failure
+	scenarios := grid.Scenarios()
+	reported := 0
+	for i, r := range engine.New(cfg.Workers).Stream(ctx, scenarios) {
+		reported++
+		fail := func(format string, args ...any) {
+			failures = append(failures, failure{i, fmt.Sprintf(format, args...)})
+		}
 		if r.Err != "" {
-			res.Failures = append(res.Failures, fmt.Sprintf("%s: %s", r.Name, r.Err))
+			fail("%s: %s", r.Name, r.Err)
 			continue
 		}
 		res.Runs++
 		res.Ops += r.Ops
 		if r.Checked && !r.Linearizable {
-			res.Failures = append(res.Failures, fmt.Sprintf("%s: history not linearizable", r.Name))
+			fail("%s: history not linearizable", r.Name)
 		}
 		if !r.Converged {
-			res.Failures = append(res.Failures, fmt.Sprintf("%s: %s", r.Name, r.Diverged))
+			fail("%s: %s", r.Name, r.Diverged)
 		}
 		for _, b := range r.Bounds {
 			if !b.OK {
-				res.Failures = append(res.Failures, fmt.Sprintf(
-					"%s: %s worst latency %s exceeds bound %s", r.Name, b.Class, b.Measured, b.Bound))
+				fail("%s: %s worst latency %s exceeds bound %s", r.Name, b.Class, b.Measured, b.Bound)
 			}
 		}
 		if w := r.WorstLatency(); w > res.WorstLatency {
 			res.WorstLatency = w
 		}
 	}
+	sort.SliceStable(failures, func(a, b int) bool { return failures[a].index < failures[b].index })
+	for _, f := range failures {
+		res.Failures = append(res.Failures, f.msg)
+	}
+	res.Incomplete = len(scenarios) - reported
 	return res, nil
 }

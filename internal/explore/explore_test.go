@@ -1,6 +1,7 @@
 package explore_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -134,6 +135,27 @@ func TestCampaignAllObjects(t *testing.T) {
 		t.Errorf("worst latency %s exceeds d+ε", res.WorstLatency)
 	}
 	t.Logf("campaign: %d runs, %d ops, worst latency %s", res.Runs, res.Ops, res.WorstLatency)
+}
+
+// TestCampaignCancelledIsNotOK pins the partial-campaign trap: a
+// campaign cut short by its context must not read as a passing one.
+func TestCampaignCancelledIsNotOK(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled up front: nothing may run
+	res, err := explore.CampaignContext(ctx, explore.CampaignConfig{
+		Params:  params(3),
+		Objects: []spec.DataType{types.NewRMWRegister(0)},
+		Seeds:   2,
+	})
+	if err != nil {
+		t.Fatalf("CampaignContext: %v", err)
+	}
+	if res.Incomplete == 0 {
+		t.Fatal("cancelled campaign reported no incomplete scenarios")
+	}
+	if res.OK() {
+		t.Fatal("cancelled partial campaign claims OK")
+	}
 }
 
 func TestCampaignDetectsBrokenBounds(t *testing.T) {

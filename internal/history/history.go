@@ -27,19 +27,43 @@ type Record struct {
 	Ret spec.Value
 	// Invoke is the real time of the invocation.
 	Invoke model.Time
+	// Arrival is the real time the operation was offered to the process.
+	// It equals Invoke unless the invocation was deferred behind a still-
+	// pending operation (the one-pending-operation-per-process rule), in
+	// which case Arrival is the original offered instant and Invoke the
+	// later actual invocation. Sojourn measures from Arrival; the
+	// linearizability checker and the class bounds measure from Invoke.
+	Arrival model.Time
 	// Respond is the real time of the response; meaningless while Pending.
 	Respond model.Time
 	// Pending is true if no response has been recorded.
 	Pending bool
 }
 
-// Latency returns the operation's response time (Respond - Invoke).
+// Latency returns the operation's response time (Respond - Invoke): the
+// service latency the paper's per-class bounds constrain.
 func (r Record) Latency() model.Time {
 	if r.Pending {
 		return model.Infinity
 	}
 	return r.Respond - r.Invoke
 }
+
+// Sojourn returns the operation's arrival-to-response time
+// (Respond - Arrival): service latency plus any wait spent deferred behind
+// the process's previous operation. Under open-loop (offered-rate) traffic
+// this is the queueing-theoretic sojourn time — the quantity that detaches
+// from the service bounds as offered load saturates a process.
+func (r Record) Sojourn() model.Time {
+	if r.Pending {
+		return model.Infinity
+	}
+	return r.Respond - r.Arrival
+}
+
+// Wait returns the time the operation spent deferred before invocation
+// (Invoke - Arrival); zero for operations invoked at their offered instant.
+func (r Record) Wait() model.Time { return r.Invoke - r.Arrival }
 
 // String implements fmt.Stringer.
 func (r Record) String() string {
@@ -59,12 +83,24 @@ type History struct {
 // New returns an empty history.
 func New() *History { return &History{} }
 
-// Invoke records a new invocation and returns its id.
+// Invoke records a new invocation (offered and invoked at the same
+// instant) and returns its id.
 func (h *History) Invoke(proc model.ProcessID, kind spec.OpKind, arg spec.Value, at model.Time) OpID {
+	return h.InvokeArrived(proc, kind, arg, at, at)
+}
+
+// InvokeArrived records an invocation that was offered at arrival but
+// actually invoked at the (no earlier) time at — the deferred-invocation
+// shape the simulator produces when an open-loop arrival lands while the
+// process's previous operation is still pending.
+func (h *History) InvokeArrived(proc model.ProcessID, kind spec.OpKind, arg spec.Value, at, arrival model.Time) OpID {
+	if arrival > at {
+		arrival = at
+	}
 	id := h.nextID
 	h.nextID++
 	h.ops = append(h.ops, Record{
-		ID: id, Proc: proc, Kind: kind, Arg: arg, Invoke: at, Pending: true,
+		ID: id, Proc: proc, Kind: kind, Arg: arg, Invoke: at, Arrival: arrival, Pending: true,
 	})
 	return id
 }

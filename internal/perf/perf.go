@@ -14,6 +14,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -63,6 +64,16 @@ func Benchmarks() []Benchmark {
 			Name:  "engine/sharded-store",
 			Brief: "sharded store: 24-key keyed workload hashed into 8 verified dictionary sub-clusters, run and merged through the worker pool",
 			Func:  BenchShardedStore,
+		},
+		{
+			Name:  "engine/stream-grid",
+			Brief: "208-scenario verified grid consumed through Engine.Stream with constant-memory online aggregation (no retained histories)",
+			Func:  BenchStreamGrid,
+		},
+		{
+			Name:  "study/saturation-search",
+			Brief: "load-sweep saturation study: 4-point geometric axis plus knee bisection, open-loop register traffic folded online per point",
+			Func:  BenchSaturationSearch,
 		},
 	}
 }
@@ -260,6 +271,71 @@ func BenchShardedStore(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(rep.Ops)*float64(b.N)/sec, "ops/s")
 	}
+}
+
+// BenchStreamGrid runs the same verified grid as BenchLargeGrid, but
+// consumed the streaming way: Results arrive in completion order through
+// Engine.Stream and fold into an online Aggregate (count/mean/M2 plus the
+// quantile sketch) instead of being retained — the constant-memory path
+// Study and large-sweep consumers use. Its allocation profile is the
+// budget for the stream-plus-aggregation overhead on top of the raw runs.
+func BenchStreamGrid(b *testing.B) {
+	scenarios := GridScenarios()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var agg *engine.Aggregate
+	for i := 0; i < b.N; i++ {
+		agg = engine.NewAggregate()
+		for j, res := range engine.New(0).Stream(context.Background(), scenarios) {
+			agg.Add(scenarios[j].DataType, res)
+		}
+		if !agg.OK() {
+			b.Fatalf("streamed grid failed: %v", agg.Errs)
+		}
+		if agg.Scenarios != len(scenarios) {
+			b.Fatalf("aggregated %d of %d scenarios", agg.Scenarios, len(scenarios))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(scenarios)), "scenarios")
+	b.ReportMetric(float64(agg.Latency.P99()), "p99-ns")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(agg.Ops)*float64(b.N)/sec, "ops/s")
+	}
+}
+
+// BenchSaturationSearch measures one full saturation study per iteration:
+// a 4-point geometric offered-load axis over the worst-delay register
+// scenario plus the knee bisection — the Study API's end-to-end hot path
+// (per-point scenario expansion, streamed runs, online folds, bracket
+// narrowing).
+func BenchSaturationSearch(b *testing.B) {
+	study := engine.Study{
+		Base: engine.Scenario{
+			DataType: types.NewRMWRegister(0),
+			Params:   experiments.DefaultParams(3),
+			Seed:     1,
+			Delay:    engine.DelaySpec{Mode: engine.DelayWorst},
+		},
+		Ramp:        engine.LoadRamp{From: 30, To: 1200, Points: 4},
+		OpsPerPoint: 12,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep engine.StudyReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = study.Run(context.Background(), engine.New(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Knee == nil {
+			b.Fatal("study found no knee")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(rep.Points)), "points")
+	b.ReportMetric(rep.Knee.Load, "knee-ops/s")
 }
 
 // BenchSimEventLoop measures one engine scenario run per iteration — an

@@ -14,6 +14,8 @@ func BenchmarkCheckerLongHistory(b *testing.B)   { perf.BenchCheckerLongHistory(
 func BenchmarkCheckerGridHistories(b *testing.B) { perf.BenchCheckerGridHistories(b) }
 func BenchmarkSimEventLoop(b *testing.B)         { perf.BenchSimEventLoop(b) }
 func BenchmarkShardedStore(b *testing.B)         { perf.BenchShardedStore(b) }
+func BenchmarkStreamGrid(b *testing.B)           { perf.BenchStreamGrid(b) }
+func BenchmarkSaturationSearch(b *testing.B)     { perf.BenchSaturationSearch(b) }
 
 // TestBenchmarkCatalog pins the tracked-suite names: renaming or removing
 // a benchmark breaks comparability of the recorded trajectory, so it must
@@ -25,6 +27,8 @@ func TestBenchmarkCatalog(t *testing.T) {
 		"check/grid-histories",
 		"sim/event-loop",
 		"engine/sharded-store",
+		"engine/stream-grid",
+		"study/saturation-search",
 	}
 	got := perf.Benchmarks()
 	if len(got) != len(want) {

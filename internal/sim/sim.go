@@ -63,9 +63,10 @@ type event struct {
 	proc model.ProcessID
 
 	// evInvoke
-	opID   history.OpID
-	opKind spec.OpKind
-	opArg  spec.Value
+	opID    history.OpID
+	opKind  spec.OpKind
+	opArg   spec.Value
+	arrival model.Time // offered instant; < at for deferred invocations
 
 	// evDeliver
 	from    model.ProcessID
@@ -181,6 +182,9 @@ type Simulator struct {
 type deferredInvoke struct {
 	kind spec.OpKind
 	arg  spec.Value
+	// arrival is the instant the invocation was originally offered, kept
+	// so the history can record queueing wait (Record.Sojourn).
+	arrival model.Time
 }
 
 // New creates a simulator for the given processes. len(procs) must equal
@@ -336,7 +340,7 @@ func (s *Simulator) Invoke(at model.Time, proc model.ProcessID, kind spec.OpKind
 	ref := s.alloc()
 	e := &s.events[ref]
 	e.at, e.kind, e.proc = at, evInvoke, proc
-	e.opKind, e.opArg = kind, arg
+	e.opKind, e.opArg, e.arrival = kind, arg, at
 	s.push(ref)
 }
 
@@ -417,14 +421,15 @@ func (s *Simulator) dispatch(ref int32) {
 	env.proc, env.real = proc, at
 	switch e.kind {
 	case evInvoke:
-		opKind, opArg := e.opKind, e.opArg
+		opKind, opArg, arrival := e.opKind, e.opArg, e.arrival
 		if s.pending[proc] {
-			// Defer until the current operation responds.
-			s.deferred[proc] = append(s.deferred[proc], deferredInvoke{kind: opKind, arg: opArg})
+			// Defer until the current operation responds, remembering the
+			// offered instant so the history keeps the queueing wait.
+			s.deferred[proc] = append(s.deferred[proc], deferredInvoke{kind: opKind, arg: opArg, arrival: arrival})
 			return
 		}
 		s.pending[proc] = true
-		id := s.hist.Invoke(proc, opKind, opArg, at)
+		id := s.hist.InvokeArrived(proc, opKind, opArg, at, arrival)
 		s.record(proc, at, "invoke")
 		s.procs[proc].OnInvoke(env, id, opKind, opArg)
 	case evDeliver:
@@ -551,7 +556,7 @@ func (e *procEnv) Respond(id history.OpID, ret spec.Value) {
 		ref := s.alloc()
 		ev := &s.events[ref]
 		ev.at, ev.kind, ev.proc = e.real+1, evInvoke, p
-		ev.opKind, ev.opArg = next.kind, next.arg
+		ev.opKind, ev.opArg, ev.arrival = next.kind, next.arg, next.arrival
 		s.push(ref)
 	}
 }

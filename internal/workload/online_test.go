@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+)
+
+// sketchRelErr is the documented quantile error bound: 2^-sketchSubBits.
+const sketchRelErr = 1.0 / (1 << sketchSubBits)
+
+// exactPercentile applies SummarizeSamples' order-statistic convention.
+func exactPercentile(sorted []model.Time, p int) model.Time {
+	idx := (len(sorted)*p + p) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestOnlineStatsMatchesExactFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 7, 100, 5000} {
+		samples := make([]model.Time, n)
+		s := NewOnlineStats()
+		for i := range samples {
+			// A latency-shaped distribution: microseconds to tens of ms.
+			v := model.Time(rng.Int63n(30_000_000) + 1_000)
+			samples[i] = v
+			s.Observe(v)
+		}
+		sorted := append([]model.Time(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum int64
+		for _, v := range sorted {
+			sum += int64(v)
+		}
+		if s.Count() != n {
+			t.Fatalf("n=%d: count %d", n, s.Count())
+		}
+		if s.Min() != sorted[0] || s.Max() != sorted[n-1] {
+			t.Fatalf("n=%d: min/max %s/%s, want %s/%s", n, s.Min(), s.Max(), sorted[0], sorted[n-1])
+		}
+		if want := model.Time(sum / int64(n)); s.Mean() != want {
+			t.Fatalf("n=%d: mean %s, want exact %s", n, s.Mean(), want)
+		}
+		for _, p := range []int{50, 90, 99} {
+			exact := exactPercentile(sorted, p)
+			got := s.Percentile(p)
+			if got < exact {
+				t.Fatalf("n=%d p%d: sketch %s underestimates exact %s", n, p, got, exact)
+			}
+			if float64(got) > float64(exact)*(1+sketchRelErr)+1 {
+				t.Fatalf("n=%d p%d: sketch %s beyond %.2f%% of exact %s",
+					n, p, got, sketchRelErr*100, exact)
+			}
+		}
+	}
+}
+
+func TestOnlineStatsSmallValuesExact(t *testing.T) {
+	s := NewOnlineStats()
+	for v := model.Time(0); v < 1<<(sketchSubBits+1); v++ {
+		s.Observe(v)
+	}
+	// Values below 2^(subBits+1) land in exact unit buckets.
+	for _, p := range []int{50, 99} {
+		sorted := make([]model.Time, 1<<(sketchSubBits+1))
+		for i := range sorted {
+			sorted[i] = model.Time(i)
+		}
+		if got, want := s.Percentile(p), exactPercentile(sorted, p); got != want {
+			t.Fatalf("p%d: %s, want exact %s", p, got, want)
+		}
+	}
+}
+
+func TestOnlineStatsMergeEquivalentToSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := NewOnlineStats()
+	parts := []*OnlineStats{NewOnlineStats(), NewOnlineStats(), NewOnlineStats()}
+	for i := 0; i < 3000; i++ {
+		v := model.Time(rng.Int63n(50_000_000))
+		whole.Observe(v)
+		parts[i%3].Observe(v)
+	}
+	merged := NewOnlineStats()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() ||
+		merged.Max() != whole.Max() || merged.Mean() != whole.Mean() {
+		t.Fatal("merged summary differs from single-stream summary")
+	}
+	if merged.P99() != whole.P99() || merged.P50() != whole.P50() {
+		t.Fatal("merged sketch quantiles differ from single-stream sketch")
+	}
+	if math.Abs(float64(merged.StdDev()-whole.StdDev())) > 2 {
+		t.Fatalf("merged stddev %s vs %s", merged.StdDev(), whole.StdDev())
+	}
+}
+
+func TestOnlineStatsStatsSnapshot(t *testing.T) {
+	s := NewOnlineStats()
+	for _, v := range []model.Time{10, 20, 30} {
+		s.Observe(v)
+	}
+	st := s.Stats(spec.OpKind("read"))
+	if st.Kind != "read" || st.Count != 3 || st.Min != 10 || st.Max != 30 || st.Mean != 20 {
+		t.Fatalf("snapshot %+v", st)
+	}
+}
+
+func TestBucketMonotoneAndBounded(t *testing.T) {
+	prev := uint32(0)
+	for _, v := range []model.Time{0, 1, 255, 256, 257, 1000, 1 << 20, 1<<20 + 1<<13, 1 << 40, model.Time(1<<62) + 12345} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		prev = b
+		if upper := bucketUpper(b); upper < v {
+			t.Fatalf("bucket upper %d below value %d", upper, v)
+		} else if v >= 1<<(sketchSubBits+1) && float64(upper) > float64(v)*(1+sketchRelErr) {
+			t.Fatalf("bucket upper %d beyond relative error of %d", upper, v)
+		}
+	}
+}

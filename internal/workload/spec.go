@@ -89,6 +89,44 @@ func (s Spec) WithDefaults(p model.Params, dt spec.DataType) Spec {
 	return s
 }
 
+// Rate returns the spec's offered per-process rate in operations per
+// second (1/Spacing); 0 when Spacing is unset or non-positive.
+func (s Spec) Rate() float64 {
+	if s.Spacing <= 0 {
+		return 0
+	}
+	return 1e9 / float64(s.Spacing)
+}
+
+// Validate rejects generator specs that cannot describe a causal operation
+// stream. It catches two shapes Schedule used to accept silently:
+//
+//   - an open-loop spec with zero or negative offered rate (Spacing ≤ 0
+//     once defaults are resolved) — arrivals would pile onto one instant
+//     or march backwards in time;
+//   - a ramp whose end precedes its start: negative Spacing (every gap is
+//     negative, so the stream's last invocation lands before its first) or
+//     negative Ramp (the gap scale crosses zero mid-stream, scheduling
+//     later operations before earlier ones).
+//
+// Explicit schedules are exempt — they are taken verbatim, adversarial
+// shapes included.
+func (s Spec) Validate() error {
+	if len(s.Explicit) > 0 {
+		return nil
+	}
+	if s.Spacing < 0 {
+		return fmt.Errorf("workload: spec %q spacing %v is negative — the stream would end before it starts; use a positive spacing (gap between invocations)", s.Name, s.Spacing)
+	}
+	if s.Mode == Open && s.Spacing == 0 && s.OpsPerProcess > 1 {
+		return fmt.Errorf("workload: open-loop spec %q has zero spacing (offered rate ∞/undefined) — set Spacing to the interarrival gap, e.g. Spacing: 2*d for rate n/(2d)", s.Name)
+	}
+	if s.Ramp < 0 {
+		return fmt.Errorf("workload: spec %q ramp %v is negative — the ramp's end gap (Spacing×Ramp) precedes its start; use Ramp in (0, ∞), e.g. 0.25 to quadruple the rate", s.Name, s.Ramp)
+	}
+	return nil
+}
+
 // Schedule expands the spec into a concrete invocation schedule for an
 // n-process system. The result is a pure function of (spec, p.N, seed).
 func (s Spec) Schedule(p model.Params, seed int64) (Schedule, error) {
@@ -98,8 +136,8 @@ func (s Spec) Schedule(p model.Params, seed int64) (Schedule, error) {
 	if s.Mix == nil && len(s.PerProcess) == 0 {
 		return Schedule{}, fmt.Errorf("workload: spec %q has no mix and no explicit schedule", s.Name)
 	}
-	if s.Ramp < 0 {
-		return Schedule{}, fmt.Errorf("workload: spec %q has negative ramp %v", s.Name, s.Ramp)
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	counts := make(map[spec.OpKind]int)

@@ -2,7 +2,9 @@ package workload
 
 import (
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"timebounds/internal/model"
 	"timebounds/internal/types"
@@ -139,6 +141,68 @@ func TestSpecErrors(t *testing.T) {
 	neg := Spec{Mix: OpMix{{Kind: types.OpRead, Weight: 1}}, OpsPerProcess: 1, Ramp: -1}
 	if _, err := neg.Schedule(p, 1); err == nil {
 		t.Error("negative ramp accepted")
+	}
+}
+
+func TestSpecValidateRejectsDegenerateRates(t *testing.T) {
+	p := specParams(2)
+	mix := OpMix{{Kind: types.OpRead, Weight: 1}}
+
+	// Open-loop with zero spacing: an undefined (infinite) offered rate.
+	zero := Spec{Mode: Open, Mix: mix, OpsPerProcess: 3}
+	if err := zero.Validate(); err == nil {
+		t.Error("open-loop spec with zero spacing (zero/undefined rate) accepted")
+	} else if !strings.Contains(err.Error(), "rate") {
+		t.Errorf("zero-rate error not actionable: %v", err)
+	}
+
+	// Negative spacing: every gap negative, so the stream's last
+	// invocation precedes its first — the schedule ends before it starts.
+	back := Spec{Mode: Open, Mix: mix, OpsPerProcess: 3, Spacing: -time.Millisecond}
+	if err := back.Validate(); err == nil {
+		t.Error("negative-rate (negative spacing) spec accepted")
+	}
+	if _, err := back.Schedule(p, 1); err == nil {
+		t.Error("Schedule accepted a negative-spacing open-loop spec")
+	}
+	// Closed loops reject it too — a backwards schedule is never valid.
+	back.Mode = Closed
+	if err := back.Validate(); err == nil {
+		t.Error("negative-spacing closed-loop spec accepted")
+	}
+
+	// A ramp whose end precedes its start: the negative scale schedules
+	// the final gaps before the earlier ones.
+	ramp := Spec{Mix: mix, OpsPerProcess: 3, Spacing: time.Millisecond, Ramp: -0.5}
+	if err := ramp.Validate(); err == nil {
+		t.Error("ramp with end preceding start accepted")
+	} else if !strings.Contains(err.Error(), "ramp") {
+		t.Errorf("ramp error not actionable: %v", err)
+	}
+	if _, err := ramp.Schedule(p, 1); err == nil {
+		t.Error("Schedule accepted a backwards ramp")
+	}
+
+	// The valid shapes still pass: open with positive spacing, closed
+	// with zero spacing (defaulted later), explicit schedules verbatim.
+	for _, good := range []Spec{
+		{Mode: Open, Mix: mix, OpsPerProcess: 3, Spacing: time.Millisecond},
+		{Mode: Closed, Mix: mix, OpsPerProcess: 3},
+		{Mode: Open, Explicit: []Invocation{{At: -1, Proc: 0, Kind: types.OpRead}}},
+		{Mode: Open, Mix: mix, OpsPerProcess: 1}, // single op: no interarrival gap needed
+	} {
+		if err := good.Validate(); err != nil {
+			t.Errorf("valid spec rejected: %v (%+v)", err, good)
+		}
+	}
+}
+
+func TestSpecRate(t *testing.T) {
+	if r := (Spec{Spacing: 2 * time.Millisecond}).Rate(); r != 500 {
+		t.Errorf("rate %v, want 500 ops/s at 2ms spacing", r)
+	}
+	if r := (Spec{}).Rate(); r != 0 {
+		t.Errorf("unset spacing rate %v, want 0", r)
 	}
 }
 

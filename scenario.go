@@ -1,6 +1,7 @@
 package timebounds
 
 import (
+	"context"
 	"fmt"
 
 	"timebounds/internal/adversary"
@@ -102,6 +103,33 @@ type (
 	// ShiftFraction scales an adversary's clock-shift magnitude relative
 	// to the proof's full shift.
 	ShiftFraction = adversary.ShiftFraction
+	// IndexedResult pairs a streamed Result with its scenario's input
+	// index (Engine.StreamChan's element type).
+	IndexedResult = engine.IndexedResult
+	// Aggregate folds streamed Results into constant-memory summaries:
+	// online per-kind/per-class statistics, verdict counters, and
+	// utilization accounting — the streaming replacement for retaining
+	// every history of a large grid.
+	Aggregate = engine.Aggregate
+	// OnlineStats is a constant-memory streaming latency summary:
+	// exact count/min/max/mean, Welford variance, and a fixed-size
+	// quantile sketch (p99 within ~0.8% relative error).
+	OnlineStats = workload.OnlineStats
+	// Study declares a load-sweep saturation study: one scenario template
+	// driven open-loop across an offered-rate axis with online
+	// aggregation and a saturation-knee bisection.
+	Study = engine.Study
+	// StudyReport is a study's outcome: measured points sorted by load
+	// and the located knee, if any.
+	StudyReport = engine.StudyReport
+	// StudyPoint is one measured offered-load point.
+	StudyPoint = engine.StudyPoint
+	// ClassLoad is one operation class's sojourn summary at one load.
+	ClassLoad = engine.ClassLoad
+	// LoadRamp generates a geometric offered-load axis.
+	LoadRamp = engine.LoadRamp
+	// Knee is a located saturation knee (bracket, class, p99, bound).
+	Knee = engine.Knee
 )
 
 // Workload pacing modes.
@@ -208,7 +236,24 @@ func AdversaryByNameShifted(name string, correct bool, shiftFrac float64) (Adver
 }
 
 // NewEngine returns an engine with the given worker cap (≤0 = GOMAXPROCS).
+// Beyond Run, engines stream: Engine.Stream returns an iterator yielding
+// Results in completion order (Engine.StreamChan is the channel form),
+// honoring context cancellation without leaking workers, and
+// Engine.RunContext collects a (possibly partial) Report under a context.
 func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// NewAggregate returns an empty streaming aggregate, ready to fold
+// Results from Engine.Stream without retaining them.
+func NewAggregate() *Aggregate { return engine.NewAggregate() }
+
+// RunStudy executes a load-sweep saturation study on a default engine:
+// every axis point streams through the worker pool and folds online, then
+// a geometric bisection narrows the saturation knee (the lowest offered
+// load at which some class's p99 sojourn time reaches KneeFactor × its
+// service bound). Same study ⇒ identical report at any worker count.
+func RunStudy(ctx context.Context, s Study) (StudyReport, error) {
+	return s.Run(ctx, engine.New(0))
+}
 
 // RunScenarios executes the scenarios on a default engine (all cores) and
 // returns their results in input order.
