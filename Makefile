@@ -1,15 +1,26 @@
 GO ?= go
 
-.PHONY: build test test-adversary bench bench-json bench-compare cover vet fmt examples
+.PHONY: build test test-adversary bench bench-json bench-compare cover vet vet-json fmt examples
 
 build:
 	$(GO) build ./...
 
-# vet = go vet plus the repo's supplementary checks (cmd/tbvet):
-# every package must carry a package-level doc comment.
+# vet = go vet plus the repo's own analyzer suite (cmd/tbvet over
+# internal/lint): determinism (no time.Now / global math/rand / unsorted
+# map-order output in sim|engine|check|workload), hotpath (//tb:hotpath
+# functions stay fmt-free, boxing-free, closure-capture-free), ctxhygiene
+# (pipeline goroutine sends guarded by a cancellation arm), deprecated
+# (no facade-shim references outside the facade), and pkgdoc (every
+# package documented). See docs/STATIC_ANALYSIS.md; suppress a finding
+# only with a reasoned //tbvet:ignore directive.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/tbvet .
+
+# The CI lint artifact: the same suite, machine-readable. @-silenced so
+# `make vet-json > findings.json` captures pure JSON.
+vet-json:
+	@$(GO) run ./cmd/tbvet -json .
 
 fmt:
 	gofmt -l .

@@ -1,90 +1,89 @@
-// Command tbvet runs the repository's supplementary static checks —
-// currently the missing-package-doc check: every package (including
-// commands and examples) must carry a package-level doc comment on at
-// least one non-test file. It is wired into `make vet` next to go vet.
+// Command tbvet runs the repository's static-analysis suite
+// (internal/lint) over the module tree: the determinism, hotpath,
+// ctxhygiene, and deprecated analyzers plus the original package-doc
+// check, all on a shared typed AST. It is wired into `make vet` next to
+// go vet and into the dedicated CI lint job.
 //
 // Usage:
 //
-//	tbvet [dir]
+//	tbvet [-analyzers list] [-json] [-list] [dir]
 //
-// tbvet walks the tree rooted at dir (default ".") and exits non-zero
-// listing every package directory without a doc comment.
+// tbvet loads the module rooted at dir (default "."), runs the selected
+// analyzers (default: all), honors //tbvet:ignore suppression
+// directives, and exits non-zero if any finding survives. Findings go
+// to stderr in vet's file:line:col form; -json writes the machine shape
+// (the CI artifact) to stdout instead. -list prints the analyzer
+// catalogue. See docs/STATIC_ANALYSIS.md.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"timebounds/internal/lint"
 )
 
 func main() {
-	root := "."
-	if len(os.Args) > 1 {
-		root = os.Args[1]
+	analyzersFlag := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "write findings as JSON to stdout")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
 	}
-	missing, err := missingPackageDocs(root)
+
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	analyzers := lint.All()
+	if *analyzersFlag != "" {
+		var err error
+		analyzers, err = lint.ByName(*analyzersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tbvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	prog, err := lint.Load(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tbvet: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	if len(missing) > 0 {
-		for _, dir := range missing {
-			fmt.Fprintf(os.Stderr, "tbvet: package %s has no package doc comment\n", dir)
-		}
-		os.Exit(1)
-	}
-}
+	findings := lint.Run(prog, analyzers)
 
-// missingPackageDocs returns the package directories under root whose
-// non-test files all lack a package doc comment.
-func missingPackageDocs(root string) ([]string, error) {
-	// dir -> has at least one documented non-test file
-	documented := map[string]bool{}
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+	if *jsonOut {
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		if findings == nil {
+			findings = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		err := enc.Encode(struct {
+			Module    string            `json:"module"`
+			Analyzers []string          `json:"analyzers"`
+			Findings  []lint.Diagnostic `json:"findings"`
+		}{prog.Module, names, findings})
 		if err != nil {
-			return err
+			fmt.Fprintf(os.Stderr, "tbvet: %v\n", err)
+			os.Exit(2)
 		}
-		name := d.Name()
-		if d.IsDir() {
-			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			return nil
-		}
-		dir := filepath.Dir(path)
-		if _, seen := documented[dir]; !seen {
-			documented[dir] = false
-		}
-		if documented[dir] {
-			return nil
-		}
-		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
-		if perr != nil {
-			return fmt.Errorf("%s: %w", path, perr)
-		}
-		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-			documented[dir] = true
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var missing []string
-	for dir, ok := range documented {
-		if !ok {
-			missing = append(missing, dir)
+	} else {
+		for _, d := range findings {
+			fmt.Fprintf(os.Stderr, "tbvet: %s\n", d)
 		}
 	}
-	sort.Strings(missing)
-	return missing, nil
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
 }

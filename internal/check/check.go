@@ -243,6 +243,8 @@ type checker struct {
 // operations, in invocation order, up to (and excluding) the first one
 // invoked after some earlier undone response. Only these can be minimal —
 // any later operation has an undone real-time predecessor.
+//
+//tb:hotpath
 func (c *checker) frontier(depth int) []int32 {
 	for depth >= len(c.fronts) {
 		c.fronts = append(c.fronts, nil)
@@ -265,6 +267,8 @@ func (c *checker) frontier(depth int) []int32 {
 }
 
 // take linearizes op i: unlink, mark done, extend the order.
+//
+//tb:hotpath
 func (c *checker) take(i int32) {
 	c.next[c.prev[i]] = c.next[i]
 	c.prev[c.next[i]] = c.prev[i]
@@ -276,6 +280,8 @@ func (c *checker) take(i int32) {
 }
 
 // untake reverses take; calls must nest LIFO (backtracking order).
+//
+//tb:hotpath
 func (c *checker) untake(i int32) {
 	c.next[c.prev[i]] = i
 	c.prev[c.next[i]] = i
@@ -287,6 +293,8 @@ func (c *checker) untake(i int32) {
 }
 
 // memoKey builds the (done set, state) key into the reused buffer.
+//
+//tb:hotpath
 func (c *checker) memoKey(enc string) []byte {
 	buf := c.keyBuf[:0]
 	for _, w := range c.done {
@@ -300,6 +308,8 @@ func (c *checker) memoKey(enc string) []byte {
 // apply resolves the transition for op i from the state with encoding enc,
 // through the shared or local cache. The key length-prefixes enc so that
 // (state encoding, op key) pairs cannot collide across different splits.
+//
+//tb:hotpath
 func (c *checker) apply(state spec.State, enc string, i int32) (spec.State, string, spec.Value) {
 	buf := binary.AppendUvarint(c.tkeyBuf[:0], uint64(len(enc)))
 	buf = append(append(buf, enc...), c.argKey[i]...)
@@ -326,6 +336,8 @@ func (c *checker) apply(state spec.State, enc string, i int32) (spec.State, stri
 // (with canonical encoding enc). Pending operations are linearized
 // opportunistically when doing so unblocks progress; they never have to be
 // linearized.
+//
+//tb:hotpath
 func (c *checker) search(state spec.State, enc string) bool {
 	if c.remaining == 0 {
 		return true

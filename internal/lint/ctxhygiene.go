@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxHygiene enforces the streaming pipeline's no-leaked-worker
+// guarantee statically: every goroutine launched with `go func(...)`
+// in the pipeline packages must guard each blocking channel send with a
+// select that also carries an escape arm — a receive case (ctx.Done(),
+// a quit channel, ...) or a default. An unguarded send is exactly how a
+// worker outlives a cancelled stream: the consumer stops draining, the
+// send blocks forever, and the goroutine leaks. stream_test.go pins
+// this dynamically by counting goroutines; this analyzer pins it at the
+// source so a new pipeline stage cannot merge without its cancellation
+// arm.
+var CtxHygiene = &Analyzer{
+	Name: "ctxhygiene",
+	Doc:  "require every channel send in a pipeline goroutine to sit in a select with a cancellation arm",
+	Packages: []string{
+		"internal/engine",
+		"internal/workload",
+	},
+	Run: runCtxHygiene,
+}
+
+func runCtxHygiene(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineSends(pass, lit.Body)
+			return true
+		})
+	}
+}
+
+// checkGoroutineSends reports each send statement in body that is not
+// the communication of a select case whose select carries an escape arm.
+func checkGoroutineSends(pass *Pass, body *ast.BlockStmt) {
+	// Sends that are a select case's communication are collected from the
+	// selects themselves; any other send is unguarded by construction.
+	guarded := map[*ast.SendStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		escape := false
+		var sends []*ast.SendStmt
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case nil:
+				escape = true // default: the send cannot block
+			case *ast.SendStmt:
+				sends = append(sends, comm)
+			default:
+				escape = true // a receive case: ctx.Done(), quit, result, ...
+			}
+		}
+		if escape {
+			for _, s := range sends {
+				guarded[s] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.SendStmt)
+		if !ok || guarded[s] {
+			return true
+		}
+		pass.Reportf(s.Pos(), "goroutine send is not guarded by a select with a cancellation arm; add a ctx.Done()/quit case so a stalled consumer cannot leak this worker")
+		return true
+	})
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Deprecated keeps the pre-Scenario facade retired: non-test code may
+// not reference a symbol whose doc comment carries a standard
+// "Deprecated:" paragraph from outside the package that declares it.
+// The declaring package itself is exempt — the facade keeps the
+// Config/NewCluster/RenderTable shims alive and bridges them onto the
+// Scenario API — and test files are never loaded, so the shims'
+// regression tests keep working. Everything else (cmd tools, examples,
+// new subsystems) must use the replacement named in the deprecation
+// note.
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc:  "forbid references to Deprecated-marked module symbols from outside their declaring package",
+	Run:  runDeprecated,
+}
+
+var deprecatedRe = regexp.MustCompile(`(?ms)^Deprecated: (.*?)(?:\n\n|\z)`)
+
+// deprecationNote returns the first sentence of the doc group's
+// Deprecated: paragraph, if any.
+func deprecationNote(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	m := deprecatedRe.FindStringSubmatch(doc.Text())
+	if m == nil {
+		return "", false
+	}
+	note := strings.Join(strings.Fields(m[1]), " ")
+	if i := strings.Index(note, ". "); i >= 0 {
+		note = note[:i]
+	}
+	return strings.TrimSuffix(note, "."), true
+}
+
+// deprecatedObjects lazily indexes every Deprecated-marked top-level
+// object of the program, mapping it to its deprecation note.
+func (p *Program) deprecatedObjects() map[types.Object]string {
+	if p.deprecated != nil {
+		return p.deprecated
+	}
+	p.deprecated = map[types.Object]string{}
+	record := func(pkg *Package, id *ast.Ident, note string) {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			p.deprecated[obj] = note
+		}
+	}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if note, ok := deprecationNote(d.Doc); ok {
+						record(pkg, d.Name, note)
+					}
+				case *ast.GenDecl:
+					declNote, declOK := deprecationNote(d.Doc)
+					for _, s := range d.Specs {
+						switch s := s.(type) {
+						case *ast.TypeSpec:
+							if note, ok := deprecationNote(s.Doc); ok {
+								record(pkg, s.Name, note)
+							} else if declOK {
+								record(pkg, s.Name, declNote)
+							}
+						case *ast.ValueSpec:
+							note, ok := deprecationNote(s.Doc)
+							if !ok {
+								note, ok = declNote, declOK
+							}
+							if ok {
+								for _, name := range s.Names {
+									record(pkg, name, note)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return p.deprecated
+}
+
+func runDeprecated(pass *Pass) {
+	dep := pass.Prog.deprecatedObjects()
+	if len(dep) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == pass.Pkg.Types {
+				return true
+			}
+			if note, ok := dep[obj]; ok {
+				pass.Reportf(id.Pos(), "reference to deprecated %s.%s (deprecated: %s)", obj.Pkg().Name(), obj.Name(), note)
+			}
+			return true
+		})
+	}
+}

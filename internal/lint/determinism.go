@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the reproduction's headline invariant — a Report
+// is a pure function of its Scenarios — at the source level, in the
+// packages that execute and verify runs:
+//
+//   - no time.Now: simulated code sees only model.Time threaded through
+//     the Scenario; wall-clock reads make runs unrepeatable.
+//   - no global math/rand source: every random draw must come from an
+//     explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))), so a
+//     scenario's seed fully determines its workload and delays.
+//   - no map-ordered output: a slice built while ranging over a map holds
+//     the runtime's random iteration order; if it is never sorted before
+//     leaving the function it can reach a Report or rendered table and
+//     break bit-identical output across runs and worker counts.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now, the global math/rand source, and unsorted map-iteration output in the sim/engine/check/workload packages",
+	Packages: []string{
+		"internal/sim",
+		"internal/engine",
+		"internal/check",
+		"internal/workload",
+	},
+	Run: runDeterminism,
+}
+
+// seededRandConstructors are the math/rand package-level functions that
+// build explicitly seeded generators rather than drawing from the global
+// source.
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes a *rand.Rand; deterministic given a seeded one
+	// math/rand/v2 constructors, should the tree ever migrate.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods are fine: the receiver carries the source
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Pos(), "time.Now is nondeterministic under simulation; thread model.Time through the Scenario instead")
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the global math/rand source; use an explicitly seeded rand.New(rand.NewSource(seed))", fn.Name())
+				}
+			}
+			return true
+		})
+		checkMapOrderFile(pass, f)
+	}
+}
+
+// checkMapOrderFile applies the map-iteration-order check to every
+// function body in f. Each innermost function body is its own scope: a
+// range-over-map inside a closure must sort within that closure.
+func checkMapOrderFile(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkMapOrderBody(pass, fn.Body)
+			}
+		case *ast.FuncLit:
+			checkMapOrderBody(pass, fn.Body)
+		}
+		return true
+	})
+}
+
+// checkMapOrderBody reports range-over-map loops in body that append to a
+// slice variable which is never subsequently passed to a sort.* or
+// slices.* call within the same body. Nested function literals are
+// skipped — they are checked as their own scopes.
+func checkMapOrderBody(pass *Pass, body *ast.BlockStmt) {
+	type pending struct {
+		loop *ast.RangeStmt
+		obj  types.Object
+		name string
+	}
+	var loops []pending
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		tv, ok := pass.Pkg.Info.Types[rs.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		// Collect the slice variables appended to inside the loop body
+		// (including inside closures launched from it).
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Rhs {
+				call, ok := as.Rhs[i].(*ast.CallExpr)
+				if !ok || !isBuiltin(pass.Pkg.Info, call.Fun, "append") {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Pkg.Info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				loops = append(loops, pending{loop: rs, obj: obj, name: id.Name})
+			}
+			return true
+		})
+	})
+	if len(loops) == 0 {
+		return
+	}
+	// A loop's slice is redeemed by any later sort.*/slices.* call in the
+	// same body that mentions the variable (sort.Strings(s), sort.Slice(s,
+	// ...), slices.SortFunc(s, ...), sort.Sort(byKey(s)), ...).
+	reported := map[*ast.RangeStmt]bool{}
+	for _, p := range loops {
+		if reported[p.loop] {
+			continue
+		}
+		sorted := false
+		inspectSkippingFuncLits(body, func(n ast.Node) {
+			if sorted {
+				return
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < p.loop.End() {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return
+			}
+			if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+				return
+			}
+			ast.Inspect(call, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == p.obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		})
+		if !sorted {
+			reported[p.loop] = true
+			pass.Reportf(p.loop.Pos(), "slice %q accumulates map iteration order and is never sorted in this function; sort it before it escapes", p.name)
+		}
+	}
+}
+
+// inspectSkippingFuncLits walks the statements of body without descending
+// into nested function literals. The sort-args of sort.Slice-style calls
+// are still visited by callers via ast.Inspect on the call itself.
+func inspectSkippingFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

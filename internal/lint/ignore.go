@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// frameworkName is the pseudo-analyzer name under which the framework
+// reports directive problems (malformed, unknown analyzer, stale). These
+// findings cannot themselves be suppressed.
+const frameworkName = "tbvet"
+
+// ignoreDirective is one parsed //tbvet:ignore comment.
+//
+// The directive form is
+//
+//	//tbvet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// and it suppresses findings of the named analyzers on the directive's
+// own line (trailing placement) or the line directly below (standalone
+// placement). The reason is mandatory: a suppression without a recorded
+// justification is a finding in its own right. A directive that matches
+// no finding of an active analyzer is stale and reported as an error, so
+// suppressions cannot outlive the code they excused.
+type ignoreDirective struct {
+	file      string
+	line      int
+	col       int
+	names     []string // analyzers named by the directive
+	malformed bool
+	unknown   []string // named analyzers that do not exist
+}
+
+const ignorePrefix = "tbvet:ignore"
+
+// parseIgnores collects every //tbvet:ignore directive in prog.
+func parseIgnores(prog *Program) []ignoreDirective {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []ignoreDirective
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					d := ignoreDirective{
+						file: prog.relFile(pos.Filename),
+						line: pos.Line,
+						col:  pos.Column,
+					}
+					rest := text[len(ignorePrefix):]
+					namesPart, reason, found := strings.Cut(rest, " -- ")
+					if !found || strings.TrimSpace(reason) == "" || strings.TrimSpace(namesPart) == "" {
+						d.malformed = true
+						out = append(out, d)
+						continue
+					}
+					for _, name := range strings.Split(namesPart, ",") {
+						name = strings.TrimSpace(name)
+						if name == "" {
+							continue
+						}
+						if !known[name] {
+							d.unknown = append(d.unknown, name)
+							continue
+						}
+						d.names = append(d.names, name)
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters diags through the //tbvet:ignore directives and
+// appends framework findings for malformed, unknown-analyzer, and stale
+// directives.
+func applyIgnores(prog *Program, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	directives := parseIgnores(prog)
+	if len(directives) == 0 {
+		return diags
+	}
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	matched := make([]bool, len(directives))
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for i, dir := range directives {
+			if dir.file != d.File || (d.Line != dir.line && d.Line != dir.line+1) {
+				continue
+			}
+			for _, name := range dir.names {
+				if name == d.Analyzer {
+					suppressed = true
+					matched[i] = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	report := func(dir ignoreDirective, format string, args ...any) {
+		kept = append(kept, Diagnostic{
+			Analyzer: frameworkName,
+			File:     dir.file,
+			Line:     dir.line,
+			Col:      dir.col,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for i, dir := range directives {
+		if dir.malformed {
+			report(dir, "malformed //tbvet:ignore directive (want //tbvet:ignore <analyzer> -- <reason>)")
+			continue
+		}
+		for _, name := range dir.unknown {
+			report(dir, "unknown analyzer %q in //tbvet:ignore directive", name)
+		}
+		// Stale check: only judged against analyzers that actually ran, so
+		// a subset run cannot spuriously flag directives for the analyzers
+		// it skipped. A directive naming only skipped analyzers is left
+		// alone entirely.
+		ranAny := false
+		for _, name := range dir.names {
+			if active[name] {
+				ranAny = true
+			}
+		}
+		if ranAny && !matched[i] {
+			report(dir, "stale //tbvet:ignore directive: no %s finding on line %d or %d",
+				strings.Join(dir.names, ","), dir.line, dir.line+1)
+		}
+	}
+	return kept
+}

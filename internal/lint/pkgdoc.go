@@ -1,0 +1,22 @@
+package lint
+
+import "strings"
+
+// PkgDoc is the original tbvet check, migrated into the framework: every
+// package — library, command, and example alike — must carry a
+// package-level doc comment on at least one non-test file.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "require a package doc comment on every package",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return
+		}
+	}
+	// Files are sorted by name, so the anchor position is stable.
+	pass.Reportf(pass.Pkg.Files[0].Name.Pos(), "package %s has no package doc comment", pass.Pkg.Types.Name())
+}

@@ -1,0 +1,54 @@
+// Package engine seeds ctxhygiene violations for the analyzer goldens.
+package engine
+
+import "context"
+
+// Pump fans values out with no cancellation arm: a stalled consumer
+// leaks the goroutine.
+func Pump(ctx context.Context, in []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, v := range in {
+			out <- v // want "not guarded by a select"
+		}
+	}()
+	return out
+}
+
+// PumpGuarded pairs every send with a ctx.Done arm.
+func PumpGuarded(ctx context.Context, in []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, v := range in {
+			select {
+			case out <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// PumpNonBlocking uses a default arm: the send cannot block.
+func PumpNonBlocking(in []int) <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		defer close(out)
+		for _, v := range in {
+			select {
+			case out <- v:
+			default:
+			}
+		}
+	}()
+	return out
+}
+
+// Inline sends from the caller's goroutine are outside this analyzer's
+// contract (the caller controls its own lifetime).
+func Inline(out chan<- int, v int) {
+	out <- v
+}

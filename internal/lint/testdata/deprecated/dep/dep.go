@@ -1,0 +1,19 @@
+// Package dep declares deprecated shims for the analyzer goldens.
+package dep
+
+// Legacy is the pre-redesign entry point.
+//
+// Deprecated: use Fresh instead.
+func Legacy() int { return legacy() }
+
+// Shim survives only for compatibility.
+//
+// Deprecated: declare a Plan instead.
+type Shim struct {
+	N int
+}
+
+func legacy() int { return 1 }
+
+// Fresh is the replacement.
+func Fresh() int { return 2 }

@@ -1,0 +1,21 @@
+// Package use references the deprecated shims from outside their
+// declaring package.
+package use
+
+import "fixture/dep"
+
+// Old still calls the shim.
+func Old() int {
+	return dep.Legacy() // want "reference to deprecated dep.Legacy"
+}
+
+// Hold still names the shim type.
+func Hold() int {
+	var s dep.Shim // want "reference to deprecated dep.Shim"
+	return s.N
+}
+
+// New uses the replacement.
+func New() int {
+	return dep.Fresh()
+}

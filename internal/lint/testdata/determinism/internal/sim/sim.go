@@ -1,0 +1,61 @@
+// Package sim seeds determinism violations for the analyzer goldens.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Tick reads the wall clock.
+func Tick() int64 {
+	return time.Now().UnixNano() // want "time.Now is nondeterministic"
+}
+
+// Jitter draws from the global source.
+func Jitter() int {
+	return rand.Intn(8) // want "global math/rand source"
+}
+
+// Seeded is fine: the generator carries an explicit seed.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(8)
+}
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "accumulates map iteration order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys sorts before returning, so the map order never escapes.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedLateKeys sorts through a closure-taking API; still fine.
+func SortedLateKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Totals only folds order-insensitively; ranging the map is fine.
+func Totals(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+// Package outside sits outside the determinism analyzer's scope, so its
+// wall-clock read must produce no finding.
+package outside
+
+import "time"
+
+// Stamp may read the wall clock here.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

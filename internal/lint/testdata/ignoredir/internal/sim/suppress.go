@@ -1,0 +1,34 @@
+// Package sim exercises the //tbvet:ignore suppression directive.
+package sim
+
+import "time"
+
+// Stamp is allowed its wall-clock read: the trailing directive
+// suppresses the determinism finding.
+func Stamp() int64 {
+	return time.Now().UnixNano() //tbvet:ignore determinism -- fixture: the wall clock is the point here
+}
+
+// Epoch is covered by a standalone directive on the preceding line.
+func Epoch() int64 {
+	//tbvet:ignore determinism -- fixture: preceding-line placement
+	return time.Now().UnixNano()
+}
+
+// Clean has nothing to suppress, so the directive below is stale.
+func Clean() int64 {
+	//tbvet:ignore determinism -- fixture: nothing to excuse // want "stale //tbvet:ignore directive"
+	return 42
+}
+
+// Unknown names an analyzer that does not exist.
+func Unknown() int64 {
+	//tbvet:ignore nosuch -- fixture: unknown analyzer // want "unknown analyzer \"nosuch\""
+	return 42
+}
+
+// Malformed omits the mandatory reason separator.
+func Malformed() int64 {
+	//tbvet:ignore determinism missing the separator // want "malformed //tbvet:ignore directive"
+	return 42
+}

@@ -1,0 +1,4 @@
+package bad // want "package bad has no package doc comment"
+
+// Answer is documented, but the package is not.
+func Answer() int { return 42 }

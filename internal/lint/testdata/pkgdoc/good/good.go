@@ -1,0 +1,5 @@
+// Package good carries a package doc comment.
+package good
+
+// Answer is documented enough.
+func Answer() int { return 42 }

@@ -281,6 +281,8 @@ func (s *Simulator) release(ref int32) {
 }
 
 // push stamps the event's creation sequence and enqueues its slot.
+//
+//tb:hotpath
 func (s *Simulator) push(ref int32) {
 	seq := s.seq
 	s.seq++
@@ -300,6 +302,8 @@ func (s *Simulator) push(ref int32) {
 }
 
 // pop removes and returns the earliest queued slot.
+//
+//tb:hotpath
 func (s *Simulator) pop() int32 {
 	q := s.queue
 	n := len(q) - 1
@@ -353,6 +357,8 @@ func (s *Simulator) Invoke(at model.Time, proc model.ProcessID, kind spec.OpKind
 // Events pushed during a batch (always at later sequence numbers) form
 // follow-up batches; the resulting dispatch order is identical to
 // one-at-a-time dispatch. Events beyond the horizon stay queued.
+//
+//tb:hotpath
 func (s *Simulator) Run(horizon model.Time) error {
 	for len(s.queue) > 0 {
 		t := s.queue[0].at
@@ -360,7 +366,7 @@ func (s *Simulator) Run(horizon model.Time) error {
 			return s.err
 		}
 		if t < s.now {
-			return fmt.Errorf("sim: time went backwards: %s < %s", t, s.now)
+			return s.timeRegression(t)
 		}
 		s.now = t
 		// Drain the timestamp-t batch into the reused value buffer,
@@ -397,7 +403,7 @@ func (s *Simulator) runUnbatched(horizon model.Time) error {
 			return s.err
 		}
 		if t < s.now {
-			return fmt.Errorf("sim: time went backwards: %s < %s", t, s.now)
+			return s.timeRegression(t)
 		}
 		s.now = t
 		ref := s.pop()
@@ -410,10 +416,18 @@ func (s *Simulator) runUnbatched(horizon model.Time) error {
 	return s.err
 }
 
+// timeRegression builds the monotonicity-violation error. It lives
+// outside the event loop so the //tb:hotpath functions stay free of fmt.
+func (s *Simulator) timeRegression(t model.Time) error {
+	return fmt.Errorf("sim: time went backwards: %s < %s", t, s.now)
+}
+
 // dispatch runs the handler for the event in slot ref. The needed fields
 // are copied to locals before the handler runs — handlers push events,
 // which may grow the slab and move the slot. The caller releases the slot
 // afterwards.
+//
+//tb:hotpath
 func (s *Simulator) dispatch(ref int32) {
 	e := &s.events[ref]
 	proc, at := e.proc, e.at
@@ -476,10 +490,14 @@ func (e *procEnv) ClockTime() model.Time {
 	return e.real + e.sim.cfg.ClockOffsets[e.proc]
 }
 
+// Send is on the per-message hot path; its error cases are delegated to
+// cold helpers so the function body stays fmt-free.
+//
+//tb:hotpath
 func (e *procEnv) Send(to model.ProcessID, payload any) {
 	s := e.sim
 	if to == e.proc {
-		s.err = fmt.Errorf("sim: %s attempted to send to itself", e.proc)
+		s.err = e.selfSendError()
 		return
 	}
 	seq := s.msgSeq
@@ -491,8 +509,7 @@ func (e *procEnv) Send(to model.ProcessID, payload any) {
 		delay = s.cfg.Delay.Delay(e.proc, to, e.real, seq)
 	}
 	if s.cfg.StrictDelays && (delay < s.minD || delay > s.maxD) {
-		s.err = fmt.Errorf("sim: message %d %s→%s: %w", seq, e.proc, to,
-			ValidateDelay(s.cfg.Params, delay))
+		s.err = e.strictDelayError(seq, to, delay)
 		return
 	}
 	recv := e.real + delay
@@ -506,6 +523,19 @@ func (e *procEnv) Send(to model.ProcessID, payload any) {
 	ev.at, ev.kind, ev.proc = recv, evDeliver, to
 	ev.from, ev.payload, ev.sentAt, ev.msgSeq = e.proc, payload, e.real, seq
 	s.push(ref)
+}
+
+// selfSendError builds the self-send configuration error, off the Send
+// hot path.
+func (e *procEnv) selfSendError() error {
+	return fmt.Errorf("sim: %s attempted to send to itself", e.proc)
+}
+
+// strictDelayError builds the inadmissible-delay error, off the Send hot
+// path.
+func (e *procEnv) strictDelayError(seq int, to model.ProcessID, delay model.Time) error {
+	return fmt.Errorf("sim: message %d %s→%s: %w", seq, e.proc, to,
+		ValidateDelay(e.sim.cfg.Params, delay))
 }
 
 func (e *procEnv) Broadcast(payload any) {

@@ -48,6 +48,8 @@ func NewOnlineStats() *OnlineStats {
 
 // Observe folds one latency into the summary. Negative values are clamped
 // to zero (latencies and sojourns are non-negative by construction).
+//
+//tb:hotpath
 func (s *OnlineStats) Observe(v model.Time) {
 	if v < 0 {
 		v = 0
@@ -72,6 +74,8 @@ func (s *OnlineStats) Observe(v model.Time) {
 // Merge folds another summary into s (for combining per-worker or
 // per-point summaries). Variance merging uses Chan et al.'s parallel
 // update; sketches merge bucket-wise, so quantile error does not grow.
+//
+//tb:hotpath
 func (s *OnlineStats) Merge(o *OnlineStats) {
 	if o == nil || o.count == 0 {
 		return
