@@ -70,9 +70,15 @@ bench-json:
 # BENCH_BASELINE (default: the newest committed BENCH_*.json) and fail
 # beyond BENCH_TOLERANCE (default 25%). BENCH_METRICS narrows the gated
 # metrics (e.g. allocs/op — the machine-independent one CI gates on).
+# A zero baseline gets absolute treatment: any drift beyond
+# perf.ZeroBaselineEpsilon fails regardless of tolerance.
+# The per-package steady-state allocation budgets (internal/perf,
+# TestAllocBudgets) run first — an absolute, machine-independent gate
+# that names the leaking package before the trajectory diff runs.
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCH_TOLERANCE ?= 0.25
 BENCH_METRICS ?=
 bench-compare:
 	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_*.json baseline found (set BENCH_BASELINE)"; exit 1; }
+	$(GO) test -run TestAllocBudgets ./internal/perf
 	$(GO) run ./cmd/tbbench -compare "$(BENCH_BASELINE)" -tolerance $(BENCH_TOLERANCE) $(if $(BENCH_AGAINST),-against "$(BENCH_AGAINST)") $(if $(BENCH_METRICS),-metrics "$(BENCH_METRICS)")

@@ -180,8 +180,12 @@ func runCompare(baselinePath, againstPath string, tolerance float64, metrics []s
 			fmt.Printf("  %-24s (missing from fresh run — skipped)\n", bm.Name)
 			continue
 		}
-		fmt.Printf("  %-24s ns/op %.4g -> %.4g (%.2fx)  allocs/op %d -> %d\n",
-			bm.Name, bm.NsPerOp, got.NsPerOp, got.NsPerOp/bm.NsPerOp, bm.AllocsPerOp, got.AllocsPerOp)
+		ratio := "n/a" // a zero baseline has no meaningful ratio
+		if bm.NsPerOp > 0 {
+			ratio = fmt.Sprintf("%.2fx", got.NsPerOp/bm.NsPerOp)
+		}
+		fmt.Printf("  %-24s ns/op %.4g -> %.4g (%s)  allocs/op %d -> %d\n",
+			bm.Name, bm.NsPerOp, got.NsPerOp, ratio, bm.AllocsPerOp, got.AllocsPerOp)
 	}
 	regs := perf.Compare(base, fresh, tolerance, metrics...)
 	if len(regs) == 0 {

@@ -25,8 +25,17 @@
 //   - Memo keys are done-set bitset bytes plus the canonical state
 //     encoding, built into a reused buffer.
 //   - State transitions (Apply + EncodeState) are memoized per
-//     (state, operation) — locally within one check, or across runs via a
+//     (state, operation) — in an arena-local cache, or across runs via a
 //     shared Cache handed down by the engine's worker pool.
+//   - Histories decompose into concurrency islands — maximal
+//     invocation-order segments with no real-time overlap across the cut
+//     (the same Herlihy–Wing locality Compose exploits across objects) —
+//     checked independently, and concurrently when Options.Workers allows
+//     (see island.go for the speculation/stitch protocol).
+//   - All search scratch (record copies, linked-list nodes, bitsets,
+//     key buffers, memo maps) comes from a reusable Arena, so
+//     steady-state checking performs no per-call allocation beyond the
+//     returned witness.
 package check
 
 import (
@@ -53,64 +62,52 @@ type Result struct {
 	StatesExplored int
 }
 
+// Options configures a check beyond the data type and history.
+type Options struct {
+	// Cache optionally shares a transition cache (Apply + EncodeState
+	// memoization) across histories of the same data type. The engine
+	// passes one Cache per data type to all workers of a grid; nil falls
+	// back to the arena's per-data-type local cache.
+	Cache *Cache
+	// Arena reuses checker scratch across calls. Nil draws one from a
+	// process-wide pool. An Arena is not safe for concurrent use; give
+	// each worker its own.
+	Arena *Arena
+	// Workers caps concurrent island checks within this history; ≤ 1
+	// checks islands sequentially. Island parallelism requires a shared
+	// Cache (the arena-local cache is not locked), so Workers is clamped
+	// to 1 when Cache is nil.
+	Workers int
+	// NoIslands disables island decomposition, forcing one whole-history
+	// search — the reference execution shape the equivalence tests compare
+	// island runs against.
+	NoIslands bool
+}
+
 // Check decides whether h is a linearizable history of dt.
 func Check(dt spec.DataType, h *history.History) Result {
-	return CheckCached(dt, h, nil)
+	return CheckOpts(dt, h, Options{})
 }
 
 // CheckCached is Check with a shared transition cache: Apply/EncodeState
 // results are reused across histories of the same data type. The engine
 // passes one Cache per data type to all workers of a grid; a nil cache
-// falls back to a per-call local cache.
+// falls back to the arena's local cache.
 func CheckCached(dt spec.DataType, h *history.History, cache *Cache) Result {
-	ops := h.Ops()
-	n := len(ops)
-	if n == 0 {
-		return Result{Linearizable: true}
-	}
-	if res, ok := sequentialFastPath(dt, ops); ok {
-		return res
-	}
+	return CheckOpts(dt, h, Options{Cache: cache})
+}
 
-	c := &checker{
-		dt:     dt,
-		ops:    ops,
-		n:      n,
-		shared: cache,
-		memo:   make(map[string]struct{}),
+// CheckOpts is the full-surface check: shared cache, reusable arena, and
+// island-parallel search. The verdict is identical to Check's at every
+// option combination — options only change where the work happens.
+func CheckOpts(dt spec.DataType, h *history.History, opt Options) Result {
+	a := opt.Arena
+	if a == nil {
+		pooled := arenaPool.Get().(*Arena)
+		defer arenaPool.Put(pooled)
+		a = pooled
 	}
-	if cache == nil {
-		c.local = make(map[string]transition)
-	}
-	c.argKey = make([]string, n)
-	for i := range ops {
-		c.argKey[i] = string(ops[i].Kind) + "\x00" + spec.CanonicalValue(ops[i].Arg)
-	}
-	// Doubly linked list of undone operations in invocation order, with
-	// sentinel n: the frontier walk and the forced-step rule read it.
-	c.next = make([]int32, n+1)
-	c.prev = make([]int32, n+1)
-	for i := 0; i <= n; i++ {
-		c.next[i] = int32((i + 1) % (n + 1))
-		c.prev[i] = int32((i + n) % (n + 1))
-	}
-	for _, op := range ops {
-		if !op.Pending {
-			c.remaining++
-		}
-	}
-	c.done = make([]uint64, (n+63)/64)
-
-	init := dt.InitialState()
-	ok := c.search(init, dt.EncodeState(init))
-	res := Result{Linearizable: ok, StatesExplored: len(c.memo)}
-	if ok {
-		res.Witness = make([]history.OpID, len(c.order))
-		for i, idx := range c.order {
-			res.Witness[i] = c.ops[idx].ID
-		}
-	}
-	return res
+	return a.check(dt, h, opt)
 }
 
 // sequentialFastPath handles totally ordered complete histories — every
@@ -158,9 +155,9 @@ type Cache struct {
 	m  map[string]transition
 }
 
-// maxCacheEntries bounds a shared cache; beyond it the cache serves hits
-// but stops growing (a grid sweeping huge state spaces must not hold every
-// state alive).
+// maxCacheEntries bounds a transition cache; beyond it the cache serves
+// hits but stops growing (a grid sweeping huge state spaces must not hold
+// every state alive).
 const maxCacheEntries = 1 << 20
 
 // NewCache returns an empty transition cache.
@@ -204,7 +201,7 @@ type CacheSet struct {
 func NewCacheSet() *CacheSet { return &CacheSet{m: make(map[string]*Cache)} }
 
 // For returns the cache for dt, creating it on first use. A nil CacheSet
-// returns a nil Cache (per-call local caching).
+// returns a nil Cache (arena-local caching).
 func (s *CacheSet) For(dt spec.DataType) *Cache {
 	if s == nil {
 		return nil
@@ -219,24 +216,41 @@ func (s *CacheSet) For(dt spec.DataType) *Cache {
 	return c
 }
 
-// checker is the optimized Wing–Gong search state.
+// checker is the Wing–Gong search state over one record segment — the
+// whole history, or one concurrency island checked from a speculated
+// boundary state. Search scratch lives in the embedded *scratch (arena
+// owned); the argument-key slab is shared across the history's islands.
 type checker struct {
 	dt  spec.DataType
-	ops []history.Record
+	ops []history.Record // the segment's records, invocation order
 	n   int
-	// next/prev form the undone linked list over sorted indexes, with
-	// sentinel n.
-	next, prev []int32
-	done       []uint64 // done-set bitset, the memo key prefix
-	remaining  int      // completed operations not yet linearized
-	order      []int
-	memo       map[string]struct{} // dead-end (done set, state) keys
-	argKey     []string            // per-op transition-cache key suffix
-	shared     *Cache
-	local      map[string]transition
-	fronts     [][]int32 // per-depth frontier scratch
-	keyBuf     []byte    // memo key scratch
-	tkeyBuf    []byte    // transition key scratch
+	// argBuf/argOff are the history-wide transition-key slab: the key
+	// suffix of segment operation i is argBuf[argOff[i]:argOff[i+1]].
+	argBuf []byte
+	argOff []int32
+	shared *Cache
+	local  map[string]transition
+	// remaining counts completed operations not yet linearized.
+	remaining int
+	// finalEnc is the state encoding the successful search ended in — the
+	// island stitch compares it against the next speculated boundary.
+	finalEnc string
+	*scratch
+}
+
+// reset prepares the checker's scratch for its segment and counts the
+// completed operations.
+//
+//tb:hotpath
+func (c *checker) reset() {
+	c.scratch.reset(c.n)
+	c.remaining = 0
+	for i := range c.ops {
+		if !c.ops[i].Pending {
+			c.remaining++
+		}
+	}
+	c.finalEnc = ""
 }
 
 // frontier collects the candidate operations at the current node: undone
@@ -273,7 +287,7 @@ func (c *checker) take(i int32) {
 	c.next[c.prev[i]] = c.next[i]
 	c.prev[c.next[i]] = c.prev[i]
 	c.done[i>>6] |= 1 << (uint(i) & 63)
-	c.order = append(c.order, int(i))
+	c.order = append(c.order, i)
 	if !c.ops[i].Pending {
 		c.remaining--
 	}
@@ -306,13 +320,15 @@ func (c *checker) memoKey(enc string) []byte {
 }
 
 // apply resolves the transition for op i from the state with encoding enc,
-// through the shared or local cache. The key length-prefixes enc so that
-// (state encoding, op key) pairs cannot collide across different splits.
+// through the shared or arena-local cache. The key length-prefixes enc so
+// that (state encoding, op key) pairs cannot collide across different
+// splits.
 //
 //tb:hotpath
 func (c *checker) apply(state spec.State, enc string, i int32) (spec.State, string, spec.Value) {
 	buf := binary.AppendUvarint(c.tkeyBuf[:0], uint64(len(enc)))
-	buf = append(append(buf, enc...), c.argKey[i]...)
+	buf = append(buf, enc...)
+	buf = append(buf, c.argBuf[c.argOff[i]:c.argOff[i+1]]...)
 	c.tkeyBuf = buf
 	if c.shared != nil {
 		if t, ok := c.shared.lookup(buf); ok {
@@ -326,7 +342,7 @@ func (c *checker) apply(state spec.State, enc string, i int32) (spec.State, stri
 	t := transition{next: next, enc: c.dt.EncodeState(next), ret: ret}
 	if c.shared != nil {
 		c.shared.store(string(buf), t)
-	} else {
+	} else if len(c.local) < maxCacheEntries {
 		c.local[string(buf)] = t
 	}
 	return t.next, t.enc, t.ret
@@ -340,6 +356,7 @@ func (c *checker) apply(state spec.State, enc string, i int32) (spec.State, stri
 //tb:hotpath
 func (c *checker) search(state spec.State, enc string) bool {
 	if c.remaining == 0 {
+		c.finalEnc = enc
 		return true
 	}
 	front := c.frontier(len(c.order))

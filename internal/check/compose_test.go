@@ -1,6 +1,9 @@
 package check
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestComposeAllLinearizable(t *testing.T) {
 	c := Compose(
@@ -62,5 +65,71 @@ func TestComposeEmptyIsVacuouslyLinearizable(t *testing.T) {
 	}
 	if err := c.Err(); err != nil {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestComposeDegenerateInputs pins the mutual consistency of Checked,
+// Linearizable, Failing, and Err on the edge compositions the sharded
+// engine can actually produce, including the Report.OK-style invariant:
+//
+//	Err() == nil  ⟺  Linearizable()  ⟺  Checked() && len(Failing()) == 0
+func TestComposeDegenerateInputs(t *testing.T) {
+	consistent := func(t *testing.T, c Composition) {
+		t.Helper()
+		lin := c.Linearizable()
+		if (c.Err() == nil) != lin {
+			t.Fatalf("Err()=%v but Linearizable()=%v: %+v", c.Err(), lin, c)
+		}
+		if want := c.Checked() && len(c.Failing()) == 0; lin != want {
+			t.Fatalf("Linearizable()=%v but Checked()=%v, Failing()=%v: %+v",
+				lin, c.Checked(), c.Failing(), c)
+		}
+	}
+
+	// Zero components: vacuously checked and linearizable, no failures.
+	empty := Compose()
+	consistent(t, empty)
+	if !empty.Linearizable() || len(empty.Failing()) != 0 {
+		t.Fatalf("empty composition: %+v", empty)
+	}
+
+	// All components vacuous (never checked): not checked, not
+	// linearizable, yet nothing Failing — unchecked is weaker than failed.
+	vacuous := Compose(
+		Component{Name: "shard-0"},
+		Component{Name: "shard-1"},
+	)
+	consistent(t, vacuous)
+	if vacuous.Checked() || vacuous.Linearizable() {
+		t.Fatalf("all-vacuous composition claims a verdict: %+v", vacuous)
+	}
+	if len(vacuous.Failing()) != 0 {
+		t.Fatalf("unchecked components listed as failing: %v", vacuous.Failing())
+	}
+
+	// A single checked-and-failing component among vacuous ones: the
+	// failure names exactly that component and wins over incompleteness
+	// in Err.
+	mixed := Compose(
+		Component{Name: "shard-0"},
+		Component{Name: "shard-1", Checked: true, Linearizable: false},
+		Component{Name: "shard-2"},
+	)
+	consistent(t, mixed)
+	if f := mixed.Failing(); len(f) != 1 || f[0] != "shard-1" {
+		t.Fatalf("Failing() = %v, want [shard-1]", f)
+	}
+	if err := mixed.Err(); err == nil || !strings.Contains(err.Error(), "shard-1") {
+		t.Fatalf("Err() = %v, want the failing component named", err)
+	}
+
+	// Checked-and-passing among vacuous: incompleteness, not failure.
+	partial := Compose(
+		Component{Name: "shard-0", Checked: true, Linearizable: true},
+		Component{Name: "shard-1"},
+	)
+	consistent(t, partial)
+	if err := partial.Err(); err == nil || !strings.Contains(err.Error(), "shard-1") {
+		t.Fatalf("Err() = %v, want the unchecked component named", err)
 	}
 }

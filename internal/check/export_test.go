@@ -16,3 +16,15 @@ func CheckReference(dt spec.DataType, h *history.History) Result {
 func SequentialFastPath(dt spec.DataType, h *history.History) (Result, bool) {
 	return sequentialFastPath(dt, h.Ops())
 }
+
+// IslandBounds exposes the concurrency-island cut computation (island.go)
+// on a history's invocation-sorted records, so tests can assert when
+// decomposition actually fires and where the cuts land.
+func IslandBounds(h *history.History) []int32 {
+	a := NewArena()
+	ops := h.AppendOps(nil)
+	bounds := a.islandBounds(ops)
+	out := make([]int32, len(bounds))
+	copy(out, bounds)
+	return out
+}

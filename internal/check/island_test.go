@@ -1,0 +1,201 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"timebounds/internal/check"
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+)
+
+// islandHistory builds a seeded pseudo-random history shaped like real
+// workload output: bursts of overlapping operations separated by idle gaps
+// long enough to cut concurrency islands. Like randomHistory it corrupts
+// some returns and leaves some operations pending, so both verdicts occur.
+func islandHistory(dt spec.DataType, seed int64, n int) *history.History {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := dt.Kinds()
+	h := history.New()
+	state := dt.InitialState()
+	now := model.Time(0)
+	type open struct {
+		id   history.OpID
+		ret  spec.Value
+		resp model.Time
+	}
+	var opens []open
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			// Idle gap: longer than any response tail below, so the next
+			// burst starts a fresh island.
+			now += 50 * model.Time(time.Millisecond)
+		} else {
+			now += model.Time(rng.Intn(3)) * model.Time(time.Millisecond)
+		}
+		kind := kinds[rng.Intn(len(kinds))]
+		arg := spec.Value(rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			arg = nil
+		}
+		next, ret := dt.Apply(state, kind, arg)
+		state = next
+		if rng.Intn(10) == 0 {
+			ret = rng.Intn(5) // corrupt the return
+		}
+		id := h.Invoke(model.ProcessID(rng.Intn(3)), kind, arg, now)
+		if rng.Intn(12) == 0 {
+			continue // leave pending
+		}
+		opens = append(opens, open{id: id, ret: ret,
+			resp: now + model.Time(1+rng.Intn(6))*model.Time(time.Millisecond)})
+	}
+	for _, o := range opens {
+		if err := h.Respond(o.id, o.ret, o.resp); err != nil {
+			panic(err)
+		}
+	}
+	return h
+}
+
+// TestIslandCheckMatchesReference: island-decomposed checking — sequential
+// and worker-parallel, with and without a reused arena — must agree with
+// the textbook search on every history, and its witnesses must replay.
+// One arena and one shared cache persist across the whole loop, so arena
+// reuse across data types and verdicts is exercised too.
+func TestIslandCheckMatchesReference(t *testing.T) {
+	dts := []spec.DataType{types.NewRegister(0), types.NewCounter(), types.NewQueue(), types.NewRMWRegister(0)}
+	arena := check.NewArena()
+	islands := 0
+	for _, dt := range dts {
+		shared := check.NewCache()
+		for seed := int64(1); seed <= 30; seed++ {
+			h := islandHistory(dt, seed, 16)
+			if len(check.IslandBounds(h)) > 2 {
+				islands++
+			}
+			want := check.CheckReference(dt, h)
+			for _, opt := range []check.Options{
+				{},
+				{NoIslands: true},
+				{Workers: 8}, // clamped to 1: no shared cache
+				{Cache: shared, Workers: 1},
+				{Cache: shared, Workers: 8},
+				{Cache: shared, Workers: 8, Arena: arena},
+				{Arena: arena},
+			} {
+				got := check.CheckOpts(dt, h, opt)
+				if got.Linearizable != want.Linearizable {
+					t.Fatalf("%s seed %d opts %+v: got %v reference %v\n%s",
+						dt.Name(), seed, opt, got.Linearizable, want.Linearizable, h)
+				}
+				if got.Linearizable {
+					assertWitness(t, dt, h, got.Witness)
+				}
+			}
+		}
+	}
+	if islands == 0 {
+		t.Fatal("no generated history decomposed into islands — the island path was never exercised")
+	}
+}
+
+// TestIslandBoundsCutOnIdleGaps pins the cut rule on a hand-built history:
+// two bursts separated by an idle gap cut into two islands, and a pending
+// operation in the first burst suppresses the cut (a pending op stays
+// movable past every later operation).
+func TestIslandBoundsCutOnIdleGaps(t *testing.T) {
+	ms := model.Time(time.Millisecond)
+	h := history.New()
+	a := h.Invoke(0, types.OpIncrement, 1, 0)
+	b := h.Invoke(1, types.OpGet, nil, 1*ms)
+	_ = h.Respond(a, nil, 2*ms)
+	_ = h.Respond(b, 1, 3*ms)
+	c := h.Invoke(0, types.OpGet, nil, 50*ms)
+	_ = h.Respond(c, 1, 51*ms)
+	bounds := check.IslandBounds(h)
+	if len(bounds) != 3 || bounds[0] != 0 || bounds[1] != 2 || bounds[2] != 3 {
+		t.Fatalf("bounds = %v, want [0 2 3]", bounds)
+	}
+
+	// Same shape, but the first burst's increment never responds: no cut.
+	h2 := history.New()
+	h2.Invoke(0, types.OpIncrement, 1, 0)
+	b2 := h2.Invoke(1, types.OpGet, nil, 1*ms)
+	_ = h2.Respond(b2, 1, 3*ms)
+	c2 := h2.Invoke(0, types.OpGet, nil, 50*ms)
+	_ = h2.Respond(c2, 1, 51*ms)
+	if got := check.IslandBounds(h2); len(got) != 2 {
+		t.Fatalf("pending op must suppress the cut: bounds = %v", got)
+	}
+}
+
+// TestIslandSpeculationFallback forces the stitch to fail: two concurrent
+// writes whose invocation order predicts final state 2, followed after an
+// idle gap by a read that only linearizes if the writes run in the other
+// order. The decomposed pass must detect the mismatch and fall back to the
+// whole-history search — verdict linearizable, witness valid.
+func TestIslandSpeculationFallback(t *testing.T) {
+	ms := model.Time(time.Millisecond)
+	reg := types.NewRegister(0)
+	h := history.New()
+	w1 := h.Invoke(0, types.OpWrite, 1, 0)
+	w2 := h.Invoke(1, types.OpWrite, 2, 1*ms)
+	_ = h.Respond(w2, nil, 2*ms)
+	_ = h.Respond(w1, nil, 3*ms)
+	r := h.Invoke(2, types.OpRead, nil, 50*ms)
+	_ = h.Respond(r, 1, 51*ms)
+
+	if bounds := check.IslandBounds(h); len(bounds) != 3 {
+		t.Fatalf("setup: expected 2 islands, bounds = %v", bounds)
+	}
+	want := check.CheckReference(reg, h)
+	if !want.Linearizable {
+		t.Fatal("setup: reference must linearize (write(2); write(1); read→1)")
+	}
+	cache := check.NewCache()
+	for _, opt := range []check.Options{
+		{},
+		{Cache: cache, Workers: 8},
+	} {
+		got := check.CheckOpts(reg, h, opt)
+		if !got.Linearizable {
+			t.Fatalf("opts %+v: speculation fallback lost the verdict", opt)
+		}
+		assertWitness(t, reg, h, got.Witness)
+	}
+}
+
+// TestArenaReuseAcrossVerdicts pins single-owner arena hygiene: a
+// non-linearizable check must not leak state that corrupts the next
+// linearizable one, and vice versa, across data types.
+func TestArenaReuseAcrossVerdicts(t *testing.T) {
+	arena := check.NewArena()
+	ms := model.Time(time.Millisecond)
+
+	bad := history.New()
+	id := bad.Invoke(0, types.OpWrite, 5, 0)
+	_ = bad.Respond(id, nil, 1*ms)
+	id = bad.Invoke(1, types.OpRead, nil, 2*ms)
+	_ = bad.Respond(id, 7, 3*ms)
+
+	good := history.New()
+	id = good.Invoke(0, types.OpIncrement, 2, 0)
+	_ = good.Respond(id, nil, 2*ms)
+	id = good.Invoke(1, types.OpGet, nil, 1*ms)
+	_ = good.Respond(id, 2, 3*ms)
+
+	for i := 0; i < 3; i++ {
+		if check.CheckOpts(types.NewRegister(0), bad, check.Options{Arena: arena}).Linearizable {
+			t.Fatalf("round %d: stale read accepted", i)
+		}
+		res := check.CheckOpts(types.NewCounter(), good, check.Options{Arena: arena})
+		if !res.Linearizable {
+			t.Fatalf("round %d: linearizable counter history rejected", i)
+		}
+		assertWitness(t, types.NewCounter(), good, res.Witness)
+	}
+}

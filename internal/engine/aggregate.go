@@ -44,9 +44,11 @@ type Aggregate struct {
 	Latency  *workload.OnlineStats
 	Sojourn  *workload.OnlineStats
 	// busy sums per-op service time and capacity sums run span × N — the
-	// terms of Utilization.
+	// terms of Utilization. span sums run spans alone — the denominator of
+	// Throughput.
 	busy     model.Time
 	capacity model.Time
+	span     model.Time
 
 	// errCap bounds len(Errs).
 	errCap int
@@ -126,6 +128,7 @@ func (a *Aggregate) Add(dt spec.DataType, res Result) {
 	}
 	if last > first {
 		a.capacity += (last - first) * model.Time(res.Params.N)
+		a.span += last - first
 	}
 }
 
@@ -137,6 +140,29 @@ func (a *Aggregate) Utilization() float64 {
 		return 0
 	}
 	return float64(a.busy) / float64(a.capacity)
+}
+
+// Throughput returns the measured completion rate in ops/sec: operations
+// the folded histories actually completed, over their summed run spans.
+// This is the λ of Little's law as observed — NOT the offered load. The
+// two agree only when every scheduled operation completed; on cancelled
+// or saturated grids (Report.Incomplete > 0, operations still queued at
+// the horizon) offered load counts work that never finished and would
+// overstate every derived occupancy figure.
+func (a *Aggregate) Throughput() float64 {
+	if a.span <= 0 {
+		return 0
+	}
+	return float64(a.Latency.Count()) / (float64(a.span) / 1e9)
+}
+
+// InFlight returns Little's-law mean occupancy L = λW over the completed
+// work: measured throughput × mean sojourn. Computed entirely from folded
+// results, it stays honest on cancelled and saturated runs, where the
+// historical planned-load version (offered load × mean sojourn) counted
+// operations that never ran.
+func (a *Aggregate) InFlight() float64 {
+	return a.Throughput() * float64(a.Sojourn.Mean()) / 1e9
 }
 
 // OK reports whether every folded Result completed, linearized (when

@@ -46,6 +46,12 @@ func TestAggregateMatchesExactStats(t *testing.T) {
 		if float64(g.P99) > float64(w.P99)*(1+1.0/128)+1 {
 			t.Errorf("%s: sketched p99 %s beyond 0.8%% of exact %s", kind, g.P99, w.P99)
 		}
+		// The bucket edge must never out-report the tracked extremes:
+		// on tiny histories the p99 order statistic IS the max, and an
+		// unclamped upper edge would exceed it (the PR 5 regression).
+		if g.P99 > g.Max || g.P99 < g.Min {
+			t.Errorf("%s: sketched p99 %s outside tracked [%s, %s]", kind, g.P99, g.Min, g.Max)
+		}
 	}
 	if !agg.OK() {
 		t.Errorf("clean grid aggregated as failing: %+v", agg.Errs)
@@ -55,6 +61,61 @@ func TestAggregateMatchesExactStats(t *testing.T) {
 	}
 	if u := agg.Utilization(); u <= 0 || u > 1 {
 		t.Errorf("utilization %v outside (0, 1] for an unsaturated closed loop", u)
+	}
+}
+
+// TestAggregateInFlightOnCancelledRuns is the regression for the
+// planned-vs-completed occupancy bug: on a cancelled grid, utilization,
+// throughput, and Little's-law InFlight must be computed from the work
+// that actually completed, not the offered schedule. Folding a partial
+// result set must yield exactly the same per-scenario-derived figures as
+// folding those same results out of a complete run — and a fold that saw
+// no histories at all must report zero occupancy, not a planned-load
+// figure for work that never ran.
+func TestAggregateInFlightOnCancelledRuns(t *testing.T) {
+	dt := types.NewRegister(0)
+	scenarios := streamGrid(4)
+	full := New(2).Run(scenarios)
+	if err := full.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cancelled run delivers a strict subset of results. Simulate the
+	// subset deterministically (Stream's cut point is scheduling-
+	// dependent) and fold it.
+	partial := NewAggregate()
+	for _, res := range full.Results[:len(full.Results)/3] {
+		partial.Add(dt, res)
+	}
+	want := NewAggregate()
+	for _, res := range full.Results {
+		want.Add(dt, res)
+	}
+
+	if tp := partial.Throughput(); tp <= 0 {
+		t.Fatalf("partial fold throughput = %v, want > 0", tp)
+	}
+	if fl := partial.InFlight(); fl <= 0 {
+		t.Fatalf("partial fold InFlight = %v, want > 0", fl)
+	}
+	if u := partial.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("partial fold utilization = %v outside (0, 1]", u)
+	}
+	// Completed-work accounting: L = λW exactly, from measured terms.
+	for _, agg := range []*Aggregate{partial, want} {
+		lw := agg.Throughput() * float64(agg.Sojourn.Mean()) / 1e9
+		if got := agg.InFlight(); got != lw {
+			t.Fatalf("InFlight = %v, want λW = %v", got, lw)
+		}
+	}
+
+	// No histories folded at all (every result dropped before reporting):
+	// occupancy must be zero, not offered-load × anything.
+	empty := NewAggregate()
+	empty.Add(dt, Result{Name: "counted-only", Ops: 64, Converged: true})
+	if empty.Throughput() != 0 || empty.InFlight() != 0 || empty.Utilization() != 0 {
+		t.Fatalf("history-free fold reports occupancy: throughput=%v inflight=%v util=%v",
+			empty.Throughput(), empty.InFlight(), empty.Utilization())
 	}
 }
 

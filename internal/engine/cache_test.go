@@ -74,3 +74,34 @@ func TestSharedCheckerStateUnobservable(t *testing.T) {
 		t.Fatalf("only %d/%d runs were verified", checked, len(scenarios))
 	}
 }
+
+// TestIslandCheckingUnobservable is the same harness for the verifier's
+// concurrency-island decomposition (the tentpole acceptance criterion):
+// Reports must be bit-identical at workers 1 and 8, islands on and off.
+// At 8 workers with islands on, verified histories fan their islands out
+// across the pool's worker budget; at 1 worker islands run sequentially;
+// with islands off every history takes the single whole-history search.
+func TestIslandCheckingUnobservable(t *testing.T) {
+	scenarios := cacheGrid()
+
+	islandSeq := engine.New(1).Run(scenarios)
+	islandPar := engine.New(8).Run(scenarios)
+
+	restore := engine.SetIslandCheckDisabled(true)
+	wholeSeq := engine.New(1).Run(scenarios)
+	wholePar := engine.New(8).Run(scenarios)
+	restore()
+
+	if err := islandPar.Err(); err != nil {
+		t.Fatalf("grid run: %v", err)
+	}
+	if !reflect.DeepEqual(islandSeq, islandPar) {
+		t.Error("island-checking Report differs between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(wholeSeq, wholePar) {
+		t.Error("whole-history Report differs between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(islandSeq, wholeSeq) {
+		t.Error("island-checking Report differs from whole-history Report")
+	}
+}

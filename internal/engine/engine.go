@@ -43,6 +43,11 @@ func New(workers int) *Engine { return &Engine{Workers: workers} }
 // equivalence tests flip it to prove sharing is unobservable in Reports.
 var disableSharedChecker = false
 
+// disableIslandCheck turns off within-history island decomposition in the
+// verifier; the equivalence tests flip it to prove island-parallel
+// checking is unobservable in Reports.
+var disableIslandCheck = false
+
 // IndexedResult pairs a streamed Result with the input index of its
 // scenario, so completion-order consumers can reassemble input order.
 type IndexedResult struct {
@@ -124,8 +129,20 @@ func (e *Engine) StreamChan(ctx context.Context, scenarios []Scenario) <-chan In
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one checker arena for the stream's lifetime,
+			// so steady-state verified runs reuse search scratch instead of
+			// allocating it per history. Verified histories may additionally
+			// fan their concurrency islands out across the pool's worker
+			// budget (see internal/check); like the shared caches, neither
+			// reuse nor fan-out can change a verdict — only its cost.
+			arena := check.NewArena()
 			for i := range next {
-				res := scenarios[i].run(caches)
+				res := scenarios[i].run(runConfig{
+					caches:       caches,
+					arena:        arena,
+					checkWorkers: workers,
+					noIslands:    disableIslandCheck,
+				})
 				select {
 				case out <- IndexedResult{Index: i, Result: res}:
 				case <-done:

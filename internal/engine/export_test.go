@@ -9,6 +9,16 @@ func SetSharedCheckerDisabled(v bool) (restore func()) {
 	return func() { disableSharedChecker = prev }
 }
 
+// SetIslandCheckDisabled toggles within-history concurrency-island
+// decomposition in the verifier, so the equivalence tests can prove
+// island-parallel checking is unobservable in Reports. It returns a
+// restore function.
+func SetIslandCheckDisabled(v bool) (restore func()) {
+	prev := disableIslandCheck
+	disableIslandCheck = v
+	return func() { disableIslandCheck = prev }
+}
+
 // ExpandSharded exposes the sharded expansion, and MergeSharded the
 // fold from per-shard Results back into a ShardedReport, so tests can
 // inject doctored shard results (e.g. a per-shard linearizability

@@ -242,9 +242,20 @@ func (sc Scenario) build() (Instance, error) {
 	})
 }
 
+// runConfig carries the worker-pool checker resources into a run: the
+// per-data-type shared transition caches, the worker's reusable arena,
+// and the island-parallelism budget.
+type runConfig struct {
+	caches       *check.CacheSet
+	arena        *check.Arena
+	checkWorkers int
+	noIslands    bool
+}
+
 // run executes the scenario in isolation and reduces it to a Result.
-// caches optionally shares checker transition state across a grid's runs.
-func (sc Scenario) run(caches *check.CacheSet) Result {
+// cfg optionally shares checker transition state and scratch across a
+// grid's runs.
+func (sc Scenario) run(cfg runConfig) Result {
 	sc = sc.resolved()
 	res := Result{
 		Name:    sc.Name,
@@ -267,9 +278,12 @@ func (sc Scenario) run(caches *check.CacheSet) Result {
 		return res
 	}
 	rep, err := workload.Run(inst, sched, workload.RunOptions{
-		Horizon: sc.Horizon,
-		Verify:  sc.Verify,
-		Checker: caches.For(sc.DataType),
+		Horizon:      sc.Horizon,
+		Verify:       sc.Verify,
+		Checker:      cfg.caches.For(sc.DataType),
+		Arena:        cfg.arena,
+		CheckWorkers: cfg.checkWorkers,
+		NoIslands:    cfg.noIslands,
 	})
 	if err != nil {
 		res.Err = err.Error()

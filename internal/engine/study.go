@@ -109,8 +109,10 @@ type StudyPoint struct {
 	// (negative means detached).
 	PerClass []ClassLoad
 	// Utilization is the measured busy fraction (service time over
-	// process-time capacity); InFlight is Little's-law mean occupancy
-	// (offered load × mean sojourn).
+	// process-time capacity); InFlight is Little's-law mean occupancy over
+	// the completed work (measured throughput × mean sojourn — see
+	// Aggregate.InFlight; offered load would overstate occupancy whenever
+	// some scheduled operations never completed).
 	Utilization float64
 	InFlight    float64
 	// Saturated reports the detachment verdict: some class's p99 sojourn
@@ -346,7 +348,10 @@ func (s Study) runPoint(ctx context.Context, e *Engine, load float64, probe bool
 			pt.Saturated = true
 		}
 	}
-	pt.InFlight = load * float64(agg.Sojourn.Mean()) / 1e9
+	// Little's law over the completed work: measured throughput, not the
+	// offered load — on a cancelled or saturating point the two diverge,
+	// and planned-load occupancy would count operations that never ran.
+	pt.InFlight = agg.InFlight()
 	return pt, agg.Scenarios == len(scs), nil
 }
 

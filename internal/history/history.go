@@ -5,8 +5,9 @@
 package history
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"timebounds/internal/model"
@@ -136,15 +137,34 @@ func (h *History) respondAt(i int, ret spec.Value, at model.Time) error {
 
 // Ops returns a copy of the records, sorted by invocation time then id.
 func (h *History) Ops() []Record {
-	out := make([]Record, len(h.ops))
-	copy(out, h.ops)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Invoke != out[j].Invoke {
-			return out[i].Invoke < out[j].Invoke
+	return h.AppendOps(nil)
+}
+
+// AppendOps appends the records, sorted by invocation time then id, to
+// dst and returns the extended slice. Passing a reused buffer (dst[:0])
+// makes the copy allocation-free once the buffer has grown to the
+// history size — the checker's arena path (internal/check.Arena).
+func (h *History) AppendOps(dst []Record) []Record {
+	base := len(dst)
+	dst = append(dst, h.ops...)
+	out := dst[base:]
+	slices.SortFunc(out, func(a, b Record) int {
+		if a.Invoke != b.Invoke {
+			return cmp.Compare(a.Invoke, b.Invoke)
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
-	return out
+	return dst
+}
+
+// Grow reserves capacity for n additional records, so a run whose
+// operation count is known up front (a scheduled workload) appends its
+// records without incremental reallocation.
+func (h *History) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	h.ops = slices.Grow(h.ops, n)
 }
 
 // Len returns the number of recorded operations.

@@ -1,0 +1,226 @@
+package perf
+
+import (
+	"math/rand"
+	"time"
+
+	"timebounds/internal/check"
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/sim"
+	"timebounds/internal/spec"
+	"timebounds/internal/tob"
+	"timebounds/internal/types"
+	"timebounds/internal/workload"
+)
+
+// The per-package allocation budgets: each entry pins the steady-state
+// allocs-per-unit of one hot path, measured with testing.AllocsPerRun
+// after an explicit warmup. Where the benchmark trajectory (BENCH_*.json,
+// Compare) gates whole-suite drift against a committed baseline at a
+// relative tolerance, these budgets are absolute and local — "this loop,
+// once warm, allocates at most N times" — so a leak pinpoints its package
+// instead of surfacing as a diffuse grid-wide regression. The gate runs
+// in `go test ./internal/perf` (TestAllocBudgets) and under
+// `make bench-compare`, alongside the trajectory gate.
+
+// AllocBudget is one steady-state allocation budget.
+type AllocBudget struct {
+	// Name is "<package>/<path>" — the package whose hot path is gated.
+	Name string
+	// Brief says what one measured unit of work is.
+	Brief string
+	// Budget is the maximum average allocations per unit.
+	Budget float64
+	// Make performs setup and warmup, returning the unit of work to
+	// measure. Setup allocations are not counted.
+	Make func() func()
+}
+
+// AllocBudgets returns the per-package steady-state budgets.
+func AllocBudgets() []AllocBudget {
+	return []AllocBudget{
+		{
+			Name:  "check/steady-recheck",
+			Brief: "re-verify a 16-op bursty history with a reused arena and warm shared cache",
+			// The one allocation is the witness slice handed back in the
+			// Result — the only per-check state the caller keeps.
+			Budget: 1,
+			Make:   makeCheckSteady,
+		},
+		{
+			Name:   "sim/event-wave",
+			Brief:  "a 4-process invoke/broadcast/timer wave (20 events) through a warm event loop",
+			Budget: 8, // amortized history-record and timer-slice growth only
+			Make:   makeSimWave,
+		},
+		{
+			Name:   "workload/online-observe",
+			Brief:  "fold one latency sample into a warm OnlineStats sketch",
+			Budget: 0, // fixed-size sketch: zero once every bucket exists
+			Make:   makeOnlineObserve,
+		},
+		{
+			Name:  "tob/enqueue-drain",
+			Brief: "sequence, buffer out-of-order, and deliver one 8-message round of total-order broadcast",
+			// One box per stamped message (the sim's any-typed payload
+			// surface); the enqueue buffer itself must contribute zero —
+			// it rewinds to its own backing array when drained.
+			Budget: 8,
+			Make:   makeTOBRound,
+		},
+	}
+}
+
+// makeCheckSteady: the engine's steady state — one worker re-verifying
+// histories with its own arena and the stream's shared per-datatype cache.
+func makeCheckSteady() func() {
+	dt := types.NewRegister(0)
+	h := burstyHistory(dt, 3, 16)
+	arena := check.NewArena()
+	opts := check.Options{Arena: arena, Cache: check.NewCache()}
+	unit := func() { check.CheckOpts(dt, h, opts) }
+	for i := 0; i < 5; i++ {
+		unit()
+	}
+	return unit
+}
+
+// burstyHistory builds a small concurrent history with idle gaps, so the
+// steady-recheck budget exercises the island decomposition path.
+func burstyHistory(dt spec.DataType, seed int64, n int) *history.History {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := dt.Kinds()
+	h := history.New()
+	state := dt.InitialState()
+	now := model.Time(0)
+	type open struct {
+		id   history.OpID
+		ret  spec.Value
+		resp model.Time
+	}
+	var opens []open
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			now += 50 * model.Time(time.Millisecond)
+		} else {
+			now += model.Time(rng.Intn(3)) * model.Time(time.Millisecond)
+		}
+		kind := kinds[rng.Intn(len(kinds))]
+		arg := spec.Value(rng.Intn(3))
+		next, ret := dt.Apply(state, kind, arg)
+		state = next
+		id := h.Invoke(model.ProcessID(rng.Intn(3)), kind, arg, now)
+		opens = append(opens, open{id: id, ret: ret,
+			resp: now + model.Time(1+rng.Intn(6))*model.Time(time.Millisecond)})
+	}
+	for _, o := range opens {
+		if err := h.Respond(o.id, o.ret, o.resp); err != nil {
+			panic(err)
+		}
+	}
+	return h
+}
+
+// waveProc answers each invocation with a broadcast, a timer, and a
+// response on the timer — the sim package's allocation-test process shape.
+type waveProc struct{}
+
+func (waveProc) OnInvoke(env sim.Env, id history.OpID, _ spec.OpKind, _ spec.Value) {
+	env.Broadcast(struct{}{})
+	env.SetTimerAfter(5*model.Time(time.Millisecond), id)
+}
+func (waveProc) OnMessage(sim.Env, model.ProcessID, any) {}
+func (waveProc) OnTimer(env sim.Env, payload any) {
+	env.Respond(payload.(history.OpID), nil)
+}
+
+func makeSimWave() func() {
+	ms := model.Time(time.Millisecond)
+	p := model.Params{N: 4, D: 10 * ms, U: 4 * ms, Epsilon: 2 * ms}
+	procs := make([]sim.Process, p.N)
+	for i := range procs {
+		procs[i] = waveProc{}
+	}
+	s, err := sim.New(sim.Config{Params: p, Delay: sim.FixedDelay(10 * ms),
+		StrictDelays: true, DiscardTraces: true}, procs)
+	if err != nil {
+		panic(err)
+	}
+	at := model.Time(0)
+	unit := func() {
+		for proc := 0; proc < p.N; proc++ {
+			s.Invoke(at, model.ProcessID(proc), "op", nil)
+		}
+		at += 20 * ms
+		if err := s.Run(at); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		unit()
+	}
+	return unit
+}
+
+func makeOnlineObserve() func() {
+	s := workload.NewOnlineStats()
+	rng := rand.New(rand.NewSource(7))
+	unit := func() { s.Observe(model.Time(rng.Int63n(30_000_000) + 1_000)) }
+	for i := 0; i < 10_000; i++ {
+		unit() // populate every sketch bucket the distribution reaches
+	}
+	return unit
+}
+
+// drainCount is a Deliverer that only counts, so the TOB budget measures
+// the broadcast layer alone.
+type drainCount struct{ n int }
+
+func (d *drainCount) Deliver(_ sim.Env, _ int, _ model.ProcessID, _ any) { d.n++ }
+
+// captureEnv is a sim.Env stub that only records Broadcast payloads, so
+// the TOB budget can replay the sequencer's (unexported) stamped messages
+// into a receiving Broadcaster without the full simulator — isolating the
+// enqueue/drain path the budget gates.
+type captureEnv struct{ out []any }
+
+func (e *captureEnv) Self() model.ProcessID { return 0 }
+func (e *captureEnv) N() int                { return 2 }
+func (e *captureEnv) ClockTime() model.Time { return 0 }
+func (e *captureEnv) Send(_ model.ProcessID, payload any) {
+	e.out = append(e.out, payload)
+}
+func (e *captureEnv) Broadcast(payload any)                     { e.out = append(e.out, payload) }
+func (e *captureEnv) SetTimerAfter(model.Time, any) sim.TimerID { return 0 }
+func (e *captureEnv) CancelTimer(sim.TimerID)                   {}
+func (e *captureEnv) Respond(history.OpID, spec.Value)          {}
+
+func makeTOBRound() func() {
+	// A sequencer stamps 8 messages into the capture buffer; the receiver
+	// gets them in a fixed out-of-order permutation, exercising both of
+	// enqueue's regimes each round — sorted-tail insertion (buffering) and
+	// the in-order drain with its buffer rewind.
+	nop := &drainCount{}
+	sink := &drainCount{}
+	seqB := &tob.Broadcaster{Self: 0, Sequencer: 0, Target: nop}
+	recv := &tob.Broadcaster{Self: 1, Sequencer: 0, Target: sink}
+	env := &captureEnv{}
+	order := []int{1, 0, 3, 2, 5, 4, 7, 6}
+	unit := func() {
+		env.out = env.out[:0]
+		for range order {
+			seqB.Broadcast(env, nil)
+		}
+		for _, off := range order {
+			recv.HandleMessage(env, env.out[off])
+		}
+	}
+	for i := 0; i < 5; i++ {
+		unit()
+	}
+	if sink.n != 5*len(order) {
+		panic("tob budget harness: deliveries lost during warmup")
+	}
+	return unit
+}

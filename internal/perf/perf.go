@@ -75,6 +75,11 @@ func Benchmarks() []Benchmark {
 			Brief: "load-sweep saturation study: 4-point geometric axis plus knee bisection, open-loop register traffic folded online per point",
 			Func:  BenchSaturationSearch,
 		},
+		{
+			Name:  "check/island-steady",
+			Brief: "steady-state re-verification of one 240-op history with a reused arena and warm shared cache (island decomposition on)",
+			Func:  BenchCheckerIslandSteady,
+		},
 	}
 }
 
@@ -172,6 +177,28 @@ func BenchCheckerLongHistory(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if res := check.Check(dt, rep.History); !res.Linearizable {
+			b.Fatal("long history should be linearizable")
+		}
+	}
+	b.ReportMetric(float64(rep.History.Len()), "history-ops")
+}
+
+// BenchCheckerIslandSteady measures the checker's steady state as an
+// engine worker sees it: the same long history re-verified with a reused
+// arena and a warm shared transition cache, islands enabled. With every
+// slab warm, allocs/op here is the checker's true floor — the witness
+// slice handed back in the Result and nothing else.
+func BenchCheckerIslandSteady(b *testing.B) {
+	dt, rep := LongHistory()
+	arena := check.NewArena()
+	opts := check.Options{Arena: arena, Cache: check.NewCache()}
+	for i := 0; i < 3; i++ {
+		check.CheckOpts(dt, rep.History, opts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := check.CheckOpts(dt, rep.History, opts); !res.Linearizable {
 			b.Fatal("long history should be linearizable")
 		}
 	}

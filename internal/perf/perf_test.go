@@ -16,6 +16,7 @@ func BenchmarkSimEventLoop(b *testing.B)         { perf.BenchSimEventLoop(b) }
 func BenchmarkShardedStore(b *testing.B)         { perf.BenchShardedStore(b) }
 func BenchmarkStreamGrid(b *testing.B)           { perf.BenchStreamGrid(b) }
 func BenchmarkSaturationSearch(b *testing.B)     { perf.BenchSaturationSearch(b) }
+func BenchmarkCheckerIslandSteady(b *testing.B)  { perf.BenchCheckerIslandSteady(b) }
 
 // TestBenchmarkCatalog pins the tracked-suite names: renaming or removing
 // a benchmark breaks comparability of the recorded trajectory, so it must
@@ -29,6 +30,7 @@ func TestBenchmarkCatalog(t *testing.T) {
 		"engine/sharded-store",
 		"engine/stream-grid",
 		"study/saturation-search",
+		"check/island-steady",
 	}
 	got := perf.Benchmarks()
 	if len(got) != len(want) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"sort"
 )
@@ -130,15 +131,28 @@ type Regression struct {
 	// Name is the benchmark; Metric is "ns/op" or "allocs/op".
 	Name   string
 	Metric string
-	// Base and Got are the baseline and fresh values; Ratio is Got/Base.
+	// Base and Got are the baseline and fresh values; Ratio is Got/Base,
+	// or +Inf for a regression from a zero baseline.
 	Base  float64
 	Got   float64
 	Ratio float64
 }
 
 func (r Regression) String() string {
+	if math.IsInf(r.Ratio, 1) {
+		return fmt.Sprintf("%s %s regressed from zero baseline (%.4g -> %.4g)", r.Name, r.Metric, r.Base, r.Got)
+	}
 	return fmt.Sprintf("%s %s regressed %.2fx (%.4g -> %.4g)", r.Name, r.Metric, r.Ratio, r.Base, r.Got)
 }
+
+// ZeroBaselineEpsilon is the absolute slack a zero-baseline metric gets:
+// a baseline of 0 (a steady-state allocation-free benchmark) has no ratio
+// to scale tolerance by, so any fresh value beyond this constant is a
+// regression. A half-allocation of slack means literal 0 still passes and
+// the first real allocation fails — relative tolerance cannot express
+// "stay at zero", and dividing by the zero baseline silently passed every
+// 0→k regression before this rule existed.
+const ZeroBaselineEpsilon = 0.5
 
 // Compare judges a fresh point against a baseline point: every benchmark
 // recorded in both is compared on the gated metrics ("ns/op" and
@@ -150,6 +164,13 @@ func (r Regression) String() string {
 // Tolerance 0.25 means "fail beyond 25% slower". Narrowing metrics to
 // allocs/op is how CI gates across machine classes: allocation counts
 // are machine-independent where wall clock is not.
+//
+// A zero baseline gets absolute, not relative, treatment: tolerance
+// scales the baseline, so a baseline of 0 would tolerate nothing — or,
+// with ratio math, divide by zero and tolerate everything (the historical
+// bug: an allocation-free benchmark could regress 0→k allocs/op and pass
+// the gate). Instead, any fresh value beyond ZeroBaselineEpsilon fails,
+// reported with Ratio +Inf so zero-baseline regressions sort worst-first.
 func Compare(baseline, fresh Point, tolerance float64, metrics ...string) []Regression {
 	gated := func(metric string) bool {
 		if len(metrics) == 0 {
@@ -169,7 +190,13 @@ func Compare(baseline, fresh Point, tolerance float64, metrics ...string) []Regr
 			continue
 		}
 		check := func(metric string, b, g float64) {
-			if !gated(metric) || b <= 0 {
+			if !gated(metric) {
+				return
+			}
+			if b <= 0 {
+				if g > ZeroBaselineEpsilon {
+					out = append(out, Regression{Name: base.Name, Metric: metric, Base: b, Got: g, Ratio: math.Inf(1)})
+				}
 				return
 			}
 			if ratio := g / b; ratio > 1+tolerance {
@@ -179,6 +206,14 @@ func Compare(baseline, fresh Point, tolerance float64, metrics ...string) []Regr
 		check("ns/op", base.NsPerOp, got.NsPerOp)
 		check("allocs/op", float64(base.AllocsPerOp), float64(got.AllocsPerOp))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Metric < out[j].Metric
+	})
 	return out
 }

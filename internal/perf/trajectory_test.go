@@ -1,8 +1,10 @@
 package perf_test
 
 import (
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"timebounds/internal/perf"
@@ -149,6 +151,49 @@ func TestCompareMetricFilter(t *testing.T) {
 	}
 	if regs := perf.Compare(base, fresh, 0.25, "ns/op"); len(regs) == 0 || regs[0].Metric != "ns/op" {
 		t.Fatalf("ns/op filter regressions = %v, want ns/op only", regs)
+	}
+}
+
+// TestCompareZeroBaselineRegression is the gate's zero-baseline rule: an
+// allocation-free baseline (0 allocs/op) has no ratio to scale tolerance
+// by — the historical code divided by zero and silently passed every 0→k
+// regression. Any fresh value beyond ZeroBaselineEpsilon must now fail,
+// with Ratio +Inf so it sorts worst-first among mixed regressions.
+func TestCompareZeroBaselineRegression(t *testing.T) {
+	base := point("base", 1e6, 500)
+	base.Results = append(base.Results, perf.Measurement{Name: "check/steady", N: 100, NsPerOp: 1e3, AllocsPerOp: 0})
+
+	// The failing shape: steady-state benchmark starts allocating again.
+	fresh := point("fresh", 1.6e6, 500) // plus a 60% ns/op slowdown elsewhere
+	fresh.Results = append(fresh.Results, perf.Measurement{Name: "check/steady", N: 100, NsPerOp: 1e3, AllocsPerOp: 7})
+	regs := perf.Compare(base, fresh, 0.25)
+	var zero *perf.Regression
+	for i := range regs {
+		if regs[i].Name == "check/steady" && regs[i].Metric == "allocs/op" {
+			zero = &regs[i]
+		}
+	}
+	if zero == nil {
+		t.Fatalf("0→7 allocs/op not flagged: %v", regs)
+	}
+	if !math.IsInf(zero.Ratio, 1) || zero.Base != 0 || zero.Got != 7 {
+		t.Fatalf("zero-baseline regression = %+v, want Ratio=+Inf Base=0 Got=7", *zero)
+	}
+	if regs[0].Name != "check/steady" {
+		t.Fatalf("zero-baseline regression must sort worst-first, got %v", regs)
+	}
+	if s := zero.String(); !strings.Contains(s, "zero baseline") {
+		t.Fatalf("String() = %q, want a zero-baseline rendering", s)
+	}
+
+	// The passing shape: staying at zero (or within the absolute epsilon)
+	// is clean, and the epsilon never converts to a relative tolerance.
+	ok := point("ok", 1e6, 500)
+	ok.Results = append(ok.Results, perf.Measurement{Name: "check/steady", N: 100, NsPerOp: 1e3, AllocsPerOp: 0})
+	for _, r := range perf.Compare(base, ok, 0.25) {
+		if r.Name == "check/steady" {
+			t.Fatalf("allocation-free run flagged against zero baseline: %+v", r)
+		}
 	}
 }
 

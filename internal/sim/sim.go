@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"timebounds/internal/history"
 	"timebounds/internal/model"
@@ -261,6 +262,22 @@ func (s *Simulator) Steps() []StepTrace {
 // ClockOffset returns process p's clock offset c_p.
 func (s *Simulator) ClockOffset(p model.ProcessID) model.Time {
 	return s.cfg.ClockOffsets[p]
+}
+
+// Reserve presizes the run's hot allocations for a schedule of about ops
+// invocations: the history's record slab and the event slab and scheduling
+// heap (one slot per in-flight invocation; message and timer events recycle
+// through the free list on top of the same slab). Harnesses that know the
+// schedule size up front (workload.Run) call this once so the event loop
+// reaches its allocation-free steady state immediately instead of growing
+// through the run.
+func (s *Simulator) Reserve(ops int) {
+	if ops <= 0 {
+		return
+	}
+	s.hist.Grow(ops)
+	s.events = slices.Grow(s.events, ops)
+	s.queue = slices.Grow(s.queue, ops)
 }
 
 // alloc reserves a slab slot for a new event.

@@ -18,6 +18,7 @@ package spec
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -162,6 +163,53 @@ func CanonicalValue(v Value) string {
 		return "<nil>"
 	}
 	return fmt.Sprintf("%#v", v)
+}
+
+// AppendCanonicalValue appends CanonicalValue(v) to dst, byte for byte.
+// The scalar kinds the bundled data types traffic in (nil, int, int64,
+// string, bool) render through strconv without allocating — the checker
+// builds its per-operation transition-cache keys into a reused arena
+// slab through this path. Anything else falls back to CanonicalValue.
+func AppendCanonicalValue(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, "<nil>"...)
+	case int:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case string:
+		return strconv.AppendQuote(dst, x)
+	case bool:
+		return strconv.AppendBool(dst, x)
+	}
+	return append(dst, CanonicalValue(v)...)
+}
+
+// boxedInts caches the boxed form of small non-negative integers. The Go
+// runtime only avoids a heap allocation when boxing bytes (0–255); counter-
+// and account-style states march well past that, and re-boxing the running
+// value on every Apply was the single largest allocation source in grid
+// runs. Returning a cached interface header instead is free.
+var boxedInts = func() [4096]Value {
+	var vs [4096]Value
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}()
+
+// BoxInt returns v as a Value, reusing a cached box for small non-negative
+// values so hot Apply implementations do not heap-allocate their result
+// state. Values outside the cached range box normally.
+//
+//tb:hotpath
+func BoxInt(v int) Value {
+	if uint(v) < uint(len(boxedInts)) {
+		return boxedInts[v]
+	}
+	//tbvet:ignore hotpath -- the slow path of the box cache: values past the cached range must box, that is the function's contract
+	return v
 }
 
 // Replay applies seq from state s, checking recorded return values.

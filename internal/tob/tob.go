@@ -15,8 +15,6 @@
 package tob
 
 import (
-	"sort"
-
 	"timebounds/internal/history"
 	"timebounds/internal/model"
 	"timebounds/internal/sim"
@@ -55,7 +53,12 @@ type Broadcaster struct {
 
 	nextSeq   int // sequencer only: next sequence number to assign
 	nextDeliv int // next sequence number to deliver locally
-	pending   []stamped
+	// pending[head:] buffers out-of-order stamped messages sorted by Seq.
+	// The head index (instead of reslicing the front off) keeps the
+	// buffer's capacity, so the steady state of enqueue→drain reuses one
+	// backing array instead of reallocating per message.
+	pending []stamped
+	head    int
 }
 
 // Broadcast submits a payload for total ordering.
@@ -96,14 +99,34 @@ func (b *Broadcaster) HandleMessage(env sim.Env, payload any) bool {
 }
 
 // enqueue buffers a stamped message and delivers every consecutive message
-// starting at nextDeliv, in order.
+// starting at nextDeliv, in order. Insertion keeps pending[head:] sorted
+// by sequence number (messages arrive nearly in order, so the shift is
+// short), and a drained buffer is rewound to reuse its capacity.
+//
+//tb:hotpath
 func (b *Broadcaster) enqueue(env sim.Env, m stamped) {
-	b.pending = append(b.pending, m)
-	sort.Slice(b.pending, func(i, j int) bool { return b.pending[i].Seq < b.pending[j].Seq })
-	for len(b.pending) > 0 && b.pending[0].Seq == b.nextDeliv {
-		next := b.pending[0]
-		b.pending = b.pending[1:]
+	// Binary-search the insertion point in the sorted tail.
+	lo, hi := b.head, len(b.pending)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.pending[mid].Seq < m.Seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b.pending = append(b.pending, stamped{})
+	copy(b.pending[lo+1:], b.pending[lo:len(b.pending)-1])
+	b.pending[lo] = m
+	for b.head < len(b.pending) && b.pending[b.head].Seq == b.nextDeliv {
+		next := b.pending[b.head]
+		b.pending[b.head] = stamped{} // drop the Body reference
+		b.head++
 		b.nextDeliv++
+		if b.head == len(b.pending) {
+			b.pending = b.pending[:0]
+			b.head = 0
+		}
 		b.Target.Deliver(env, next.Seq, next.Origin, next.Body)
 	}
 }

@@ -45,19 +45,22 @@ func (Account) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State
 	case OpDeposit:
 		amt, _ := arg.(int)
 		if amt < 0 {
-			return bal, nil
+			return spec.BoxInt(bal), nil
 		}
-		return bal + amt, nil
+		// BoxInt keeps the running balance out of the allocator on the
+		// replica re-apply hot path (see types.Counter.Apply).
+		return spec.BoxInt(bal + amt), nil
 	case OpWithdraw:
 		amt, _ := arg.(int)
 		if amt < 0 || amt > bal {
-			return bal, false
+			return spec.BoxInt(bal), false
 		}
-		return bal - amt, true
+		return spec.BoxInt(bal - amt), true
 	case OpBalance:
-		return bal, bal
+		v := spec.BoxInt(bal)
+		return v, v
 	default:
-		return bal, nil
+		return spec.BoxInt(bal), nil
 	}
 }
 

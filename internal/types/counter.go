@@ -38,11 +38,15 @@ func (Counter) Apply(s spec.State, kind spec.OpKind, arg spec.Value) (spec.State
 	switch kind {
 	case OpIncrement:
 		delta, _ := arg.(int)
-		return cur + delta, nil
+		// BoxInt (and returning s unchanged below) keeps the running value
+		// out of the allocator: every replica re-applies every mutator, so
+		// naive interface boxing here dominated grid-run allocations.
+		return spec.BoxInt(cur + delta), nil
 	case OpGet:
-		return cur, cur
+		v := spec.BoxInt(cur)
+		return v, v
 	default:
-		return cur, nil
+		return spec.BoxInt(cur), nil
 	}
 }
 

@@ -62,6 +62,52 @@ func TestOnlineStatsMatchesExactFold(t *testing.T) {
 	}
 }
 
+// TestOnlineStatsPercentileClampedToExtremes pins the upper-bucket-edge
+// rule on the histories where it bites: with one or two samples, every
+// percentile's order statistic is an observed value, so reporting the
+// (rounded-up) bucket edge would exceed the true maximum. Percentile must
+// clamp to the tracked min/max, making tiny-history sketches exact.
+func TestOnlineStatsPercentileClampedToExtremes(t *testing.T) {
+	// A value one past a bucket edge, so its upper edge rounds well up.
+	v := model.Time(1<<21 + 1)
+	s := NewOnlineStats()
+	s.Observe(v)
+	for _, p := range []int{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != v {
+			t.Fatalf("single sample: p%d = %s, want exactly %s", p, got, v)
+		}
+	}
+
+	s2 := NewOnlineStats()
+	lo, hi := model.Time(1<<20+3), model.Time(1<<22+5)
+	s2.Observe(hi)
+	s2.Observe(lo)
+	for _, p := range []int{0, 50, 99, 100} {
+		got := s2.Percentile(p)
+		if got < lo || got > hi {
+			t.Fatalf("two samples: p%d = %s outside observed [%s, %s]", p, got, lo, hi)
+		}
+	}
+	if got := s2.Percentile(99); got != hi {
+		t.Fatalf("two samples: p99 = %s, want the max %s (order statistic), not a bucket edge", got, hi)
+	}
+}
+
+// TestOnlineStatsSingleSampleMatchesSummarize: a one-sample OnlineStats
+// snapshot must agree field for field with the exact SummarizeSamples
+// fold — the degenerate history where any sketch slack would show.
+func TestOnlineStatsSingleSampleMatchesSummarize(t *testing.T) {
+	const kind = spec.OpKind("read")
+	v := model.Time(7_777_777)
+	s := NewOnlineStats()
+	s.Observe(v)
+	got := s.Stats(kind)
+	want := SummarizeSamples(map[spec.OpKind][]model.Time{kind: {v}})[kind]
+	if got != want {
+		t.Fatalf("single-sample snapshot %+v, want exact %+v", got, want)
+	}
+}
+
 func TestOnlineStatsSmallValuesExact(t *testing.T) {
 	s := NewOnlineStats()
 	for v := model.Time(0); v < 1<<(sketchSubBits+1); v++ {

@@ -109,8 +109,18 @@ type RunOptions struct {
 	Verify bool
 	// Checker optionally shares a transition cache with the verifier —
 	// the engine passes one per data type so a grid's worker pool reuses
-	// Apply/EncodeState work across runs. Nil means a per-run cache.
+	// Apply/EncodeState work across runs. Nil means an arena-local cache.
 	Checker *check.Cache
+	// Arena optionally reuses checker scratch (record copies, search
+	// state, key slabs) across runs. The engine keeps one per worker for
+	// the lifetime of a stream; nil draws from a process-wide pool.
+	Arena *check.Arena
+	// CheckWorkers caps island-parallel checking within a verified
+	// history; ≤ 1 checks concurrency islands sequentially.
+	CheckWorkers int
+	// NoIslands forces the verifier's single whole-history search,
+	// disabling island decomposition (equivalence testing and debugging).
+	NoIslands bool
 }
 
 // Target is the slice of a shared-object instance the harness needs: the
@@ -138,6 +148,10 @@ func Run(target Target, sched Schedule, opt RunOptions) (Report, error) {
 		}
 		horizon = last + 1000*target.Simulator().Params().D
 	}
+	// The schedule's length is the run's record count (open-loop deferrals
+	// reuse the same record), so the history and event slabs can be sized
+	// once up front instead of growing through the run.
+	target.Simulator().Reserve(len(sched.Invocations))
 	for _, inv := range sched.Invocations {
 		target.Invoke(inv.At, inv.Proc, inv.Kind, inv.Arg)
 	}
@@ -151,7 +165,12 @@ func Run(target Target, sched Schedule, opt RunOptions) (Report, error) {
 	rep := Report{PerKind: Summarize(h), History: h}
 	if opt.Verify {
 		rep.Checked = true
-		rep.Linearizable = check.CheckCached(target.DataType(), h, opt.Checker).Linearizable
+		rep.Linearizable = check.CheckOpts(target.DataType(), h, check.Options{
+			Cache:     opt.Checker,
+			Arena:     opt.Arena,
+			Workers:   opt.CheckWorkers,
+			NoIslands: opt.NoIslands,
+		}).Linearizable
 	}
 	return rep, nil
 }
