@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-adversary bench bench-json bench-compare cover vet vet-json fmt examples
+.PHONY: build test test-adversary test-faults fuzz-smoke bench bench-json bench-compare cover vet vet-json fmt examples
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,24 @@ examples:
 # tests that back them.
 test-adversary:
 	$(GO) test -race -run 'Adversary|Witness|Conformance|Theorem|Figure1|Premature|Shrunk|Property|Family' ./internal/engine ./internal/adversary ./internal/check .
+
+# The fault battery: plan/injector unit tests, the replica lifecycle HSM,
+# the engine's dichotomy-verdict machinery, the engineered fault adversary
+# families (both horns pinned per run), crash-pending history semantics,
+# and the facade-level fault conformance grid. Every faulted run must land
+# on exactly one dichotomy horn — within the crash-adjusted bound, or a
+# breach naming the broken model assumption. See docs/FAULTS.md.
+test-faults:
+	$(GO) test -race -run 'Fault|Lifecycle|Dichotomy|Horn|Crash|Churn|Drift' ./internal/fault ./internal/core ./internal/history ./internal/engine ./internal/adversary .
+
+# A bounded differential-fuzz pass over the linearizability checker: the
+# island-decomposed search (sequential and parallel) against the textbook
+# Wing–Gong reference on decoded random histories. The committed corpus
+# under internal/check/testdata/fuzz replays on every plain `go test`;
+# this target additionally mutates for FUZZTIME.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCheckIslands -fuzztime $(FUZZTIME) ./internal/check
 
 # Benchmarks report simulated-model-time latencies as custom *-ms metrics;
 # ns/op measures simulator throughput. Record trajectories with -count.

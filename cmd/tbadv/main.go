@@ -8,11 +8,17 @@
 // theorem dichotomy — a linearizable run below the bound would falsify the
 // paper.
 //
+// With -faults, it additionally drives the engineered fault families —
+// crash, churn, loss, duplication, partition, drift — and prints their
+// dichotomy table: every faulted run must land on exactly one horn, within
+// the crash-adjusted bound or a breach report naming the broken model
+// assumption.
+//
 // Usage:
 //
 //	tbadv [-adversaries fig1,c1,c1-queue,d1,e1,e1-dict] [-backends algorithm1]
 //	      [-n 3] [-ds 10ms] [-us 2ms,4ms] [-shift 1.0] [-modes premature,correct]
-//	      [-workers 0] [-json]
+//	      [-faults all|fault-crash,fault-drift,...] [-workers 0] [-json]
 package main
 
 import (
@@ -49,6 +55,18 @@ type row struct {
 	Holds    bool       `json:"holds"`
 }
 
+// faultRow is one fault-dichotomy entry of the -faults artifact: the
+// verdict horn plus, on the broken horn, the breached assumptions.
+type faultRow struct {
+	Scenario string   `json:"scenario"`
+	Family   string   `json:"family"`
+	Plan     string   `json:"plan"`
+	Verdict  string   `json:"verdict"`
+	Breaches []string `json:"breaches,omitempty"`
+	Faults   int      `json:"faults_injected"`
+	Pending  int      `json:"pending_ops"`
+}
+
 func run() error {
 	var (
 		advF     = flag.String("adversaries", strings.Join(adversary.SpecNames(), ","), "comma-separated constructions")
@@ -58,8 +76,9 @@ func run() error {
 		usF      = flag.String("us", "4ms", "comma-separated delay uncertainties u")
 		shift    = flag.Float64("shift", 1.0, "clock-shift fraction of the full proof shift")
 		modesF   = flag.String("modes", "premature,correct", "tunings to drive: premature, correct")
+		faultsF  = flag.String("faults", "", "fault families to drive: all, or a comma-separated subset of "+strings.Join(adversary.FaultFamilyNames(), ","))
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		asJSON   = flag.Bool("json", false, "emit the witness table as JSON")
+		asJSON   = flag.Bool("json", false, "emit the witness (and fault) tables as JSON")
 	)
 	flag.Parse()
 
@@ -89,6 +108,22 @@ func run() error {
 		}
 		for _, name := range strings.Split(*advF, ",") {
 			as, err := adversary.SpecByName(strings.TrimSpace(name), correct, sf)
+			if err != nil {
+				return err
+			}
+			grid.Adversaries = append(grid.Adversaries, as)
+		}
+	}
+	if *faultsF != "" {
+		names := adversary.FaultFamilyNames()
+		if *faultsF != "all" {
+			names = nil
+			for _, name := range strings.Split(*faultsF, ",") {
+				names = append(names, strings.TrimSpace(name))
+			}
+		}
+		for _, name := range names {
+			as, err := adversary.FaultFamilyByName(name)
 			if err != nil {
 				return err
 			}
@@ -128,14 +163,39 @@ func run() error {
 			Holds:    verdicts[w.Family],
 		})
 	}
+	var frows []faultRow
+	for _, nf := range rep.FaultReports() {
+		fr := faultRow{
+			Scenario: nf.Scenario,
+			Family:   nf.Fault.Family,
+			Plan:     nf.Fault.Plan,
+			Verdict:  nf.Fault.Verdict,
+			Faults:   nf.Fault.Stats.Total(),
+			Pending:  nf.Fault.Pending,
+		}
+		for _, b := range nf.Fault.Breaches {
+			fr.Breaches = append(fr.Breaches, b.String())
+		}
+		frows = append(frows, fr)
+	}
 	if *asJSON {
-		data, err := json.MarshalIndent(rows, "", "  ")
+		var artifact any = rows
+		if len(frows) > 0 {
+			artifact = struct {
+				Witnesses []row      `json:"witnesses"`
+				Faults    []faultRow `json:"faults"`
+			}{rows, frows}
+		}
+		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(data))
 	} else {
 		fmt.Print(rep.RenderWitnesses())
+		if len(frows) > 0 {
+			fmt.Printf("\n%s", rep.RenderFaults())
+		}
 		fmt.Printf("\n%d adversary runs, %d operations\n", len(rows), rep.Ops())
 	}
 	if err := rep.Err(); err != nil {
@@ -143,6 +203,9 @@ func run() error {
 	}
 	if !*asJSON {
 		fmt.Println("every family upholds the theorem dichotomy (a violation, or latency ≥ bound)")
+		if len(frows) > 0 {
+			fmt.Println("every faulted run lands on exactly one dichotomy horn (within-bound, or a named breach)")
+		}
 	}
 	return nil
 }

@@ -10,12 +10,20 @@
 //	       [-ns 3,4] [-d 10ms] [-u 4ms] [-xs 0,3ms] [-delays random,worst]
 //	       [-seeds 2] [-ops 4] [-workers 0] [-verify]
 //	       [-adversary fig1,c1,c1-queue,d1,e1,e1-dict]
+//	       [-faults all|crash,loss,drift,...]
 //	       [-shards 8 [-keys 24]]
 //
 // With -adversary, the named lower-bound constructions are expanded
 // alongside the regular cross product (premature and correct tunings both),
 // and the witness table is appended to the report; see cmd/tbadv for the
 // dedicated sweep runner.
+//
+// With -faults, the grid gains a fault-plan axis: every scenario point is
+// additionally run under each named fault family (crash, churn, loss,
+// duplication, partition, drift), and the fault-dichotomy table is appended
+// to the report — every faulted run must land on exactly one verdict horn,
+// within the crash-adjusted bound or a breach naming the broken model
+// assumption. The zero-fault cross product still runs alongside.
 //
 // With -shards, tbgrid instead drives the engine's sharded path: a keyed
 // workload over -keys keys is partitioned into -shards dictionary
@@ -57,6 +65,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		verify    = flag.Bool("verify", false, "run the linearizability checker on every history")
 		advF      = flag.String("adversary", "", "comma-separated lower-bound constructions to run alongside the grid")
+		faultsF   = flag.String("faults", "", "fault-plan axis: all, or a comma-separated subset of "+strings.Join(timebounds.FaultSpecNames(), ","))
 		shards    = flag.Int("shards", 0, "run the sharded keyed-workload path with this many shards (0 = off, -1 = one shard per key)")
 		keys      = flag.Int("keys", 24, "key-space size for -shards")
 	)
@@ -65,6 +74,9 @@ func run() error {
 	if *shards != 0 {
 		if *advF != "" {
 			return fmt.Errorf("-adversary cannot be combined with -shards (adversary run families are unsharded)")
+		}
+		if *faultsF != "" {
+			return fmt.Errorf("-faults cannot be combined with -shards (the fault axis applies to the unsharded grid)")
 		}
 		return runSharded(*backendsF, *nsF, *xsF, *delaysF, *d, *u, *shards, *keys, *ops, *seeds, *workers, *verify)
 	}
@@ -110,6 +122,25 @@ func run() error {
 	}
 	grid.Workloads = []timebounds.Workload{{OpsPerProcess: *ops}}
 	grid.Verify = *verify
+	if *faultsF != "" {
+		// Keep the zero-fault point so the fault axis extends the grid
+		// rather than replacing it.
+		grid.Faults = []timebounds.FaultSpec{{}}
+		names := timebounds.FaultSpecNames()
+		if *faultsF != "all" {
+			names = nil
+			for _, name := range strings.Split(*faultsF, ",") {
+				names = append(names, strings.TrimSpace(name))
+			}
+		}
+		for _, name := range names {
+			fs, err := timebounds.FaultSpecByName(name)
+			if err != nil {
+				return err
+			}
+			grid.Faults = append(grid.Faults, fs)
+		}
+	}
 	if *advF != "" {
 		for _, name := range strings.Split(*advF, ",") {
 			for _, correct := range []bool{false, true} {
@@ -129,9 +160,17 @@ func run() error {
 		fmt.Println("\nlower-bound witnesses:")
 		fmt.Print(wt)
 	}
+	if ft := rep.RenderFaults(); ft != "" {
+		fmt.Println("\nfault dichotomy:")
+		fmt.Print(ft)
+	}
 	fmt.Printf("\n%d scenarios, %d operations\n", len(scenarios), rep.Ops())
 	if err := rep.Err(); err != nil {
 		return err
+	}
+	if *faultsF != "" {
+		fmt.Println("all fault-free scenarios within bounds; every faulted run on exactly one dichotomy horn")
+		return nil
 	}
 	fmt.Println("all scenarios within bounds, converged" + map[bool]string{true: ", linearizable", false: ""}[*verify])
 	return nil

@@ -1,0 +1,158 @@
+package adversary
+
+import (
+	"testing"
+
+	"timebounds/internal/engine"
+)
+
+// runFaultFamily expands one fault family at the standard parameter point
+// and runs it, returning the engine report.
+func runFaultFamily(t *testing.T, as engine.AdversarySpec) engine.Report {
+	t.Helper()
+	scs, err := as.Scenarios(nil, params(3), 1)
+	if err != nil {
+		t.Fatalf("%s: Scenarios: %v", as.Name, err)
+	}
+	rep := engine.Run(scs)
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			t.Fatalf("%s: scenario %q: %s", as.Name, res.Name, res.Err)
+		}
+		if res.Fault == nil {
+			t.Fatalf("%s: scenario %q recorded no fault report", as.Name, res.Name)
+		}
+	}
+	return rep
+}
+
+// verdictOf returns the fault verdict of the family member whose scenario
+// name contains the run label.
+func verdictOf(t *testing.T, rep engine.Report, runName string) string {
+	t.Helper()
+	for _, nf := range rep.FaultReports() {
+		if containsRun(nf.Scenario, runName) {
+			return nf.Fault.Verdict
+		}
+	}
+	t.Fatalf("no fault report for run %q", runName)
+	return ""
+}
+
+func containsRun(scenario, run string) bool {
+	return len(scenario) > 0 && len(run) > 0 && indexOf(scenario, "/"+run+"/") >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestFaultFamiliesUpholdDichotomy is the battery's core assertion: every
+// member of every fault family lands on exactly one dichotomy horn, so
+// every family-level verdict holds.
+func TestFaultFamiliesUpholdDichotomy(t *testing.T) {
+	for _, as := range FaultFamilies() {
+		as := as
+		t.Run(as.Name, func(t *testing.T) {
+			rep := runFaultFamily(t, as)
+			fams := rep.WitnessFamilies()
+			if len(fams) != 1 {
+				t.Fatalf("witness families = %d, want 1", len(fams))
+			}
+			f := fams[0]
+			if !f.FaultDichotomy {
+				t.Fatal("family not marked for the fault dichotomy")
+			}
+			if !f.Holds() {
+				t.Fatalf("family verdict falsified: runs=%d within=%d broken=%d",
+					f.Runs, f.WithinBound, f.Broken)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatalf("Report.Err: %v", err)
+			}
+		})
+	}
+}
+
+// TestFaultFamilyHorns pins which horn each engineered run lands on: the
+// families were constructed so both horns stay exercised.
+func TestFaultFamilyHorns(t *testing.T) {
+	want := map[string]map[string]string{
+		"fault-crash": {
+			"quiet-recover": engine.VerdictWithinBound,
+			"mid-op":        engine.VerdictAssumptionBroken,
+			"no-recover":    engine.VerdictWithinBound,
+		},
+		"fault-churn": {
+			"clean-leave":  engine.VerdictWithinBound,
+			"mid-op-leave": engine.VerdictAssumptionBroken,
+		},
+		"fault-loss": {
+			"in-window":    engine.VerdictAssumptionBroken,
+			"after-window": engine.VerdictWithinBound,
+		},
+		"fault-dup-register": {
+			"idempotent": engine.VerdictWithinBound,
+		},
+		"fault-dup-counter": {
+			"double-apply": engine.VerdictAssumptionBroken,
+		},
+		"fault-partition": {
+			"islanded": engine.VerdictAssumptionBroken,
+			"healed":   engine.VerdictWithinBound,
+		},
+		"fault-drift": {
+			"common-mode":  engine.VerdictWithinBound,
+			"differential": engine.VerdictAssumptionBroken,
+		},
+	}
+	for _, as := range FaultFamilies() {
+		as := as
+		t.Run(as.Name, func(t *testing.T) {
+			expected, ok := want[as.Name]
+			if !ok {
+				t.Fatalf("no horn expectations for family %s", as.Name)
+			}
+			rep := runFaultFamily(t, as)
+			for run, verdict := range expected {
+				if got := verdictOf(t, rep, run); got != verdict {
+					t.Errorf("run %s: verdict %s, want %s", run, got, verdict)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultFamilyLookup pins the registry surface.
+func TestFaultFamilyLookup(t *testing.T) {
+	names := FaultFamilyNames()
+	if len(names) != len(FaultFamilies()) {
+		t.Fatalf("names %d != families %d", len(names), len(FaultFamilies()))
+	}
+	for _, name := range names {
+		as, err := FaultFamilyByName(name)
+		if err != nil {
+			t.Fatalf("FaultFamilyByName(%q): %v", name, err)
+		}
+		if as.Name != name || !as.FaultDichotomy {
+			t.Fatalf("FaultFamilyByName(%q) = %+v", name, as.Name)
+		}
+	}
+	if _, err := FaultFamilyByName("meteor"); err == nil {
+		t.Fatal("unknown family should error")
+	}
+}
+
+// TestFaultFamiliesRejectSmallN pins the cast-size guard.
+func TestFaultFamiliesRejectSmallN(t *testing.T) {
+	for _, as := range FaultFamilies() {
+		if _, err := as.Runs(params(2)); err == nil {
+			t.Errorf("%s: n=2 should be rejected", as.Name)
+		}
+	}
+}

@@ -59,15 +59,31 @@ func (c *Cluster) DataType() spec.DataType { return c.dt }
 // Replica returns the i-th replica, for state inspection in tests.
 func (c *Cluster) Replica(i int) *Replica { return c.replicas[i] }
 
-// ConvergedState returns the common canonical local-state encoding of all
-// replicas, or an error if replicas diverged (they must agree once the run
-// is quiescent and all operations executed everywhere).
+// ConvergedState returns the common canonical local-state encoding of the
+// serving replicas, or an error if they diverged (they must agree once the
+// run is quiescent and all operations executed everywhere). Replicas that
+// are not serving — crashed, retired, or stuck re-syncing — are not
+// authoritative copies and are excluded; a cluster with no serving replica
+// has no state to report. In a fault-free run every replica is serving, so
+// this degrades to the all-replicas comparison.
 func (c *Cluster) ConvergedState() (string, error) {
-	enc := c.replicas[0].LocalStateEncoding()
+	ref := -1
+	var enc string
 	for i, r := range c.replicas {
-		if got := r.LocalStateEncoding(); got != enc {
-			return "", fmt.Errorf("core: replica %d state %q != replica 0 state %q", i, got, enc)
+		if r.LifecycleState() != StateServing {
+			continue
 		}
+		got := r.LocalStateEncoding()
+		if ref < 0 {
+			ref, enc = i, got
+			continue
+		}
+		if got != enc {
+			return "", fmt.Errorf("core: replica %d state %q != replica %d state %q", i, got, ref, enc)
+		}
+	}
+	if ref < 0 {
+		return "", fmt.Errorf("core: no serving replica left to report a state")
 	}
 	return enc, nil
 }

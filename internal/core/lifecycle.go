@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"timebounds/internal/model"
+)
+
+// LifecycleState is a leaf state of the replica lifecycle HSM:
+//
+//	joining → syncing → serving → suspected → recovering → (syncing …)
+//	    any active or faulted state → retired
+//
+// The leaves group into three superstates (SuperState): Active replicas
+// participate in the protocol, Faulted replicas are down or catching up
+// after a crash, and Retired is terminal. Guarded transitions live in
+// Resolve; entry/exit actions hang off Lifecycle hooks.
+type LifecycleState uint8
+
+const (
+	// StateJoining is the birth state: admitted to the membership but not
+	// yet holding a copy of the object.
+	StateJoining LifecycleState = iota
+	// StateSyncing is acquiring the object state from a serving peer.
+	StateSyncing
+	// StateServing is full protocol participation (Algorithm 1 proper).
+	StateServing
+	// StateSuspected is crashed: silent, volatile state lost.
+	StateSuspected
+	// StateRecovering is restarted but not yet re-synchronized.
+	StateRecovering
+	// StateRetired is permanent departure (churn); terminal.
+	StateRetired
+)
+
+// SuperState is the HSM's composite layer.
+type SuperState uint8
+
+const (
+	// SuperActive groups joining, syncing and serving.
+	SuperActive SuperState = iota
+	// SuperFaulted groups suspected and recovering.
+	SuperFaulted
+	// SuperRetired holds only retired.
+	SuperRetired
+)
+
+// Super returns the leaf's superstate.
+func (s LifecycleState) Super() SuperState {
+	switch s {
+	case StateSuspected, StateRecovering:
+		return SuperFaulted
+	case StateRetired:
+		return SuperRetired
+	default:
+		return SuperActive
+	}
+}
+
+// String implements fmt.Stringer.
+func (s LifecycleState) String() string {
+	switch s {
+	case StateJoining:
+		return "joining"
+	case StateSyncing:
+		return "syncing"
+	case StateServing:
+		return "serving"
+	case StateSuspected:
+		return "suspected"
+	case StateRecovering:
+		return "recovering"
+	case StateRetired:
+		return "retired"
+	default:
+		return "invalid"
+	}
+}
+
+// String implements fmt.Stringer.
+func (s SuperState) String() string {
+	switch s {
+	case SuperActive:
+		return "active"
+	case SuperFaulted:
+		return "faulted"
+	case SuperRetired:
+		return "retired"
+	default:
+		return "invalid"
+	}
+}
+
+// LifecycleEvent triggers a lifecycle transition.
+type LifecycleEvent uint8
+
+const (
+	// EvAdmit admits a joining replica into state acquisition.
+	EvAdmit LifecycleEvent = iota
+	// EvSynced completes state acquisition.
+	EvSynced
+	// EvCrash halts a replica (any active leaf).
+	EvCrash
+	// EvRecover restarts a crashed replica.
+	EvRecover
+	// EvResync sends a recovered replica back into state acquisition.
+	EvResync
+	// EvRetire removes a replica permanently (any non-retired leaf).
+	EvRetire
+)
+
+// String implements fmt.Stringer.
+func (e LifecycleEvent) String() string {
+	switch e {
+	case EvAdmit:
+		return "admit"
+	case EvSynced:
+		return "synced"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvResync:
+		return "resync"
+	case EvRetire:
+		return "retire"
+	default:
+		return "invalid"
+	}
+}
+
+// LifecycleStates enumerates every leaf state, for coverage tests.
+func LifecycleStates() []LifecycleState {
+	return []LifecycleState{StateJoining, StateSyncing, StateServing,
+		StateSuspected, StateRecovering, StateRetired}
+}
+
+// LifecycleEvents enumerates every event, for coverage tests.
+func LifecycleEvents() []LifecycleEvent {
+	return []LifecycleEvent{EvAdmit, EvSynced, EvCrash, EvRecover, EvResync, EvRetire}
+}
+
+// Resolve is the HSM's transition function: leaf-specific rules first, then
+// the superstate's rules, otherwise an explicit rejection explaining why the
+// (state, event) pair is invalid. Every pair resolves to exactly one of the
+// two — the lifecycle property tests enumerate the full cross product.
+func Resolve(s LifecycleState, ev LifecycleEvent) (LifecycleState, error) {
+	// Leaf rules shadow superstate rules, as in any HSM.
+	switch {
+	case s == StateJoining && ev == EvAdmit:
+		return StateSyncing, nil
+	case s == StateSyncing && ev == EvSynced:
+		return StateServing, nil
+	case s == StateSuspected && ev == EvRecover:
+		return StateRecovering, nil
+	case s == StateRecovering && ev == EvResync:
+		return StateSyncing, nil
+	}
+	switch s.Super() {
+	case SuperActive:
+		switch ev {
+		case EvCrash:
+			return StateSuspected, nil
+		case EvRetire:
+			return StateRetired, nil
+		}
+	case SuperFaulted:
+		if ev == EvRetire {
+			return StateRetired, nil
+		}
+	}
+	return s, rejectTransition(s, ev)
+}
+
+// rejectTransition explains why a (state, event) pair is invalid.
+func rejectTransition(s LifecycleState, ev LifecycleEvent) error {
+	var why string
+	switch {
+	case s == StateRetired:
+		why = "retired is terminal"
+	case ev == EvCrash:
+		why = "already faulted; a crash needs a live replica"
+	case ev == EvRecover:
+		why = "only a suspected replica recovers"
+	case ev == EvResync:
+		why = "only a recovering replica re-syncs"
+	case ev == EvAdmit:
+		why = "only a joining replica is admitted"
+	case ev == EvSynced:
+		why = "only a syncing replica completes synchronization"
+	default:
+		why = "no rule"
+	}
+	return fmt.Errorf("core: lifecycle rejects %s in state %s (%s)", ev, s, why)
+}
+
+// Lifecycle is one replica's HSM instance: the current leaf state plus
+// optional entry/exit actions. Hooks run in standard HSM order on Fire:
+// exit leaf, exit superstate (when it changes), enter superstate, enter
+// leaf. Nil hooks cost nothing.
+type Lifecycle struct {
+	state LifecycleState
+
+	// OnExit and OnEnter run on every leaf transition.
+	OnExit, OnEnter func(s LifecycleState, at model.Time)
+	// OnExitSuper and OnEnterSuper run only when the superstate changes.
+	OnExitSuper, OnEnterSuper func(s SuperState, at model.Time)
+}
+
+// NewLifecycle returns an HSM in the birth state, joining.
+func NewLifecycle() Lifecycle { return Lifecycle{state: StateJoining} }
+
+// State returns the current leaf state.
+func (l *Lifecycle) State() LifecycleState { return l.state }
+
+// CanServe reports whether the replica participates in the protocol.
+func (l *Lifecycle) CanServe() bool { return l.state == StateServing }
+
+// Fire resolves ev against the current state and, if the transition is
+// allowed, runs the exit/enter actions and moves. A rejected event leaves
+// the state untouched and returns the rejection.
+func (l *Lifecycle) Fire(ev LifecycleEvent, at model.Time) error {
+	next, err := Resolve(l.state, ev)
+	if err != nil {
+		return err
+	}
+	prev := l.state
+	if l.OnExit != nil {
+		l.OnExit(prev, at)
+	}
+	if prev.Super() != next.Super() {
+		if l.OnExitSuper != nil {
+			l.OnExitSuper(prev.Super(), at)
+		}
+	}
+	l.state = next
+	if prev.Super() != next.Super() {
+		if l.OnEnterSuper != nil {
+			l.OnEnterSuper(next.Super(), at)
+		}
+	}
+	if l.OnEnter != nil {
+		l.OnEnter(next, at)
+	}
+	return nil
+}

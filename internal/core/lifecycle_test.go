@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"timebounds/internal/model"
+	"timebounds/internal/types"
+)
+
+// TestLifecycleFullCrossProduct enumerates every (state, event) pair and
+// asserts it is either an allowed transition matching the expected table or
+// an explicit rejection — never silence, never a panic.
+func TestLifecycleFullCrossProduct(t *testing.T) {
+	type key struct {
+		s  LifecycleState
+		ev LifecycleEvent
+	}
+	allowed := map[key]LifecycleState{
+		{StateJoining, EvAdmit}:     StateSyncing,
+		{StateSyncing, EvSynced}:    StateServing,
+		{StateSuspected, EvRecover}: StateRecovering,
+		{StateRecovering, EvResync}: StateSyncing,
+
+		{StateJoining, EvCrash}: StateSuspected,
+		{StateSyncing, EvCrash}: StateSuspected,
+		{StateServing, EvCrash}: StateSuspected,
+
+		{StateJoining, EvRetire}:    StateRetired,
+		{StateSyncing, EvRetire}:    StateRetired,
+		{StateServing, EvRetire}:    StateRetired,
+		{StateSuspected, EvRetire}:  StateRetired,
+		{StateRecovering, EvRetire}: StateRetired,
+	}
+	covered := 0
+	for _, s := range LifecycleStates() {
+		for _, ev := range LifecycleEvents() {
+			covered++
+			next, err := Resolve(s, ev)
+			if want, ok := allowed[key{s, ev}]; ok {
+				if err != nil {
+					t.Errorf("(%s, %s): want %s, got rejection %v", s, ev, want, err)
+				} else if next != want {
+					t.Errorf("(%s, %s): want %s, got %s", s, ev, want, next)
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("(%s, %s): want explicit rejection, got transition to %s", s, ev, next)
+			}
+			if next != s {
+				t.Errorf("(%s, %s): rejection must not move the state (got %s)", s, ev, next)
+			}
+		}
+	}
+	if want := len(LifecycleStates()) * len(LifecycleEvents()); covered != want {
+		t.Fatalf("covered %d pairs, want %d", covered, want)
+	}
+}
+
+// TestLifecycleRetiredNeverServes drives random event sequences and asserts
+// the invariant: once retired, a lifecycle never reaches serving (or any
+// other state) again.
+func TestLifecycleRetiredNeverServes(t *testing.T) {
+	events := LifecycleEvents()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		l := NewLifecycle()
+		retired := false
+		for step := 0; step < 40; step++ {
+			ev := events[rng.Intn(len(events))]
+			err := l.Fire(ev, model.Time(step))
+			if retired {
+				if err == nil {
+					t.Fatalf("trial %d: event %s accepted after retirement", trial, ev)
+				}
+				if l.State() != StateRetired {
+					t.Fatalf("trial %d: left retired via %s to %s", trial, ev, l.State())
+				}
+				continue
+			}
+			if l.State() == StateRetired {
+				retired = true
+			}
+		}
+	}
+}
+
+// TestLifecycleSuperstates pins the leaf→superstate mapping.
+func TestLifecycleSuperstates(t *testing.T) {
+	want := map[LifecycleState]SuperState{
+		StateJoining:    SuperActive,
+		StateSyncing:    SuperActive,
+		StateServing:    SuperActive,
+		StateSuspected:  SuperFaulted,
+		StateRecovering: SuperFaulted,
+		StateRetired:    SuperRetired,
+	}
+	for s, sup := range want {
+		if got := s.Super(); got != sup {
+			t.Errorf("%s.Super() = %s, want %s", s, got, sup)
+		}
+	}
+}
+
+// TestLifecycleHookOrder asserts the HSM action order on a superstate
+// change: exit leaf, exit super, enter super, enter leaf — and that the
+// super hooks stay silent when the superstate does not change.
+func TestLifecycleHookOrder(t *testing.T) {
+	l := NewLifecycle()
+	var seq []string
+	l.OnExit = func(s LifecycleState, _ model.Time) { seq = append(seq, "exit:"+s.String()) }
+	l.OnEnter = func(s LifecycleState, _ model.Time) { seq = append(seq, "enter:"+s.String()) }
+	l.OnExitSuper = func(s SuperState, _ model.Time) { seq = append(seq, "exitSuper:"+s.String()) }
+	l.OnEnterSuper = func(s SuperState, _ model.Time) { seq = append(seq, "enterSuper:"+s.String()) }
+
+	if err := l.Fire(EvAdmit, 0); err != nil {
+		t.Fatal(err)
+	}
+	wantSame := []string{"exit:joining", "enter:syncing"}
+	if len(seq) != len(wantSame) || seq[0] != wantSame[0] || seq[1] != wantSame[1] {
+		t.Fatalf("same-super hooks = %v, want %v", seq, wantSame)
+	}
+
+	seq = nil
+	_ = l.Fire(EvSynced, 1)
+	seq = nil
+	if err := l.Fire(EvCrash, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"exit:serving", "exitSuper:active", "enterSuper:faulted", "enter:suspected"}
+	if len(seq) != len(want) {
+		t.Fatalf("cross-super hooks = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("cross-super hooks = %v, want %v", seq, want)
+		}
+	}
+}
+
+// TestReplicaBornServing pins the constructor's pass-through: a fresh
+// replica has already walked joining → syncing → serving.
+func TestReplicaBornServing(t *testing.T) {
+	r := NewReplica(Config{Params: model.Params{N: 3, D: 10, U: 2, Epsilon: 1}}, types.NewRegister(0))
+	if got := r.LifecycleState(); got != StateServing {
+		t.Fatalf("fresh replica state = %s, want serving", got)
+	}
+}

@@ -102,6 +102,25 @@ type opMsg struct {
 	Entry entry
 }
 
+// syncReq solicits a full state copy from serving peers; a recovering
+// replica broadcasts it on restart.
+type syncReq struct{}
+
+// syncResp carries a serving replica's current state to a syncing peer.
+// States are immutable by the spec.DataType contract ("never mutate a State
+// in Apply"), so handing over the reference is safe.
+type syncResp struct {
+	State spec.State
+}
+
+// bufferedInvoke is an invocation that arrived while the replica was
+// syncing; it is replayed through OnInvoke once the replica serves again.
+type bufferedInvoke struct {
+	id   history.OpID
+	kind spec.OpKind
+	arg  spec.Value
+}
+
 // Timer tick payloads. Each timer class fires after a duration that is
 // constant for a given replica (d-u, u+ε, ε+X, d+ε-X respectively), so
 // timers of one class fire in arming order; the replica keeps the timer's
@@ -147,6 +166,15 @@ type timed[T any] struct {
 }
 
 func (f *fifo[T]) push(due model.Time, v T) { f.buf = append(f.buf, timed[T]{due: due, v: v}) }
+
+// reset drops every queued entry (and its payload references), keeping the
+// backing array. Used when a crash wipes the replica's volatile state — the
+// matching timers die with the restart epoch, so no pop will miss them.
+func (f *fifo[T]) reset() {
+	clear(f.buf)
+	f.buf = f.buf[:0]
+	f.head = 0
+}
 
 // pop dequeues the oldest entry, asserting it is the one due now — a
 // desync (a per-operation tuning or a canceled class timer would cause
@@ -235,19 +263,79 @@ type Replica struct {
 	execQ fifo[model.Timestamp]
 	mutQ  fifo[history.OpID]
 	accQ  fifo[accessorPending]
+	// life is the replica's lifecycle HSM (lifecycle.go); the protocol above
+	// runs only in the serving state.
+	life Lifecycle
+	// joinBuf holds invocations that arrived while syncing.
+	joinBuf []bufferedInvoke
 }
 
-var _ sim.Process = (*Replica)(nil)
+var (
+	_ sim.Process     = (*Replica)(nil)
+	_ sim.Restartable = (*Replica)(nil)
+	_ sim.Retireable  = (*Replica)(nil)
+)
 
-// NewReplica builds one replica of dt under cfg.
+// NewReplica builds one replica of dt under cfg. A fresh replica is born
+// holding the data type's initial state — the common starting point — so
+// its lifecycle passes through joining and syncing without soliciting a
+// copy and starts out serving.
 func NewReplica(cfg Config, dt spec.DataType) *Replica {
-	return &Replica{
+	r := &Replica{
 		cfg:        cfg,
 		dt:         dt,
 		local:      dt.InitialState(),
 		pendingOOP: make(map[model.Timestamp]history.OpID),
 	}
+	r.life = NewLifecycle()
+	r.life.OnEnterSuper = r.onEnterSuper
+	_ = r.life.Fire(EvAdmit, 0)
+	_ = r.life.Fire(EvSynced, 0)
+	return r
 }
+
+// LifecycleState returns the replica's current lifecycle leaf state.
+func (r *Replica) LifecycleState() LifecycleState { return r.life.State() }
+
+// onEnterSuper is the HSM superstate entry action: leaving the active
+// superstate (crash or retirement) wipes the volatile protocol state.
+func (r *Replica) onEnterSuper(s SuperState, _ model.Time) {
+	if s != SuperActive {
+		r.dropVolatile()
+	}
+}
+
+// dropVolatile clears everything a crash loses: the To_Execute buffer, the
+// four timer-class FIFOs (their armed timers die with the restart epoch),
+// and the locally pending OOP responses. The applied copy of the object is
+// lost too, logically — it is re-acquired from a peer on recovery.
+func (r *Replica) dropVolatile() {
+	clear(r.toExecute)
+	r.toExecute = r.toExecute[:0]
+	r.selfQ.reset()
+	r.execQ.reset()
+	r.mutQ.reset()
+	r.accQ.reset()
+	clear(r.pendingOOP)
+	r.joinBuf = r.joinBuf[:0]
+}
+
+// Crash implements sim.Restartable: the simulator halted this replica.
+func (r *Replica) Crash(at model.Time) { _ = r.life.Fire(EvCrash, at) }
+
+// Recover implements sim.Restartable: the replica restarts, re-enters
+// state acquisition and solicits a copy of the object from serving peers.
+func (r *Replica) Recover(env sim.Env) {
+	now := env.ClockTime()
+	if r.life.Fire(EvRecover, now) != nil {
+		return
+	}
+	_ = r.life.Fire(EvResync, now)
+	env.Broadcast(syncReq{})
+}
+
+// Retire implements sim.Retireable: permanent departure.
+func (r *Replica) Retire(at model.Time) { _ = r.life.Fire(EvRetire, at) }
 
 // Applied returns the number of operations executed on the local copy.
 func (r *Replica) Applied() int { return r.applied }
@@ -266,6 +354,15 @@ func clampWait(w model.Time) model.Time {
 
 // OnInvoke implements sim.Process.
 func (r *Replica) OnInvoke(env sim.Env, id history.OpID, kind spec.OpKind, arg spec.Value) {
+	if !r.life.CanServe() {
+		// A syncing replica holds the invocation until it serves again; in
+		// any other non-serving state the operation stays pending forever
+		// (the dichotomy verdict accounts for it).
+		if r.life.State() == StateSyncing {
+			r.joinBuf = append(r.joinBuf, bufferedInvoke{id: id, kind: kind, arg: arg})
+		}
+		return
+	}
 	p := r.cfg.Params
 	switch r.dt.Class(kind) {
 	case spec.ClassPureAccessor:
@@ -302,12 +399,42 @@ func (r *Replica) stampAndBroadcast(env sim.Env, kind spec.OpKind, arg spec.Valu
 }
 
 // OnMessage implements sim.Process.
-func (r *Replica) OnMessage(env sim.Env, _ model.ProcessID, payload any) {
-	msg, ok := payload.(opMsg)
-	if !ok {
+func (r *Replica) OnMessage(env sim.Env, from model.ProcessID, payload any) {
+	switch m := payload.(type) {
+	case opMsg:
+		// Only a serving replica buffers operations: a syncing one cannot
+		// tell whether its eventual donor state already includes this entry,
+		// so it drops it — any resulting gap surfaces as divergence in the
+		// verdict, not as silent double application.
+		if !r.life.CanServe() {
+			return
+		}
+		r.enqueue(env, m.Entry)
+	case syncReq:
+		if r.life.CanServe() {
+			env.Send(from, syncResp{State: r.local})
+		}
+	case syncResp:
+		if r.life.State() != StateSyncing {
+			return
+		}
+		r.local = m.State
+		_ = r.life.Fire(EvSynced, env.ClockTime())
+		r.drainJoinBuf(env)
+	}
+}
+
+// drainJoinBuf replays the invocations buffered while syncing through the
+// normal invoke path, in arrival order.
+func (r *Replica) drainJoinBuf(env sim.Env) {
+	if len(r.joinBuf) == 0 {
 		return
 	}
-	r.enqueue(env, msg.Entry)
+	buf := r.joinBuf
+	r.joinBuf = nil
+	for _, b := range buf {
+		r.OnInvoke(env, b.id, b.kind, b.arg)
+	}
 }
 
 // enqueue adds an entry to To_Execute and arms its u+ε execution timer.

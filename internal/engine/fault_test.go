@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"timebounds/internal/fault"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+	"timebounds/internal/workload"
+)
+
+func TestFaultSpecRegistry(t *testing.T) {
+	names := FaultSpecNames()
+	if len(names) != len(FaultSpecs()) {
+		t.Fatalf("names %d != specs %d", len(names), len(FaultSpecs()))
+	}
+	for _, name := range names {
+		fs, err := FaultSpecByName(name)
+		if err != nil {
+			t.Fatalf("FaultSpecByName(%q): %v", name, err)
+		}
+		if fs.Name != name || !fs.enabled() {
+			t.Fatalf("FaultSpecByName(%q) = %+v", name, fs)
+		}
+	}
+	if _, err := FaultSpecByName("meteor"); err == nil {
+		t.Fatal("unknown family should error")
+	}
+}
+
+// TestEveryFaultFamilyYieldsDichotomyVerdict is the engine-level core of
+// the PR: every bundled fault family, run against Algorithm 1 with the
+// checker on, produces exactly one of the two dichotomy verdicts — and a
+// broken verdict always names at least one breached assumption.
+func TestEveryFaultFamilyYieldsDichotomyVerdict(t *testing.T) {
+	p := engParams(3)
+	for _, fs := range FaultSpecs() {
+		res := Run([]Scenario{{
+			DataType: types.NewRMWRegister(0),
+			Params:   p,
+			Seed:     1,
+			Faults:   fs,
+			Verify:   true,
+			Workload: workload.Spec{OpsPerProcess: 3},
+		}}).Results[0]
+		if res.Err != "" {
+			t.Errorf("%s: run error: %s", fs.Name, res.Err)
+			continue
+		}
+		if res.Fault == nil {
+			t.Errorf("%s: no fault report", fs.Name)
+			continue
+		}
+		switch res.Fault.Verdict {
+		case VerdictWithinBound:
+			if len(res.Fault.Breaches) != 0 {
+				t.Errorf("%s: within-bound verdict carries breaches: %v", fs.Name, res.Fault.Breaches)
+			}
+		case VerdictAssumptionBroken:
+			if len(res.Fault.Breaches) == 0 {
+				t.Errorf("%s: broken verdict names no breached assumption", fs.Name)
+			}
+		default:
+			t.Errorf("%s: verdict %q is neither horn", fs.Name, res.Fault.Verdict)
+		}
+		if !res.OK() {
+			t.Errorf("%s: faulted result with a verdict must be OK", fs.Name)
+		}
+		if !strings.Contains(res.Name, "faults="+fs.Name) {
+			t.Errorf("%s: derived name %q missing fault label", fs.Name, res.Name)
+		}
+	}
+}
+
+// TestZeroFaultScenarioUnchanged pins pay-for-what-you-use: a scenario with
+// the zero FaultSpec takes the fault-free path — no fault report, no
+// pending ops, no fault label in the name.
+func TestZeroFaultScenarioUnchanged(t *testing.T) {
+	res := Run([]Scenario{{
+		DataType: types.NewCounter(),
+		Params:   engParams(3),
+		Seed:     4,
+		Verify:   true,
+		Workload: workload.Spec{OpsPerProcess: 2},
+	}}).Results[0]
+	if res.Err != "" {
+		t.Fatalf("run error: %s", res.Err)
+	}
+	if res.Fault != nil {
+		t.Fatalf("fault-free run recorded a fault report: %+v", res.Fault)
+	}
+	if res.Pending != 0 {
+		t.Fatalf("fault-free run pending = %d", res.Pending)
+	}
+	if strings.Contains(res.Name, "faults=") {
+		t.Fatalf("fault-free name %q carries a fault label", res.Name)
+	}
+}
+
+// TestFaultedRunsBitIdenticalAcrossWorkers pins determinism: the same
+// faulted grid produces reflect.DeepEqual reports at 1 and 8 workers.
+func TestFaultedRunsBitIdenticalAcrossWorkers(t *testing.T) {
+	var scs []Scenario
+	for _, fs := range FaultSpecs() {
+		scs = append(scs, Scenario{
+			DataType: types.NewRMWRegister(0),
+			Params:   engParams(3),
+			Seed:     2,
+			Faults:   fs,
+			Verify:   true,
+			Workload: workload.Spec{OpsPerProcess: 3},
+		})
+	}
+	seq := New(1).Run(scs)
+	par := New(8).Run(scs)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("faulted reports differ between 1 and 8 workers")
+	}
+}
+
+func TestGridFaultAxisExpansion(t *testing.T) {
+	crash, err := FaultSpecByName("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{
+		Objects: []spec.DataType{types.NewQueue()},
+		Params:  []model.Params{engParams(3)},
+		Faults:  []FaultSpec{{}, crash},
+	}
+	scs := g.Scenarios()
+	if len(scs) != 2 {
+		t.Fatalf("grid expanded to %d scenarios, want 2", len(scs))
+	}
+	if scs[0].Faults.enabled() {
+		t.Error("first point should be fault-free")
+	}
+	if !scs[1].Faults.enabled() || scs[1].Faults.Name != "crash" {
+		t.Errorf("second point faults = %+v, want crash", scs[1].Faults)
+	}
+}
+
+// TestFamilyWitnessFaultDichotomy exercises the family verdict arithmetic:
+// a fault family holds iff every member landed on one of the two horns.
+func TestFamilyWitnessFaultDichotomy(t *testing.T) {
+	f := FamilyWitness{FaultDichotomy: true, Runs: 3, WithinBound: 1, Broken: 2}
+	if !f.Holds() {
+		t.Error("complete dichotomy should hold")
+	}
+	f.Broken = 1 // one member produced no verdict
+	if f.Holds() {
+		t.Error("a verdict-less member must falsify the family")
+	}
+	if (FamilyWitness{FaultDichotomy: true}).Holds() {
+		t.Error("an empty fault family holds vacuously? it must not")
+	}
+}
+
+// TestFaultReportSummaryAndRender smoke-tests the human-facing surfaces.
+func TestFaultReportSummaryAndRender(t *testing.T) {
+	rep := Run([]Scenario{{
+		DataType: types.NewRMWRegister(0),
+		Params:   engParams(3),
+		Seed:     3,
+		Faults:   FaultSpec{Name: "crash", Build: func(p model.Params, _ int64) *fault.Plan { return fault.CrashForever(p) }},
+		Verify:   true,
+		Workload: workload.Spec{OpsPerProcess: 3},
+	}})
+	frs := rep.FaultReports()
+	if len(frs) != 1 {
+		t.Fatalf("FaultReports len = %d, want 1", len(frs))
+	}
+	if sum := frs[0].Fault.Summary(); sum == "" {
+		t.Error("empty summary")
+	}
+	table := rep.RenderFaults()
+	for _, part := range []string{"scenario", "verdict", frs[0].Fault.Verdict} {
+		if !strings.Contains(table, part) {
+			t.Errorf("RenderFaults missing %q:\n%s", part, table)
+		}
+	}
+	if err := rep.Err(); err != nil {
+		t.Errorf("faulted grid with verdicts should pass Report.Err: %v", err)
+	}
+}

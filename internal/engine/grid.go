@@ -38,6 +38,11 @@ type Grid struct {
 	// override expands once, not per grid backend). An inadmissible family
 	// surfaces as an error Result under the adversary's name.
 	Adversaries []AdversarySpec
+	// Faults are fault-plan axes crossed with the regular product (not with
+	// the adversaries, which bring their own fault plans); empty means one
+	// fault-free run per point. Include a zero FaultSpec member to keep the
+	// fault-free point alongside the faulted ones.
+	Faults []FaultSpec
 	// Verify runs the linearizability checker on every run.
 	Verify bool
 	// Horizon bounds each simulation; zero picks a generous default.
@@ -46,7 +51,7 @@ type Grid struct {
 
 // Scenarios expands the grid into the full cross product, in a fixed
 // deterministic order (backend-major, then object, params, X, delay,
-// workload, seed).
+// workload, fault plan, seed).
 func (g Grid) Scenarios() []Scenario {
 	backends := g.Backends
 	if len(backends) == 0 {
@@ -67,6 +72,10 @@ func (g Grid) Scenarios() []Scenario {
 	workloads := g.Workloads
 	if len(workloads) == 0 {
 		workloads = []workload.Spec{{}}
+	}
+	faults := g.Faults
+	if len(faults) == 0 {
+		faults = []FaultSpec{{}}
 	}
 	var out []Scenario
 	for bi, b := range backends {
@@ -96,18 +105,21 @@ func (g Grid) Scenarios() []Scenario {
 				for _, x := range xs {
 					for _, d := range delays {
 						for _, wl := range workloads {
-							for _, seed := range seeds {
-								out = append(out, Scenario{
-									Backend:  b,
-									DataType: dt,
-									Params:   p,
-									X:        x,
-									Seed:     seed,
-									Delay:    d,
-									Workload: wl,
-									Verify:   g.Verify,
-									Horizon:  g.Horizon,
-								})
+							for _, fs := range faults {
+								for _, seed := range seeds {
+									out = append(out, Scenario{
+										Backend:  b,
+										DataType: dt,
+										Params:   p,
+										X:        x,
+										Seed:     seed,
+										Delay:    d,
+										Workload: wl,
+										Faults:   fs,
+										Verify:   g.Verify,
+										Horizon:  g.Horizon,
+									})
+								}
 							}
 						}
 					}

@@ -43,6 +43,11 @@ type BoundWitness struct {
 	// RequireLinearizable marks a proven-correct tuning, echoed from the
 	// witness spec: the family verdict then forbids violations.
 	RequireLinearizable bool
+	// FaultVerdict echoes the run's FaultReport verdict (empty when the
+	// run injected no faults); FaultDichotomy marks a fault family judged
+	// by the dichotomy — every member must land on exactly one horn.
+	FaultVerdict   string
+	FaultDichotomy bool
 }
 
 // Margin returns Latency - Bound: how far above the lower bound the
@@ -75,6 +80,12 @@ type FamilyWitness struct {
 	RequireLinearizable bool
 	// Runs counts the member runs.
 	Runs int
+	// FaultDichotomy marks a fault family: the verdict is the dichotomy
+	// count — every member within-bound or assumption-broken, never
+	// unknown. WithinBound and Broken count the members on each horn.
+	FaultDichotomy bool
+	WithinBound    int
+	Broken         int
 }
 
 // Holds reports the family-level verdict. For a premature tuning it is
@@ -84,6 +95,11 @@ type FamilyWitness struct {
 // (RequireLinearizable) the violation horn is a bug, not a witness: every
 // member must linearize and converge AND the latency must meet the bound.
 func (f FamilyWitness) Holds() bool {
+	if f.FaultDichotomy {
+		// A fault family holds exactly when every member produced one of
+		// the two horns — "unknown" (neither verdict) falsifies it.
+		return f.Runs > 0 && f.WithinBound+f.Broken == f.Runs
+	}
 	if f.RequireLinearizable {
 		return !f.Violated && !f.Diverged && f.MaxLatency >= f.Bound
 	}
@@ -139,6 +155,12 @@ type Result struct {
 	Converged bool
 	State     string
 	Diverged  string
+	// Pending counts operations still pending at the horizon — nonzero
+	// only in faulted runs, where a crash can orphan an in-flight op.
+	Pending int
+	// Fault records the dichotomy verdict when the scenario injected a
+	// fault plan; nil for fault-free runs.
+	Fault *FaultReport
 	// Witness records the lower-bound witness when the scenario declared
 	// one (adversary scenarios); nil otherwise.
 	Witness *BoundWitness
@@ -156,6 +178,12 @@ type Result struct {
 func (r Result) OK() bool {
 	if r.Err != "" {
 		return false
+	}
+	if r.Fault != nil {
+		// A faulted run is OK when it completed and landed on one of the
+		// dichotomy's two horns — the broken horn is a valid outcome, not
+		// a failure. Verdict completeness is judged per family.
+		return r.Fault.Verdict != ""
 	}
 	if r.Witness != nil {
 		return true
@@ -233,6 +261,12 @@ func (r Report) Err() error {
 		if res.Err != "" {
 			return fmt.Errorf("engine: scenario %q: %s", res.Name, res.Err)
 		}
+		if res.Fault != nil {
+			if res.Fault.Verdict == "" {
+				return fmt.Errorf("engine: scenario %q: faulted run produced no dichotomy verdict", res.Name)
+			}
+			continue // the broken horn is a valid faulted-run outcome
+		}
 		if res.Witness != nil {
 			continue // violations and divergence are judged per family below
 		}
@@ -299,7 +333,12 @@ func (r Report) WitnessFamilies() []FamilyWitness {
 		}
 		f, ok := byKey[key]
 		if !ok {
-			f = &FamilyWitness{Family: key, Bound: w.Bound, RequireLinearizable: w.RequireLinearizable}
+			f = &FamilyWitness{
+				Family:              key,
+				Bound:               w.Bound,
+				RequireLinearizable: w.RequireLinearizable,
+				FaultDichotomy:      w.FaultDichotomy,
+			}
 			byKey[key] = f
 			order = append(order, key)
 		}
@@ -312,6 +351,12 @@ func (r Report) WitnessFamilies() []FamilyWitness {
 		}
 		if w.Diverged {
 			f.Diverged = true
+		}
+		switch w.FaultVerdict {
+		case VerdictWithinBound:
+			f.WithinBound++
+		case VerdictAssumptionBroken:
+			f.Broken++
 		}
 	}
 	out := make([]FamilyWitness, 0, len(order))
@@ -354,6 +399,56 @@ func (r Report) RenderWitnesses() string {
 		}
 		fmt.Fprintf(&b, "%-*s  %-14s  %10s  %10s  %10s  %-8v  %s\n",
 			w, nw.Scenario, bw.Kind, bw.Latency, bw.Bound, bw.Margin(), bw.Violated, verdict)
+	}
+	return b.String()
+}
+
+// NamedFault pairs a scenario name with its FaultReport.
+type NamedFault struct {
+	Scenario string
+	Fault    FaultReport
+}
+
+// FaultReports returns the grid's fault verdicts in input order, skipping
+// fault-free scenarios.
+func (r Report) FaultReports() []NamedFault {
+	var out []NamedFault
+	for _, res := range r.Results {
+		if res.Fault != nil {
+			out = append(out, NamedFault{Scenario: res.Name, Fault: *res.Fault})
+		}
+	}
+	return out
+}
+
+// RenderFaults renders the grid's fault-verdict table: one row per faulted
+// run with its family, verdict, fault accounting, and — on the broken horn
+// — the dominant breach.
+func (r Report) RenderFaults() string {
+	frs := r.FaultReports()
+	if len(frs) == 0 {
+		return ""
+	}
+	w, fw := 8, 6
+	for _, nf := range frs {
+		if len(nf.Scenario) > w {
+			w = len(nf.Scenario)
+		}
+		if len(nf.Fault.Family) > fw {
+			fw = len(nf.Fault.Family)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %-*s  %-17s  %6s  %7s  %s\n",
+		w, "scenario", fw, "family", "verdict", "faults", "pending", "breach")
+	for _, nf := range frs {
+		fr := nf.Fault
+		breach := "-"
+		if len(fr.Breaches) > 0 {
+			breach = fr.Breaches[0].String()
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s  %-17s  %6d  %7d  %s\n",
+			w, nf.Scenario, fw, fr.Family, fr.Verdict, fr.Stats.Total(), fr.Pending, breach)
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 
 	"timebounds/internal/check"
 	"timebounds/internal/core"
+	"timebounds/internal/fault"
 	"timebounds/internal/model"
 	"timebounds/internal/runs"
 	"timebounds/internal/sim"
@@ -143,6 +144,11 @@ type Scenario struct {
 	Verify bool
 	// Horizon bounds the simulation; zero picks a generous default.
 	Horizon model.Time
+	// Faults injects a fault plan (crashes, churn, loss, duplication,
+	// partitions, clock drift) into the run. The zero value injects
+	// nothing and leaves the run bit-identical to a fault-free scenario.
+	// A faulted run records a FaultReport with its dichotomy verdict.
+	Faults FaultSpec
 	// Witness, when set, records a BoundWitness in the Result: the
 	// completed operation among Witness.Kinds with the largest latency,
 	// compared against the declared theoretical lower bound. Adversary
@@ -172,9 +178,13 @@ func (sc Scenario) resolved() Scenario {
 		if sc.DataType != nil {
 			object = sc.DataType.Name()
 		}
-		sc.Name = fmt.Sprintf("%s/%s/n=%d,d=%s,u=%s,ε=%s/x=%s/%s/%s/seed=%d",
+		faults := ""
+		if sc.Faults.enabled() {
+			faults = "/faults=" + sc.Faults.label()
+		}
+		sc.Name = fmt.Sprintf("%s/%s/n=%d,d=%s,u=%s,ε=%s/x=%s/%s/%s%s/seed=%d",
 			sc.Backend.Name(), object, sc.Params.N, sc.Params.D, sc.Params.U,
-			sc.Params.Epsilon, sc.X, sc.Delay.name(), workloadLabel(sc.Workload), sc.Seed)
+			sc.Params.Epsilon, sc.X, sc.Delay.name(), workloadLabel(sc.Workload), faults, sc.Seed)
 	}
 	return sc
 }
@@ -198,7 +208,11 @@ func workloadLabel(wl workload.Spec) string {
 func (sc Scenario) Build() (Instance, error) {
 	sc = sc.resolved()
 	sc.Trace = true // direct drivers inspect the simulator; keep its traces
-	inst, err := sc.build()
+	_, in, err := sc.faultRuntime()
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+	}
+	inst, err := sc.build(in)
 	if err != nil {
 		return nil, fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
 	}
@@ -209,8 +223,9 @@ func (sc Scenario) Build() (Instance, error) {
 // bare errors (run and Report.Err add the scenario context exactly once).
 // Untraced scenarios get a simulator that skips step/message trace
 // recording — measurement grids never read those traces, and not
-// recording them is a measurable win on large grids.
-func (sc Scenario) build() (Instance, error) {
+// recording them is a measurable win on large grids. in is the run's
+// fault injector (nil for fault-free scenarios).
+func (sc Scenario) build(in *fault.Injector) (Instance, error) {
 	if sc.expandErr != nil {
 		return nil, sc.expandErr
 	}
@@ -238,6 +253,7 @@ func (sc Scenario) build() (Instance, error) {
 			Delay:         sc.Delay.build(sc.Params, sc.Seed),
 			StrictDelays:  true,
 			DiscardTraces: !sc.Trace,
+			Faults:        in,
 		},
 	})
 }
@@ -267,7 +283,12 @@ func (sc Scenario) run(cfg runConfig) Result {
 	if sc.DataType != nil {
 		res.Object = sc.DataType.Name()
 	}
-	inst, err := sc.build()
+	plan, in, err := sc.faultRuntime()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	inst, err := sc.build(in)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -284,6 +305,7 @@ func (sc Scenario) run(cfg runConfig) Result {
 		Arena:        cfg.arena,
 		CheckWorkers: cfg.checkWorkers,
 		NoIslands:    cfg.noIslands,
+		AllowPending: plan.Active(), // crash-orphaned ops stay pending forever
 	})
 	if err != nil {
 		res.Err = err.Error()
@@ -294,6 +316,7 @@ func (sc Scenario) run(cfg runConfig) Result {
 	res.PerKind = rep.PerKind
 	res.Checked = rep.Checked
 	res.Linearizable = rep.Linearizable
+	res.Pending = rep.Pending
 	if state, err := inst.ConvergedState(); err == nil {
 		res.Converged = true
 		res.State = state
@@ -301,6 +324,14 @@ func (sc Scenario) run(cfg runConfig) Result {
 		res.Diverged = err.Error()
 	}
 	res.Bounds = boundChecks(sc, inst.DataType(), rep.PerKind)
+	if plan.Active() {
+		stats, _ := inst.Simulator().FaultStats()
+		offsets := sc.ClockOffsets
+		if offsets == nil {
+			offsets = core.MaxSkewOffsets(sc.Params)
+		}
+		res.Fault = faultReport(sc, inst.DataType(), plan, in, res, offsets, stats)
+	}
 	if sc.Witness != nil {
 		res.Witness = witnessOf(*sc.Witness, res)
 	}
@@ -333,6 +364,10 @@ func witnessOf(w WitnessSpec, res Result) *BoundWitness {
 		Violated:            res.Checked && !res.Linearizable,
 		Diverged:            res.Diverged != "",
 		RequireLinearizable: w.RequireLinearizable,
+		FaultDichotomy:      w.FaultDichotomy,
+	}
+	if res.Fault != nil {
+		bw.FaultVerdict = res.Fault.Verdict
 	}
 	perKind := make(map[spec.OpKind]model.Time)
 	found := false

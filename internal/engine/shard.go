@@ -41,6 +41,8 @@ type ShardedScenario struct {
 	Delay DelaySpec
 	// Workload is the keyed operation-stream spec.
 	Workload workload.Sharded
+	// Faults injects a fault plan into every shard's sub-cluster.
+	Faults FaultSpec
 	// Verify runs the linearizability checker on every shard history and
 	// composes the verdicts.
 	Verify bool
@@ -108,6 +110,7 @@ func (ss ShardedScenario) expand() (shardPlan, []Scenario, error) {
 			Seed:     ss.Seed + int64(sh.Index)*1_000_003,
 			Delay:    ss.Delay,
 			Workload: sh.Spec,
+			Faults:   ss.Faults,
 			Verify:   ss.Verify,
 			Horizon:  ss.Horizon,
 		})

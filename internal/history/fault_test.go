@@ -1,0 +1,111 @@
+package history_test
+
+// Crash-shaped history semantics: operations orphaned by a crashed
+// replica stay pending forever, deferred invocations keep their offered
+// (Arrival) instant, and the duplicate-response guard that fault
+// injection leans on (History.Completed) answers correctly at every
+// lifecycle stage.
+
+import (
+	"testing"
+
+	"timebounds/internal/history"
+	"timebounds/internal/model"
+	"timebounds/internal/types"
+)
+
+func TestCrashOrphanedOpStaysPendingForever(t *testing.T) {
+	// A crash strands the in-flight operation: no response ever arrives,
+	// so Latency and Sojourn are infinite and the history never completes.
+	h := history.New()
+	id := h.Invoke(0, types.OpWrite, 1, 2*ms)
+	_ = id
+	done := h.Invoke(1, types.OpRead, nil, 3*ms)
+	if err := h.Respond(done, 0, 5*ms); err != nil {
+		t.Fatalf("Respond: %v", err)
+	}
+	if h.Complete() {
+		t.Fatal("history with a crash-orphaned op must not be complete")
+	}
+	if got := h.PendingCount(); got != 1 {
+		t.Fatalf("PendingCount = %d, want 1", got)
+	}
+	for _, op := range h.Ops() {
+		if op.ID == id {
+			if op.Latency() != model.Infinity {
+				t.Errorf("orphaned op latency %s, want infinity", op.Latency())
+			}
+			if op.Sojourn() != model.Infinity {
+				t.Errorf("orphaned op sojourn %s, want infinity", op.Sojourn())
+			}
+		}
+	}
+	// MaxLatency skips the orphan: only completed operations are measured
+	// against the class bounds.
+	if max, ok := h.MaxLatency(""); !ok || max != 2*ms {
+		t.Errorf("MaxLatency = %s,%v, want 2ms,true", max, ok)
+	}
+}
+
+func TestCrashDeferredInvocationKeepsArrival(t *testing.T) {
+	// An operation offered while its process's previous one was stranded
+	// behind a crash window invokes late: Arrival stays the offered
+	// instant, Invoke the actual one. The class bounds (Latency) measure
+	// from Invoke; the sojourn — what the client experienced — from
+	// Arrival. The crash's queueing cost is exactly Wait.
+	h := history.New()
+	id := h.InvokeArrived(0, types.OpWrite, 7, 9*ms, 4*ms)
+	if err := h.Respond(id, nil, 12*ms); err != nil {
+		t.Fatalf("Respond: %v", err)
+	}
+	op := h.Ops()[0]
+	if op.Arrival != 4*ms || op.Invoke != 9*ms {
+		t.Fatalf("arrival/invoke = %s/%s, want 4ms/9ms", op.Arrival, op.Invoke)
+	}
+	if op.Wait() != 5*ms {
+		t.Errorf("wait %s, want 5ms", op.Wait())
+	}
+	if op.Latency() != 3*ms {
+		t.Errorf("latency %s, want 3ms (measured from the actual invocation)", op.Latency())
+	}
+	if op.Sojourn() != 8*ms {
+		t.Errorf("sojourn %s, want 8ms (measured from the offered instant)", op.Sojourn())
+	}
+
+	// An arrival claimed after the invocation is clamped: invocations
+	// cannot precede their offer.
+	h2 := history.New()
+	id = h2.InvokeArrived(0, types.OpWrite, 7, 3*ms, 6*ms)
+	if op := h2.Ops()[0]; op.Arrival != 3*ms || op.Wait() != 0 {
+		t.Errorf("clamped arrival/wait = %s/%s, want 3ms/0s", op.Arrival, op.Wait())
+	}
+	_ = id
+}
+
+func TestCompletedTracksResponses(t *testing.T) {
+	// Completed is the duplicate-response guard the simulator consults
+	// under fault injection: false while pending, true once responded,
+	// false for ids the history never issued.
+	h := history.New()
+	id := h.Invoke(0, types.OpWrite, 1, 1*ms)
+	if h.Completed(id) {
+		t.Error("pending op reported completed")
+	}
+	if err := h.Respond(id, nil, 2*ms); err != nil {
+		t.Fatalf("Respond: %v", err)
+	}
+	if !h.Completed(id) {
+		t.Error("responded op reported pending")
+	}
+	if h.Completed(id + 1) {
+		t.Error("unknown op reported completed")
+	}
+	if h.Completed(-1) {
+		t.Error("negative op id reported completed")
+	}
+	// The duplicate itself still errors — dropping it is the simulator's
+	// policy decision, not the history's.
+	if err := h.Respond(id, nil, 3*ms); err == nil {
+		t.Error("duplicate response should error at the history layer")
+	}
+}

@@ -184,6 +184,20 @@ func (h *History) PendingCount() int {
 // Complete reports whether every invocation has a matching response.
 func (h *History) Complete() bool { return h.PendingCount() == 0 }
 
+// Completed reports whether the operation has a recorded response.
+// Unknown ids report false.
+func (h *History) Completed(id OpID) bool {
+	if i := int(id); i >= 0 && i < len(h.ops) && h.ops[i].ID == id {
+		return !h.ops[i].Pending
+	}
+	for i := range h.ops {
+		if h.ops[i].ID == id {
+			return !h.ops[i].Pending
+		}
+	}
+	return false
+}
+
 // MaxLatency returns the largest completed-operation latency for the given
 // kind ("" means all kinds) and whether any such operation exists.
 func (h *History) MaxLatency(kind spec.OpKind) (model.Time, bool) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"timebounds/internal/fault"
 	"timebounds/internal/history"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
@@ -55,6 +56,9 @@ const (
 	evInvoke eventKind = iota + 1
 	evDeliver
 	evTimer
+	evCrash
+	evRecover
+	evRetire
 )
 
 type event struct {
@@ -77,6 +81,15 @@ type event struct {
 
 	// evTimer
 	timerID TimerID
+	// due is the exact local-clock deadline of a timer armed under clock
+	// drift; during its dispatch ClockTime returns due verbatim, so clock
+	// arithmetic chained across timers stays exact despite the nonlinear
+	// clock map. hasDue gates it (zero is a valid deadline).
+	due    model.Time
+	hasDue bool
+	// epoch is the arming process's restart epoch; a crash advances the
+	// epoch, invalidating every timer armed before it.
+	epoch int32
 }
 
 // qitem is one scheduled event in the heap: the (at, seq) ordering key —
@@ -112,7 +125,7 @@ type StepTrace struct {
 	Proc      model.ProcessID
 	RealTime  model.Time
 	ClockTime model.Time
-	Kind      string // "invoke", "deliver", "timer"
+	Kind      string // "invoke", "deliver", "timer", "crash", "recover", "retire"
 }
 
 // Config configures a Simulator.
@@ -137,6 +150,10 @@ type Config struct {
 	// Steps and Messages return empty slices on such a simulator; the
 	// history is always recorded.
 	DiscardTraces bool
+	// Faults is the run's fault injector, or nil for a fault-free run. It
+	// must be freshly built (fault.NewInjector) for this run — injectors
+	// carry per-run mutable state and are never shared.
+	Faults *fault.Injector
 }
 
 // Simulator drives n processes through a single run.
@@ -177,7 +194,13 @@ type Simulator struct {
 	delayMat []model.Time
 	minD     model.Time // admissible delay range, for the strict fast path
 	maxD     model.Time
-	err      error
+	// flt is cfg.Faults; nil on the fault-free fast path. epoch holds each
+	// process's restart epoch (crashes invalidate earlier timers); rates
+	// holds per-process clock drift in ppm, nil when no clock drifts.
+	flt   *fault.Injector
+	epoch []int32
+	rates []int64
+	err   error
 }
 
 type deferredInvoke struct {
@@ -233,6 +256,15 @@ func New(cfg Config, procs []Process) (*Simulator, error) {
 		if mat, ok := sd.DelayMatrix(cfg.Params.N); ok && len(mat) == cfg.Params.N*cfg.Params.N {
 			s.delayMat = mat
 		}
+	}
+	if in := cfg.Faults; in != nil {
+		if in.N() != cfg.Params.N {
+			return nil, faultMismatch(in.N(), cfg.Params.N)
+		}
+		s.flt = in
+		s.rates = in.Rates()
+		s.epoch = make([]int32, cfg.Params.N)
+		s.scheduleFaults()
 	}
 	return s, nil
 }
@@ -452,6 +484,12 @@ func (s *Simulator) dispatch(ref int32) {
 	env.proc, env.real = proc, at
 	switch e.kind {
 	case evInvoke:
+		if s.flt != nil && s.flt.Unavailable(proc) {
+			// A down process's application layer is down with it: the
+			// invocation is never issued and never becomes a record.
+			s.flt.NoteStrandedInvoke()
+			return
+		}
 		opKind, opArg, arrival := e.opKind, e.opArg, e.arrival
 		if s.pending[proc] {
 			// Defer until the current operation responds, remembering the
@@ -464,6 +502,10 @@ func (s *Simulator) dispatch(ref int32) {
 		s.record(proc, at, "invoke")
 		s.procs[proc].OnInvoke(env, id, opKind, opArg)
 	case evDeliver:
+		if s.flt != nil && s.flt.Unavailable(proc) {
+			s.flt.NoteDroppedToDown()
+			return
+		}
 		from, payload := e.from, e.payload
 		s.record(proc, at, "deliver")
 		s.procs[proc].OnMessage(env, from, payload)
@@ -472,9 +514,27 @@ func (s *Simulator) dispatch(ref int32) {
 		if !s.timerLive[tid] {
 			return // canceled
 		}
+		if s.flt != nil && e.epoch != s.epoch[proc] {
+			// Armed before a crash: the restart epoch moved on.
+			s.timerLive[tid] = false
+			s.flt.NoteTimerDropped()
+			return
+		}
 		s.timerLive[tid] = false
 		s.record(proc, at, "timer")
+		if e.hasDue {
+			env.due, env.hasDue = e.due, true
+			s.procs[proc].OnTimer(env, payload)
+			env.hasDue = false
+			return
+		}
 		s.procs[proc].OnTimer(env, payload)
+	case evCrash:
+		s.applyCrash(proc, at, false)
+	case evRecover:
+		s.applyRecover(env, proc, at)
+	case evRetire:
+		s.applyCrash(proc, at, true)
 	}
 }
 
@@ -485,9 +545,19 @@ func (s *Simulator) record(p model.ProcessID, real model.Time, kind string) {
 	s.steps = append(s.steps, StepTrace{
 		Proc:      p,
 		RealTime:  real,
-		ClockTime: real + s.cfg.ClockOffsets[p],
+		ClockTime: s.clockAt(p, real),
 		Kind:      kind,
 	})
+}
+
+// clockAt maps real time to process p's local clock, drift-aware.
+func (s *Simulator) clockAt(p model.ProcessID, real model.Time) model.Time {
+	if s.rates != nil {
+		if r := s.rates[p]; r != 0 {
+			return fault.ClockAt(real, s.cfg.ClockOffsets[p], r)
+		}
+	}
+	return real + s.cfg.ClockOffsets[p]
 }
 
 // procEnv implements Env for one step of one process. The simulator owns
@@ -496,6 +566,10 @@ type procEnv struct {
 	sim  *Simulator
 	proc model.ProcessID
 	real model.Time
+	// due/hasDue carry the exact local-clock deadline of the timer being
+	// dispatched, under clock drift (see event.due).
+	due    model.Time
+	hasDue bool
 }
 
 var _ Env = (*procEnv)(nil)
@@ -504,7 +578,16 @@ func (e *procEnv) Self() model.ProcessID { return e.proc }
 func (e *procEnv) N() int                { return e.sim.cfg.Params.N }
 
 func (e *procEnv) ClockTime() model.Time {
-	return e.real + e.sim.cfg.ClockOffsets[e.proc]
+	if e.hasDue {
+		return e.due
+	}
+	s := e.sim
+	if s.rates != nil {
+		if r := s.rates[e.proc]; r != 0 {
+			return fault.ClockAt(e.real, s.cfg.ClockOffsets[e.proc], r)
+		}
+	}
+	return e.real + s.cfg.ClockOffsets[e.proc]
 }
 
 // Send is on the per-message hot path; its error cases are delegated to
@@ -528,6 +611,17 @@ func (e *procEnv) Send(to model.ProcessID, payload any) {
 	if s.cfg.StrictDelays && (delay < s.minD || delay > s.maxD) {
 		s.err = e.strictDelayError(seq, to, delay)
 		return
+	}
+	if s.flt != nil {
+		copies, spacing := s.flt.Deliveries(e.proc, to, e.real)
+		if copies == 0 {
+			e.traceLost(seq, to, delay)
+			return
+		}
+		if copies > 1 {
+			e.deliverCopies(seq, to, payload, delay, spacing, copies)
+			return
+		}
 	}
 	recv := e.real + delay
 	if s.trace {
@@ -573,7 +667,24 @@ func (e *procEnv) SetTimerAfter(d model.Time, payload any) TimerID {
 	s.timerLive = append(s.timerLive, true)
 	ref := s.alloc()
 	ev := &s.events[ref]
-	ev.at, ev.kind, ev.proc = e.real+d, evTimer, e.proc
+	at := e.real + d
+	if s.rates != nil {
+		if r := s.rates[e.proc]; r != 0 {
+			// A drifting clock reads ClockTime()+d at real time
+			// ClockInverse(due); storing due makes the deadline exact at
+			// dispatch even though the clock map truncates.
+			due := e.ClockTime() + d
+			at = fault.ClockInverse(due, s.cfg.ClockOffsets[e.proc], r)
+			if at < e.real {
+				at = e.real
+			}
+			ev.due, ev.hasDue = due, true
+		}
+	}
+	if s.epoch != nil {
+		ev.epoch = s.epoch[e.proc]
+	}
+	ev.at, ev.kind, ev.proc = at, evTimer, e.proc
 	ev.timerID, ev.payload = id, payload
 	s.push(ref)
 	return id
@@ -586,6 +697,14 @@ func (e *procEnv) CancelTimer(id TimerID) {
 }
 
 func (e *procEnv) Respond(id history.OpID, ret spec.Value) {
+	if e.sim.flt != nil && e.sim.hist.Completed(id) {
+		// Under fault injection a duplicated message can re-trigger the
+		// response path for an operation the client already saw answered
+		// (the at-most-once assumption is exactly what the dup fault
+		// breaks). The client keeps the first response and drops the
+		// copy; the injector's stats already account for the duplicate.
+		return
+	}
 	if err := e.sim.hist.Respond(id, ret, e.real); err != nil {
 		e.sim.err = err
 		return

@@ -92,6 +92,9 @@ type Report struct {
 	Checked bool
 	// Linearizable is the checker verdict (meaningful when Checked).
 	Linearizable bool
+	// Pending counts operations still pending at the horizon; nonzero only
+	// when RunOptions.AllowPending accepted an incomplete history.
+	Pending int
 }
 
 // WorstPair returns the sum of the worst-case latencies of two kinds.
@@ -121,6 +124,12 @@ type RunOptions struct {
 	// NoIslands forces the verifier's single whole-history search,
 	// disabling island decomposition (equivalence testing and debugging).
 	NoIslands bool
+	// AllowPending accepts a history with operations still pending at the
+	// horizon instead of failing the run — required for fault scenarios,
+	// where a crash legitimately orphans its in-flight operation. The
+	// checker treats forever-pending operations as removable, so Verify
+	// still composes.
+	AllowPending bool
 }
 
 // Target is the slice of a shared-object instance the harness needs: the
@@ -159,10 +168,10 @@ func Run(target Target, sched Schedule, opt RunOptions) (Report, error) {
 		return Report{}, err
 	}
 	h := target.History()
-	if !h.Complete() {
+	if !h.Complete() && !opt.AllowPending {
 		return Report{}, fmt.Errorf("workload: %d operations still pending at horizon", h.PendingCount())
 	}
-	rep := Report{PerKind: Summarize(h), History: h}
+	rep := Report{PerKind: Summarize(h), History: h, Pending: h.PendingCount()}
 	if opt.Verify {
 		rep.Checked = true
 		rep.Linearizable = check.CheckOpts(target.DataType(), h, check.Options{

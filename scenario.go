@@ -7,6 +7,7 @@ import (
 	"timebounds/internal/adversary"
 	"timebounds/internal/check"
 	"timebounds/internal/engine"
+	"timebounds/internal/fault"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
 	"timebounds/internal/workload"
@@ -78,6 +79,23 @@ type (
 	// TunableBackend is a backend whose wait durations can be overridden
 	// (Algorithm 1), the hook for premature implementations.
 	TunableBackend = engine.TunableBackend
+	// FaultSpec is a scenario's fault-injection axis: a named builder of
+	// crash/churn/loss/duplication/partition/drift plans. The zero value
+	// injects nothing.
+	FaultSpec = engine.FaultSpec
+	// FaultReport is the dichotomy verdict of one faulted run: within the
+	// crash-adjusted bound, or a breach list naming the broken model
+	// assumptions and by how much.
+	FaultReport = engine.FaultReport
+	// FaultPlan is a concrete fault schedule (crashes, retirements, loss
+	// and duplication windows, partitions, clock drifts).
+	FaultPlan = fault.Plan
+	// Breach pinpoints one broken model assumption or observed symptom.
+	Breach = fault.Breach
+	// FaultStats accounts for the faults that materialized in one run.
+	FaultStats = fault.Stats
+	// NamedFault pairs a scenario name with its FaultReport.
+	NamedFault = engine.NamedFault
 	// ShardedScenario runs one keyed workload as engine-managed per-shard
 	// sub-clusters and folds the shard Results into a ShardedReport with a
 	// composed linearizability verdict (linearizability is local, so the
@@ -233,6 +251,41 @@ func AdversaryByName(name string, correct bool) (AdversarySpec, error) {
 // shift; below the threshold the premature witness disappears.
 func AdversaryByNameShifted(name string, correct bool, shiftFrac float64) (AdversarySpec, error) {
 	return adversary.SpecByName(name, correct, adversary.Frac(shiftFrac))
+}
+
+// The two horns of a faulted run's dichotomy verdict.
+const (
+	// VerdictWithinBound: the run's history linearizes, its replicas
+	// converge, and every operation paid at most its crash-adjusted bound.
+	VerdictWithinBound = engine.VerdictWithinBound
+	// VerdictAssumptionBroken: the FaultReport's breaches pinpoint which
+	// model assumption broke, and by how much.
+	VerdictAssumptionBroken = engine.VerdictAssumptionBroken
+)
+
+// FaultSpecs lists the bundled fault-plan families, one per model
+// assumption the injector can break:
+// crash-recover|crash|churn|loss|dup|partition|drift-mild|drift.
+func FaultSpecs() []FaultSpec { return engine.FaultSpecs() }
+
+// FaultSpecNames lists the bundled fault-plan family names, in order.
+func FaultSpecNames() []string { return engine.FaultSpecNames() }
+
+// FaultSpecByName resolves a bundled fault-plan family by name.
+func FaultSpecByName(name string) (FaultSpec, error) { return engine.FaultSpecByName(name) }
+
+// FaultFamilies lists the engineered fault adversaries — run families with
+// explicit schedules that strike each model assumption at engineered
+// moments, judged by the fault dichotomy (every member within-bound or
+// assumption-broken, never unknown).
+func FaultFamilies() []AdversarySpec { return adversary.FaultFamilies() }
+
+// FaultFamilyNames lists the engineered fault adversary names, in order.
+func FaultFamilyNames() []string { return adversary.FaultFamilyNames() }
+
+// FaultFamilyByName resolves an engineered fault adversary by name.
+func FaultFamilyByName(name string) (AdversarySpec, error) {
+	return adversary.FaultFamilyByName(name)
 }
 
 // NewEngine returns an engine with the given worker cap (≤0 = GOMAXPROCS).

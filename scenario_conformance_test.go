@@ -2,13 +2,15 @@ package timebounds_test
 
 // Cross-backend conformance suite: the same seeded workload driven through
 // all four backends must agree on the final object state and pass the
-// linearizability checker, for every bundled data type; and adversary
-// grids — the lower-bound run families — must be bit-identical regardless
-// of engine parallelism.
+// linearizability checker, for every bundled data type; adversary grids —
+// the lower-bound run families — must be bit-identical regardless of
+// engine parallelism; and every faulted run, across all backends and
+// bundled fault families, must land on exactly one dichotomy verdict.
 
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"timebounds"
@@ -158,5 +160,89 @@ func TestAdversaryGridDeterministicAcrossParallelism(t *testing.T) {
 			t.Errorf("family %s: dichotomy falsified (max latency %s, bound %s, violated %v)",
 				f.Family, f.MaxLatency, f.Bound, f.Violated)
 		}
+	}
+}
+
+// faultConformanceGrid is the fault battery's grid: all four backends ×
+// the zero-fault spec plus every bundled fault family × fixed seeds, with
+// verification on. RMW register keeps every backend on its hardest class
+// (the one the crash-adjusted bounds constrain tightest).
+func faultConformanceGrid() timebounds.Grid {
+	return timebounds.Grid{
+		Backends:  timebounds.Backends(),
+		Objects:   []timebounds.DataType{timebounds.NewRMWRegister(0)},
+		Params:    []timebounds.Params{scenarioParams(3)},
+		Seeds:     []int64{7, 19},
+		Workloads: []timebounds.Workload{{OpsPerProcess: 2}},
+		Verify:    true,
+		Faults:    append([]timebounds.FaultSpec{{}}, timebounds.FaultSpecs()...),
+	}
+}
+
+func TestConformanceFaultDichotomyAcrossBackends(t *testing.T) {
+	// Every faulted run — any backend, any bundled fault family, any seed —
+	// must yield exactly one dichotomy verdict: within-bound with no
+	// breaches, or assumption-broken with at least one named breach. Never
+	// "unknown", never a hard failure. Zero-fault runs must stay exactly
+	// what they always were: no fault report, no "faults=" name segment.
+	grid := faultConformanceGrid()
+	scenarios := grid.Scenarios()
+	want := len(grid.Backends) * len(grid.Seeds) * (1 + len(timebounds.FaultSpecs()))
+	if len(scenarios) != want {
+		t.Fatalf("fault grid expanded to %d scenarios, want %d", len(scenarios), want)
+	}
+	rep := timebounds.RunScenarios(scenarios)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("fault grid: %v", err)
+	}
+	faulted, zero := 0, 0
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			t.Errorf("%s: hard failure: %s", res.Name, res.Err)
+			continue
+		}
+		if res.Fault == nil {
+			zero++
+			if strings.Contains(res.Name, "faults=") {
+				t.Errorf("%s: faulted name but no fault report", res.Name)
+			}
+			if !res.OK() {
+				t.Errorf("%s: zero-fault run not OK", res.Name)
+			}
+			continue
+		}
+		faulted++
+		switch res.Fault.Verdict {
+		case timebounds.VerdictWithinBound:
+			if len(res.Fault.Breaches) != 0 {
+				t.Errorf("%s: clean horn carries %d breaches", res.Name, len(res.Fault.Breaches))
+			}
+		case timebounds.VerdictAssumptionBroken:
+			if len(res.Fault.Breaches) == 0 {
+				t.Errorf("%s: broken horn names no breach", res.Name)
+			}
+		default:
+			t.Errorf("%s: verdict %q is neither dichotomy horn", res.Name, res.Fault.Verdict)
+		}
+	}
+	if wantZero := len(grid.Backends) * len(grid.Seeds); zero != wantZero {
+		t.Errorf("zero-fault runs = %d, want %d", zero, wantZero)
+	}
+	if wantFaulted := len(scenarios) - len(grid.Backends)*len(grid.Seeds); faulted != wantFaulted {
+		t.Errorf("faulted runs = %d, want %d", faulted, wantFaulted)
+	}
+}
+
+func TestConformanceFaultGridDeterministicAcrossParallelism(t *testing.T) {
+	// The fault axis must not cost the engine its determinism guarantee:
+	// the full fault grid — zero-fault and faulted runs alike — yields a
+	// bit-identical Report at parallelism 1 and 8. In particular the
+	// zero-fault runs pin the pay-for-what-you-use regression: a grid that
+	// merely carries a fault axis must not perturb fault-free results.
+	scenarios := faultConformanceGrid().Scenarios()
+	sequential := timebounds.NewEngine(1).Run(scenarios)
+	parallel := timebounds.NewEngine(8).Run(scenarios)
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Errorf("fault grid reports differ between parallelism 1 and 8")
 	}
 }
