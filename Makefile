@@ -1,18 +1,20 @@
 GO ?= go
 
-.PHONY: build test test-adversary test-faults fuzz-smoke bench bench-json bench-compare cover vet vet-json fmt examples
+.PHONY: build test test-adversary test-faults test-live fuzz-smoke bench bench-json bench-compare cover vet vet-json fmt examples
 
 build:
 	$(GO) build ./...
 
 # vet = go vet plus the repo's own analyzer suite (cmd/tbvet over
 # internal/lint): determinism (no time.Now / global math/rand / unsorted
-# map-order output in sim|engine|check|workload), hotpath (//tb:hotpath
-# functions stay fmt-free, boxing-free, closure-capture-free), ctxhygiene
-# (pipeline goroutine sends guarded by a cancellation arm), deprecated
-# (no facade-shim references outside the facade), and pkgdoc (every
-# package documented). See docs/STATIC_ANALYSIS.md; suppress a finding
-# only with a reasoned //tbvet:ignore directive.
+# map-order output in sim|engine|check|workload; internal/live is in
+# scope but carries a recorded exemption — wall-clock is its point),
+# hotpath (//tb:hotpath functions stay fmt-free, boxing-free,
+# closure-capture-free), ctxhygiene (pipeline goroutine sends guarded by
+# a cancellation arm), deprecated (no references to Deprecated-marked
+# symbols or struct fields outside their declaring package), and pkgdoc
+# (every package documented). See docs/STATIC_ANALYSIS.md; suppress a
+# finding only with a reasoned //tbvet:ignore directive.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/tbvet .
@@ -56,6 +58,15 @@ test-adversary:
 # breach naming the broken model assumption. See docs/FAULTS.md.
 test-faults:
 	$(GO) test -race -run 'Fault|Lifecycle|Dichotomy|Horn|Crash|Churn|Drift' ./internal/fault ./internal/core ./internal/history ./internal/engine ./internal/adversary .
+
+# The live-runtime suite under the race detector: estimator envelope
+# safety, tuner wait derivation, in-process and loopback-TCP goroutine
+# clusters with post-hoc Wing–Gong checks, the undertuned premature-tuning
+# dichotomy regression, and the engine's Runtime-axis integration. Live
+# runs are wall-clock (seconds, not simulated), so the hard timeout keeps
+# a wedged cluster from hanging CI.
+test-live:
+	$(GO) test -race -timeout 120s -run 'Estimator|Tuner|TestRun|TestConfig|TestScenarioLive|TestGridRuntimes' ./internal/live ./internal/engine
 
 # A bounded differential-fuzz pass over the linearizability checker: the
 # island-decomposed search (sequential and parallel) against the textbook

@@ -1,0 +1,136 @@
+package timebounds
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api.golden from the current facade")
+
+// facadeExports parses the package's non-test files and returns every
+// exported top-level identifier, one line per export: "type Name",
+// "func Name", "const Name", "var Name", or "method Recv.Name".
+func facadeExports(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				kind := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+				if kind == "" {
+					continue
+				}
+				for _, s := range d.Specs {
+					switch s := s.(type) {
+					case *ast.TypeSpec:
+						if ast.IsExported(s.Name.Name) {
+							lines = append(lines, kind+" "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if ast.IsExported(n.Name) {
+								lines = append(lines, kind+" "+n.Name)
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if !ast.IsExported(d.Name.Name) {
+					continue
+				}
+				if d.Recv == nil {
+					lines = append(lines, "func "+d.Name.Name)
+					continue
+				}
+				recv := recvTypeName(d.Recv.List[0].Type)
+				if ast.IsExported(recv) {
+					lines = append(lines, fmt.Sprintf("method %s.%s", recv, d.Name.Name))
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+// TestPublicAPIGolden pins the facade's export list. A diff here is an API
+// change: if intentional, regenerate with
+//
+//	go test -run TestPublicAPIGolden -update .
+//
+// and review the golden diff in the same commit as the code change.
+func TestPublicAPIGolden(t *testing.T) {
+	got := strings.Join(facadeExports(t), "\n") + "\n"
+	golden := filepath.Join("testdata", "api.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimSuffix(string(want), "\n"), "\n")
+	gotSet := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			t.Errorf("export removed: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			t.Errorf("export added: %s", l)
+		}
+	}
+	t.Error("public API changed; if intentional, run: go test -run TestPublicAPIGolden -update .")
+}

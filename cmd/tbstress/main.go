@@ -12,6 +12,13 @@
 //	                  aggregate bounds, and worker-count determinism of
 //	                  the merged report
 //
+//	-mode live        wall-clock goroutine clusters over the in-process
+//	                  chan transport (and loopback TCP with -live-tcp):
+//	                  safe runs must linearize post hoc, converge, and
+//	                  answer under the estimated bounds; a deliberately
+//	                  under-tuned run must land on a horn of the
+//	                  premature-tuning dichotomy
+//
 // Exit status is non-zero if any world or run fails — suitable for CI.
 package main
 
@@ -40,14 +47,15 @@ func main() {
 
 func run() error {
 	var (
-		mode  = flag.String("mode", "campaign", "exhaustive|campaign|sharded")
-		n     = flag.Int("n", 3, "number of processes")
-		d     = flag.Duration("d", 10*time.Millisecond, "delay bound d")
-		u     = flag.Duration("u", 4*time.Millisecond, "delay uncertainty u")
-		seeds = flag.Int("seeds", 5, "seeds per object × policy (campaign) / per shard count (sharded)")
-		ops   = flag.Int("ops", 4, "operations per process (campaign, sharded)")
-		msgs  = flag.Int("msgs", 6, "independent delay slots (exhaustive)")
-		keys  = flag.Int("keys", 12, "key-space size (sharded)")
+		mode    = flag.String("mode", "campaign", "exhaustive|campaign|sharded|live")
+		n       = flag.Int("n", 3, "number of processes")
+		d       = flag.Duration("d", 10*time.Millisecond, "delay bound d")
+		u       = flag.Duration("u", 4*time.Millisecond, "delay uncertainty u")
+		seeds   = flag.Int("seeds", 5, "seeds per object × policy (campaign) / per shard count (sharded) / per object (live)")
+		ops     = flag.Int("ops", 4, "operations per process (campaign, sharded, live)")
+		msgs    = flag.Int("msgs", 6, "independent delay slots (exhaustive)")
+		keys    = flag.Int("keys", 12, "key-space size (sharded)")
+		liveTCP = flag.Bool("live-tcp", false, "include a loopback-TCP cluster in the live sweep")
 	)
 	flag.Parse()
 	p := model.Params{N: *n, D: *d, U: *u}
@@ -111,6 +119,10 @@ func run() error {
 		if err := shardedSweep(p, *keys, *seeds, *ops); err != nil {
 			return err
 		}
+	case "live":
+		if err := liveSweep(p, *seeds, *ops, *liveTCP); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -167,5 +179,95 @@ func shardedSweep(p model.Params, keys, seeds, ops int) error {
 	fmt.Printf("sharded sweep: %d stores (%d keys, shard counts %v), %d operations\n",
 		runs, keys, counts, opsTotal)
 	fmt.Println("all stores composed-linearizable, convergent, within bounds, and worker-count deterministic")
+	return nil
+}
+
+// liveSweep stresses the live runtime: safe wall-clock clusters per object
+// × seed over the chan transport (the delay adversary realized as
+// synthetic message delays), optionally one over loopback TCP, and one
+// deliberately under-tuned run that must land on a horn of the
+// premature-tuning dichotomy.
+func liveSweep(p model.Params, seeds, ops int, tcp bool) error {
+	objects := []spec.DataType{
+		types.NewRMWRegister(0),
+		types.NewQueue(),
+		types.NewCounter(),
+	}
+	eng := engine.New(0)
+	runs, opsTotal := 0, 0
+	for _, dt := range objects {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			res, err := eng.RunOne(engine.Scenario{
+				Backend:  engine.Algorithm1{},
+				DataType: dt,
+				Params:   p,
+				Seed:     seed,
+				Workload: workload.Spec{OpsPerProcess: ops},
+				Runtime:  engine.LiveRuntime(),
+				Verify:   true,
+			})
+			if err != nil {
+				return fmt.Errorf("live %s seed=%d: %w", dt.Name(), seed, err)
+			}
+			if !res.Linearizable || !res.Converged {
+				return fmt.Errorf("live %s seed=%d: linearizable=%v converged=%v",
+					dt.Name(), seed, res.Linearizable, res.Converged)
+			}
+			for _, bc := range res.Bounds {
+				if !bc.OK {
+					return fmt.Errorf("live %s seed=%d: class %v measured %s over bound %s",
+						dt.Name(), seed, bc.Class, bc.Measured, bc.Bound)
+				}
+			}
+			runs++
+			opsTotal += res.Ops
+		}
+	}
+	if tcp {
+		res, err := eng.RunOne(engine.Scenario{
+			Backend:  engine.Algorithm1{},
+			DataType: types.NewRMWRegister(0),
+			Params:   p,
+			Seed:     1,
+			Workload: workload.Spec{OpsPerProcess: ops},
+			Runtime:  engine.LiveTCPRuntime(),
+			Verify:   true,
+		})
+		if err != nil {
+			return fmt.Errorf("live tcp: %w", err)
+		}
+		if !res.Linearizable || !res.Converged {
+			return fmt.Errorf("live tcp: linearizable=%v converged=%v", res.Linearizable, res.Converged)
+		}
+		fmt.Println("tcp cluster:")
+		fmt.Print(res.Live.Render())
+		runs++
+		opsTotal += res.Ops
+	}
+	// The dichotomy run: waits scaled to 3% of the estimated envelope must
+	// break something or still pay bound-level latency.
+	rt := engine.LiveRuntime()
+	rt.Undertune = 0.03
+	res, err := eng.RunOne(engine.Scenario{
+		Backend:  engine.Algorithm1{},
+		DataType: types.NewRMWRegister(0),
+		Params:   p,
+		Seed:     1,
+		Workload: workload.Race(p, 0, time.Millisecond, 10, types.OpRMW),
+		Runtime:  rt,
+		Verify:   true,
+	})
+	if err != nil {
+		return fmt.Errorf("live undertuned: %w", err)
+	}
+	if res.Live == nil || !res.Live.Dichotomy() {
+		return fmt.Errorf("under-tuned live run linearizable, converged, and below every estimated bound — dichotomy falsified")
+	}
+	runs++
+	opsTotal += res.Ops
+	fmt.Printf("live sweep: %d clusters, %d operations\n", runs, opsTotal)
+	fmt.Printf("undertuned dichotomy horn: violation=%v diverged=%v\n",
+		res.Live.Violation, res.Live.Diverged)
+	fmt.Println("all safe live runs linearizable, convergent, and within the estimated bounds")
 	return nil
 }

@@ -34,6 +34,9 @@ func main() {
 	if *list {
 		for _, a := range lint.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			for _, e := range a.Exempt {
+				fmt.Printf("%-12s   exempt %s: %s\n", "", e.Path, e.Reason)
+			}
 		}
 		return
 	}

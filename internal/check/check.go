@@ -93,6 +93,9 @@ func Check(dt spec.DataType, h *history.History) Result {
 // results are reused across histories of the same data type. The engine
 // passes one Cache per data type to all workers of a grid; a nil cache
 // falls back to the arena's local cache.
+//
+// Deprecated: call CheckOpts with Options{Cache: cache} — the one
+// coherent options surface; this shim survives only for old call sites.
 func CheckCached(dt spec.DataType, h *history.History, cache *Cache) Result {
 	return CheckOpts(dt, h, Options{Cache: cache})
 }

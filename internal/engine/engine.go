@@ -138,10 +138,12 @@ func (e *Engine) StreamChan(ctx context.Context, scenarios []Scenario) <-chan In
 			arena := check.NewArena()
 			for i := range next {
 				res := scenarios[i].run(runConfig{
-					caches:       caches,
-					arena:        arena,
-					checkWorkers: workers,
-					noIslands:    disableIslandCheck,
+					caches: caches,
+					check: check.Options{
+						Arena:     arena,
+						Workers:   workers,
+						NoIslands: disableIslandCheck,
+					},
 				})
 				select {
 				case out <- IndexedResult{Index: i, Result: res}:

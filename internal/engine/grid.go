@@ -43,6 +43,11 @@ type Grid struct {
 	// fault-free run per point. Include a zero FaultSpec member to keep the
 	// fault-free point alongside the faulted ones.
 	Faults []FaultSpec
+	// Runtimes are execution runtimes crossed with the product; empty
+	// means the simulator. Include the zero Runtime to keep simulated
+	// points alongside live ones. Live runtimes reject fault axes — a
+	// grid crossing both surfaces the rejection as error Results.
+	Runtimes []Runtime
 	// Verify runs the linearizability checker on every run.
 	Verify bool
 	// Horizon bounds each simulation; zero picks a generous default.
@@ -77,6 +82,10 @@ func (g Grid) Scenarios() []Scenario {
 	if len(faults) == 0 {
 		faults = []FaultSpec{{}}
 	}
+	runtimes := g.Runtimes
+	if len(runtimes) == 0 {
+		runtimes = []Runtime{{}}
+	}
 	var out []Scenario
 	for bi, b := range backends {
 		for _, as := range g.Adversaries {
@@ -105,20 +114,23 @@ func (g Grid) Scenarios() []Scenario {
 				for _, x := range xs {
 					for _, d := range delays {
 						for _, wl := range workloads {
-							for _, fs := range faults {
-								for _, seed := range seeds {
-									out = append(out, Scenario{
-										Backend:  b,
-										DataType: dt,
-										Params:   p,
-										X:        x,
-										Seed:     seed,
-										Delay:    d,
-										Workload: wl,
-										Faults:   fs,
-										Verify:   g.Verify,
-										Horizon:  g.Horizon,
-									})
+							for _, rt := range runtimes {
+								for _, fs := range faults {
+									for _, seed := range seeds {
+										out = append(out, Scenario{
+											Backend:  b,
+											DataType: dt,
+											Params:   p,
+											X:        x,
+											Seed:     seed,
+											Delay:    d,
+											Workload: wl,
+											Runtime:  rt,
+											Faults:   fs,
+											Verify:   g.Verify,
+											Horizon:  g.Horizon,
+										})
+									}
 								}
 							}
 						}

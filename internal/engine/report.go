@@ -164,6 +164,10 @@ type Result struct {
 	// Witness records the lower-bound witness when the scenario declared
 	// one (adversary scenarios); nil otherwise.
 	Witness *BoundWitness
+	// Live records the wall-clock run's estimator envelope and per-class
+	// measured-vs-estimated-bound margins when the scenario ran on the
+	// live runtime; nil for simulated runs.
+	Live *LiveReport
 	// Run is the recorded run (views + messages) when the scenario asked
 	// for a trace; nil otherwise.
 	Run *runs.Run
@@ -187,6 +191,13 @@ func (r Result) OK() bool {
 	}
 	if r.Witness != nil {
 		return true
+	}
+	if r.Live != nil && r.Live.Undertuned() {
+		// A deliberately under-tuned live run is the premature-tuning
+		// adversary on the wall clock: breaking (violation, divergence) or
+		// bound-level latency are its expected outcomes. It fails only by
+		// falsifying the dichotomy.
+		return r.Live.Dichotomy()
 	}
 	if !r.Converged {
 		return false
@@ -269,6 +280,12 @@ func (r Report) Err() error {
 		}
 		if res.Witness != nil {
 			continue // violations and divergence are judged per family below
+		}
+		if res.Live != nil && res.Live.Undertuned() {
+			if !res.Live.Dichotomy() {
+				return fmt.Errorf("engine: scenario %q: under-tuned live run linearizable, converged, and below every estimated bound — dichotomy falsified", res.Name)
+			}
+			continue // breaking is the expected outcome of under-tuning
 		}
 		if !res.Converged {
 			return fmt.Errorf("engine: scenario %q: %s", res.Name, res.Diverged)

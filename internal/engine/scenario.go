@@ -139,6 +139,12 @@ type Scenario struct {
 	// Workload is the operation-stream spec; zero value means a small
 	// closed-loop run of the object's default mix.
 	Workload workload.Spec
+	// Runtime selects where the scenario executes. The zero value is the
+	// deterministic simulator; a live Runtime (engine.LiveRuntime and
+	// friends) runs a wall-clock goroutine cluster over a real transport
+	// with online (u, d) estimation, verified post hoc. Live scenarios
+	// reject Faults, Witness, Trace, and custom delay policies.
+	Runtime Runtime
 	// Verify runs the linearizability checker on the resulting history.
 	// Only for histories small enough for exhaustive search.
 	Verify bool
@@ -182,9 +188,13 @@ func (sc Scenario) resolved() Scenario {
 		if sc.Faults.enabled() {
 			faults = "/faults=" + sc.Faults.label()
 		}
-		sc.Name = fmt.Sprintf("%s/%s/n=%d,d=%s,u=%s,ε=%s/x=%s/%s/%s%s/seed=%d",
+		rt := ""
+		if sc.Runtime.Live() {
+			rt = "/rt=" + sc.Runtime.label()
+		}
+		sc.Name = fmt.Sprintf("%s/%s/n=%d,d=%s,u=%s,ε=%s/x=%s/%s/%s%s%s/seed=%d",
 			sc.Backend.Name(), object, sc.Params.N, sc.Params.D, sc.Params.U,
-			sc.Params.Epsilon, sc.X, sc.Delay.name(), workloadLabel(sc.Workload), faults, sc.Seed)
+			sc.Params.Epsilon, sc.X, sc.Delay.name(), workloadLabel(sc.Workload), rt, faults, sc.Seed)
 	}
 	return sc
 }
@@ -259,13 +269,12 @@ func (sc Scenario) build(in *fault.Injector) (Instance, error) {
 }
 
 // runConfig carries the worker-pool checker resources into a run: the
-// per-data-type shared transition caches, the worker's reusable arena,
-// and the island-parallelism budget.
+// per-data-type shared transition caches plus the worker's check.Options
+// (reusable arena, island-parallelism budget). The options' Cache field
+// is filled per run from the cache set once the data type is known.
 type runConfig struct {
-	caches       *check.CacheSet
-	arena        *check.Arena
-	checkWorkers int
-	noIslands    bool
+	caches *check.CacheSet
+	check  check.Options
 }
 
 // run executes the scenario in isolation and reduces it to a Result.
@@ -283,6 +292,9 @@ func (sc Scenario) run(cfg runConfig) Result {
 	if sc.DataType != nil {
 		res.Object = sc.DataType.Name()
 	}
+	if sc.Runtime.Live() {
+		return sc.runLive(cfg)
+	}
 	plan, in, err := sc.faultRuntime()
 	if err != nil {
 		res.Err = err.Error()
@@ -298,13 +310,12 @@ func (sc Scenario) run(cfg runConfig) Result {
 		res.Err = err.Error()
 		return res
 	}
+	opts := cfg.check
+	opts.Cache = cfg.caches.For(sc.DataType)
 	rep, err := workload.Run(inst, sched, workload.RunOptions{
 		Horizon:      sc.Horizon,
 		Verify:       sc.Verify,
-		Checker:      cfg.caches.For(sc.DataType),
-		Arena:        cfg.arena,
-		CheckWorkers: cfg.checkWorkers,
-		NoIslands:    cfg.noIslands,
+		Check:        opts,
 		AllowPending: plan.Active(), // crash-orphaned ops stay pending forever
 	})
 	if err != nil {

@@ -43,7 +43,7 @@ func referenceBatchRun(scenarios []Scenario) Report {
 		caches = check.NewCacheSet()
 	}
 	for i, sc := range scenarios {
-		results[i] = sc.run(runConfig{caches: caches, noIslands: disableIslandCheck})
+		results[i] = sc.run(runConfig{caches: caches, check: check.Options{NoIslands: disableIslandCheck}})
 	}
 	return Report{Results: results}
 }

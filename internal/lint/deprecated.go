@@ -8,17 +8,18 @@ import (
 )
 
 // Deprecated keeps the pre-Scenario facade retired: non-test code may
-// not reference a symbol whose doc comment carries a standard
-// "Deprecated:" paragraph from outside the package that declares it.
-// The declaring package itself is exempt — the facade keeps the
-// Config/NewCluster/RenderTable shims alive and bridges them onto the
-// Scenario API — and test files are never loaded, so the shims'
-// regression tests keep working. Everything else (cmd tools, examples,
-// new subsystems) must use the replacement named in the deprecation
-// note.
+// not reference a symbol — top-level or struct field — whose doc comment
+// carries a standard "Deprecated:" paragraph from outside the package
+// that declares it. The declaring package itself is exempt — the facade
+// keeps the Config/NewCluster/RenderTable shims alive and bridges them
+// onto the Scenario API, and workload folds its retired RunOptions
+// checker knobs into check.Options — and test files are never loaded, so
+// the shims' regression tests keep working. Everything else (cmd tools,
+// examples, new subsystems) must use the replacement named in the
+// deprecation note.
 var Deprecated = &Analyzer{
 	Name: "deprecated",
-	Doc:  "forbid references to Deprecated-marked module symbols from outside their declaring package",
+	Doc:  "forbid references to Deprecated-marked module symbols (including struct fields) from outside their declaring package",
 	Run:  runDeprecated,
 }
 
@@ -71,6 +72,25 @@ func (p *Program) deprecatedObjects() map[types.Object]string {
 							} else if declOK {
 								record(pkg, s.Name, declNote)
 							}
+							// Struct fields carry their own Deprecated:
+							// paragraphs (option-surface shims like the old
+							// RunOptions checker knobs); index them so
+							// selector and composite-literal references are
+							// policed like top-level symbols.
+							if st, ok := s.Type.(*ast.StructType); ok {
+								for _, field := range st.Fields.List {
+									note, ok := deprecationNote(field.Doc)
+									if !ok {
+										note, ok = deprecationNote(field.Comment)
+									}
+									if !ok {
+										continue
+									}
+									for _, name := range field.Names {
+										record(pkg, name, note)
+									}
+								}
+							}
 						case *ast.ValueSpec:
 							note, ok := deprecationNote(s.Doc)
 							if !ok {
@@ -106,7 +126,11 @@ func runDeprecated(pass *Pass) {
 				return true
 			}
 			if note, ok := dep[obj]; ok {
-				pass.Reportf(id.Pos(), "reference to deprecated %s.%s (deprecated: %s)", obj.Pkg().Name(), obj.Name(), note)
+				what := ""
+				if v, isVar := obj.(*types.Var); isVar && v.IsField() {
+					what = "field "
+				}
+				pass.Reportf(id.Pos(), "reference to deprecated %s%s.%s (deprecated: %s)", what, obj.Pkg().Name(), obj.Name(), note)
 			}
 			return true
 		})

@@ -18,6 +18,10 @@ import (
 //     the runtime's random iteration order; if it is never sorted before
 //     leaving the function it can reach a Report or rendered table and
 //     break bit-identical output across runs and worker counts.
+//
+// internal/live is in scope but explicitly exempted: the live runtime is
+// wall-clock by design, so the exemption records the deliberate exception
+// instead of leaving the package silently unscanned.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid time.Now, the global math/rand source, and unsorted map-iteration output in the sim/engine/check/workload packages",
@@ -26,7 +30,14 @@ var Determinism = &Analyzer{
 		"internal/engine",
 		"internal/check",
 		"internal/workload",
+		"internal/live",
 	},
+	Exempt: []Exemption{{
+		Path: "internal/live",
+		Reason: "the live runtime is wall-clock by design: it timestamps real " +
+			"message delays with the host clock and retunes from them; its runs " +
+			"are checked post hoc, not reproduced bit-identically",
+	}},
 	Run: runDeterminism,
 }
 

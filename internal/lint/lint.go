@@ -47,17 +47,51 @@ type Analyzer struct {
 	// Packages restricts the analyzer to packages whose module-relative
 	// path has one of these prefixes; empty means every package.
 	Packages []string
+	// Exempt lists packages deliberately carved out of the analyzer's
+	// scope, each with a recorded reason. An exemption is documentation
+	// made executable: the package appears in Packages (it is in scope,
+	// not silently unscanned) but is skipped, and the driver's -list
+	// output names the exemption and why.
+	Exempt []Exemption
 	// Run reports the analyzer's findings for one package.
 	Run func(*Pass)
 }
 
-// applies reports whether the analyzer covers pkg.
+// Exemption is one deliberately excluded package subtree with the reason
+// it is allowed to break the analyzer's invariant.
+type Exemption struct {
+	// Path is the module-relative package path prefix exempted.
+	Path string
+	// Reason records why the exemption is sound.
+	Reason string
+}
+
+// matchesPrefix reports whether rel equals prefix or sits under it.
+func matchesPrefix(rel, prefix string) bool {
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}
+
+// Exempted returns the exemption covering pkg, if any.
+func (a *Analyzer) Exempted(pkg *Package) (Exemption, bool) {
+	for _, e := range a.Exempt {
+		if matchesPrefix(pkg.Rel, e.Path) {
+			return e, true
+		}
+	}
+	return Exemption{}, false
+}
+
+// applies reports whether the analyzer covers pkg: in scope via Packages
+// (or unrestricted) and not explicitly exempted.
 func (a *Analyzer) applies(pkg *Package) bool {
+	if _, ok := a.Exempted(pkg); ok {
+		return false
+	}
 	if len(a.Packages) == 0 {
 		return true
 	}
 	for _, p := range a.Packages {
-		if pkg.Rel == p || strings.HasPrefix(pkg.Rel, p+"/") {
+		if matchesPrefix(pkg.Rel, p) {
 			return true
 		}
 	}

@@ -99,6 +99,35 @@ func TestDeprecatedGolden(t *testing.T)  { runFixture(t, "deprecated") }
 func TestPkgDocGolden(t *testing.T)      { runFixture(t, "pkgdoc") }
 func TestIgnoreDirectives(t *testing.T)  { runFixture(t, "ignoredir") }
 
+// TestDeterminismExemptionIsLoadBearing proves the internal/live carve-out
+// does real work: the fixture's internal/live package reads time.Now and
+// reports nothing under the shipped analyzer (runFixture above), but a
+// copy of the analyzer with the exemption stripped must flag it. The
+// package is in scope and skipped, not silently unscanned.
+func TestDeterminismExemptionIsLoadBearing(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "determinism"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := *Determinism
+	stripped.Exempt = nil
+	hit := false
+	for _, d := range Run(prog, []*Analyzer{&stripped}) {
+		if strings.HasPrefix(d.File, "internal/live/") && strings.Contains(d.Message, "time.Now") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("stripping the internal/live exemption produced no time.Now finding; the exemption is vacuous")
+	}
+	if _, ok := Determinism.Exempted(&Package{Rel: "internal/live"}); !ok {
+		t.Fatal("Determinism does not exempt internal/live")
+	}
+	if _, ok := Determinism.Exempted(&Package{Rel: "internal/engine"}); ok {
+		t.Fatal("Determinism exempts internal/engine; the carve-out leaks")
+	}
+}
+
 // TestDeterministicOutput pins the framework's output contract: two runs
 // over the same tree yield identical ordered findings.
 func TestDeterministicOutput(t *testing.T) {

@@ -13,6 +13,28 @@ type Shim struct {
 	N int
 }
 
+// Options is the live options surface; only some fields are retired.
+type Options struct {
+	// Level is current API.
+	Level int
+	// Verbose survives only for old call sites.
+	//
+	// Deprecated: set Level instead.
+	Verbose bool
+}
+
+// apply reads the retired field from inside the declaring package, which
+// stays exempt (the shim has to be folded into its replacement somewhere).
+func (o Options) apply() int {
+	if o.Verbose {
+		return 2
+	}
+	return o.Level
+}
+
+// Effective is the supported accessor.
+func (o Options) Effective() int { return o.apply() }
+
 func legacy() int { return 1 }
 
 // Fresh is the replacement.

@@ -19,3 +19,20 @@ func Hold() int {
 func New() int {
 	return dep.Fresh()
 }
+
+// Noisy sets the retired field through a composite-literal key.
+func Noisy() int {
+	o := dep.Options{Verbose: true} // want "reference to deprecated field dep.Verbose"
+	return o.Effective()
+}
+
+// Peek reads the retired field through a selector.
+func Peek(o dep.Options) bool {
+	return o.Verbose // want "reference to deprecated field dep.Verbose"
+}
+
+// Tuned uses only current fields of the same struct.
+func Tuned() int {
+	o := dep.Options{Level: 3}
+	return o.Effective()
+}

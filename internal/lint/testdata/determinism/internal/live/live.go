@@ -1,0 +1,12 @@
+// Package live mirrors the real internal/live: wall-clock reads are the
+// point of the package, and the determinism analyzer exempts it by path
+// with a recorded reason instead of leaving it silently unscanned. No
+// want comments here — a finding in this file is an analyzer bug.
+package live
+
+import "time"
+
+// Epoch reads the wall clock, which the exemption allows.
+func Epoch() int64 {
+	return time.Now().UnixNano()
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"timebounds/internal/check"
 	"timebounds/internal/engine"
@@ -79,6 +80,11 @@ func Benchmarks() []Benchmark {
 			Name:  "check/island-steady",
 			Brief: "steady-state re-verification of one 240-op history with a reused arena and warm shared cache (island decomposition on)",
 			Func:  BenchCheckerIslandSteady,
+		},
+		{
+			Name:  "live/inproc-cluster",
+			Brief: "3-replica wall-clock goroutine cluster over the in-process chan transport: warm-up, estimation, load, drain, and the post-hoc Wing–Gong check (ops/s and check-ns/op reported)",
+			Func:  BenchLiveInprocCluster,
 		},
 	}
 }
@@ -363,6 +369,47 @@ func BenchSaturationSearch(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(len(rep.Points)), "points")
 	b.ReportMetric(rep.Knee.Load, "knee-ops/s")
+}
+
+// BenchLiveInprocCluster measures one live-runtime scenario per
+// iteration: a 3-replica wall-clock goroutine cluster over the in-process
+// chan transport — warm-up probes, online (u, d) estimation, closed-loop
+// load, drain — plus the post-hoc Wing–Gong check of the recorded
+// history. ns/op here is dominated by real waiting (the tuned waits are
+// genuine durations), so the custom metrics carry the signal: live-ops/s
+// is cluster throughput, check-ns/op the post-hoc verification cost.
+func BenchLiveInprocCluster(b *testing.B) {
+	sc := engine.Scenario{
+		Backend:  engine.Algorithm1{},
+		DataType: types.NewRMWRegister(0),
+		Params:   model.Params{N: 3, D: 2 * time.Millisecond, U: 1500 * time.Microsecond},
+		Seed:     1,
+		Workload: workload.Spec{OpsPerProcess: 8, Spacing: 2 * time.Millisecond},
+		Runtime:  engine.LiveRuntime(),
+	}
+	eng := engine.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ops := 0
+	var checkNS float64
+	for i := 0; i < b.N; i++ {
+		res, err := eng.RunOne(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if cr := check.Check(sc.DataType, res.History); !cr.Linearizable {
+			b.Fatal("live history should be linearizable")
+		}
+		checkNS += float64(time.Since(start).Nanoseconds())
+		ops = res.Ops
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ops), "ops")
+	b.ReportMetric(checkNS/float64(b.N), "check-ns/op")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(ops)*float64(b.N)/sec, "live-ops/s")
+	}
 }
 
 // BenchSimEventLoop measures one engine scenario run per iteration — an

@@ -17,6 +17,7 @@ func BenchmarkShardedStore(b *testing.B)         { perf.BenchShardedStore(b) }
 func BenchmarkStreamGrid(b *testing.B)           { perf.BenchStreamGrid(b) }
 func BenchmarkSaturationSearch(b *testing.B)     { perf.BenchSaturationSearch(b) }
 func BenchmarkCheckerIslandSteady(b *testing.B)  { perf.BenchCheckerIslandSteady(b) }
+func BenchmarkLiveInprocCluster(b *testing.B)    { perf.BenchLiveInprocCluster(b) }
 
 // TestBenchmarkCatalog pins the tracked-suite names: renaming or removing
 // a benchmark breaks comparability of the recorded trajectory, so it must
@@ -31,6 +32,7 @@ func TestBenchmarkCatalog(t *testing.T) {
 		"engine/stream-grid",
 		"study/saturation-search",
 		"check/island-steady",
+		"live/inproc-cluster",
 	}
 	got := perf.Benchmarks()
 	if len(got) != len(want) {

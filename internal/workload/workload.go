@@ -110,19 +110,28 @@ type RunOptions struct {
 	// Verify runs the linearizability checker on the resulting history.
 	// Only use for histories small enough for exhaustive search.
 	Verify bool
-	// Checker optionally shares a transition cache with the verifier —
-	// the engine passes one per data type so a grid's worker pool reuses
-	// Apply/EncodeState work across runs. Nil means an arena-local cache.
+	// Check carries the verifier's resource options (shared transition
+	// cache, reusable arena, island-parallelism budget) by value, exactly
+	// as check.CheckOpts receives them. This is the one way to configure
+	// the checker; the four field-at-a-time knobs below are deprecated
+	// shims that fold into it.
+	Check check.Options
+	// Checker optionally shares a transition cache with the verifier.
+	//
+	// Deprecated: set Check.Cache instead.
 	Checker *check.Cache
-	// Arena optionally reuses checker scratch (record copies, search
-	// state, key slabs) across runs. The engine keeps one per worker for
-	// the lifetime of a stream; nil draws from a process-wide pool.
+	// Arena optionally reuses checker scratch across runs.
+	//
+	// Deprecated: set Check.Arena instead.
 	Arena *check.Arena
 	// CheckWorkers caps island-parallel checking within a verified
-	// history; ≤ 1 checks concurrency islands sequentially.
+	// history.
+	//
+	// Deprecated: set Check.Workers instead.
 	CheckWorkers int
-	// NoIslands forces the verifier's single whole-history search,
-	// disabling island decomposition (equivalence testing and debugging).
+	// NoIslands forces the verifier's single whole-history search.
+	//
+	// Deprecated: set Check.NoIslands instead.
 	NoIslands bool
 	// AllowPending accepts a history with operations still pending at the
 	// horizon instead of failing the run — required for fault scenarios,
@@ -130,6 +139,26 @@ type RunOptions struct {
 	// checker treats forever-pending operations as removable, so Verify
 	// still composes.
 	AllowPending bool
+}
+
+// checkOptions folds the deprecated field-at-a-time checker knobs into
+// the coherent Check options value; a field set in Check wins over its
+// deprecated twin.
+func (o RunOptions) checkOptions() check.Options {
+	opt := o.Check
+	if opt.Cache == nil {
+		opt.Cache = o.Checker
+	}
+	if opt.Arena == nil {
+		opt.Arena = o.Arena
+	}
+	if opt.Workers == 0 {
+		opt.Workers = o.CheckWorkers
+	}
+	if !opt.NoIslands {
+		opt.NoIslands = o.NoIslands
+	}
+	return opt
 }
 
 // Target is the slice of a shared-object instance the harness needs: the
@@ -174,12 +203,7 @@ func Run(target Target, sched Schedule, opt RunOptions) (Report, error) {
 	rep := Report{PerKind: Summarize(h), History: h, Pending: h.PendingCount()}
 	if opt.Verify {
 		rep.Checked = true
-		rep.Linearizable = check.CheckOpts(target.DataType(), h, check.Options{
-			Cache:     opt.Checker,
-			Arena:     opt.Arena,
-			Workers:   opt.CheckWorkers,
-			NoIslands: opt.NoIslands,
-		}).Linearizable
+		rep.Linearizable = check.CheckOpts(target.DataType(), h, opt.checkOptions()).Linearizable
 	}
 	return rep, nil
 }

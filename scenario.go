@@ -8,18 +8,37 @@ import (
 	"timebounds/internal/check"
 	"timebounds/internal/engine"
 	"timebounds/internal/fault"
+	"timebounds/internal/live"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
 	"timebounds/internal/workload"
 )
 
-// The composable experiment surface: a Scenario pairs a Backend (which
-// algorithm implements the object) with a Workload (what the processes do)
-// under chosen model parameters, delay adversary, and clock offsets; an
-// Engine runs scenario grids in parallel — one isolated simulator per run —
-// and aggregates structured Results: per-kind latency statistics, per-class
-// measured-vs-theoretical bound margins, linearizability verdicts, and
-// replica convergence. Same scenarios ⇒ bit-identical Report.
+// This file is the scenario facade, grouped into the sections the package
+// doc maps (see timebounds.go, "Facade map"):
+//
+//   §1 Core run surface   — Scenario, Engine, Grid, Workload, backends
+//   §2 Adversaries        — delay modes, lower-bound adversary specs
+//   §3 Sharding           — keyed workloads over per-shard sub-clusters
+//   §4 Streaming & study  — result streams, online aggregation, studies
+//   §5 Faults             — fault-plan axes and dichotomy verdicts
+//   §6 Live runtime       — wall-clock clusters, estimation, retuning
+//   §7 Deprecated bridge  — the pre-redesign Config surface
+//
+// Every name here is a thin alias or constructor over the internal
+// packages; the full export list is pinned by TestPublicAPIGolden.
+
+// ---------------------------------------------------------------------------
+// §1 Core run surface
+//
+// A Scenario pairs a Backend (which algorithm implements the object) with
+// a Workload (what the processes do) under chosen model parameters, delay
+// adversary, and clock offsets; an Engine runs scenario grids in parallel
+// — one isolated simulator per run — and aggregates structured Results:
+// per-kind latency statistics, per-class measured-vs-theoretical bound
+// margins, linearizability verdicts, and replica convergence. Same
+// scenarios ⇒ bit-identical Report.
+
 type (
 	// Backend is an implementation strategy: Algorithm1, AllOOP,
 	// Centralized, or TOB.
@@ -27,7 +46,7 @@ type (
 	// Instance is one runnable replicated object built by a Backend.
 	Instance = engine.Instance
 	// Scenario is one experiment point: Backend × Workload × parameters ×
-	// delay policy × clock offsets.
+	// delay policy × clock offsets × runtime.
 	Scenario = engine.Scenario
 	// Engine executes scenario grids across a worker pool.
 	Engine = engine.Engine
@@ -37,10 +56,6 @@ type (
 	Result = engine.Result
 	// BoundCheck compares a class's measured worst case with its bound.
 	BoundCheck = engine.BoundCheck
-	// DelaySpec declares the message-delay adversary of a scenario.
-	DelaySpec = engine.DelaySpec
-	// DelayMode names a bundled delay adversary shape.
-	DelayMode = engine.DelayMode
 	// Grid declares a cross product of scenario coordinates.
 	Grid = engine.Grid
 	// Workload is a declarative operation-stream spec: closed/open loop,
@@ -60,94 +75,6 @@ type (
 	Params = model.Params
 	// OpClass is the Chapter V operation class (MOP/AOP/OOP).
 	OpClass = spec.OpClass
-	// AdversarySpec is a first-class lower-bound adversary: a named run
-	// family (delay matrices, clock shifts, premature tunings, explicit
-	// schedules) that expands into engine scenarios and records
-	// BoundWitnesses. Grid.Adversaries sweeps them like DelaySpecs.
-	AdversarySpec = engine.AdversarySpec
-	// AdversaryRun is one member of an adversary's run family.
-	AdversaryRun = engine.AdversaryRun
-	// WitnessSpec asks a scenario to record a lower-bound witness.
-	WitnessSpec = engine.WitnessSpec
-	// BoundWitness records the operation whose latency witnesses a
-	// theoretical lower bound in one run, and whether the run violated
-	// linearizability.
-	BoundWitness = engine.BoundWitness
-	// FamilyWitness aggregates one adversary run family's dichotomy
-	// verdict: a violation somewhere, or latency at least the bound.
-	FamilyWitness = engine.FamilyWitness
-	// TunableBackend is a backend whose wait durations can be overridden
-	// (Algorithm 1), the hook for premature implementations.
-	TunableBackend = engine.TunableBackend
-	// FaultSpec is a scenario's fault-injection axis: a named builder of
-	// crash/churn/loss/duplication/partition/drift plans. The zero value
-	// injects nothing.
-	FaultSpec = engine.FaultSpec
-	// FaultReport is the dichotomy verdict of one faulted run: within the
-	// crash-adjusted bound, or a breach list naming the broken model
-	// assumptions and by how much.
-	FaultReport = engine.FaultReport
-	// FaultPlan is a concrete fault schedule (crashes, retirements, loss
-	// and duplication windows, partitions, clock drifts).
-	FaultPlan = fault.Plan
-	// Breach pinpoints one broken model assumption or observed symptom.
-	Breach = fault.Breach
-	// FaultStats accounts for the faults that materialized in one run.
-	FaultStats = fault.Stats
-	// NamedFault pairs a scenario name with its FaultReport.
-	NamedFault = engine.NamedFault
-	// ShardedScenario runs one keyed workload as engine-managed per-shard
-	// sub-clusters and folds the shard Results into a ShardedReport with a
-	// composed linearizability verdict (linearizability is local, so the
-	// store is linearizable iff every shard is).
-	ShardedScenario = engine.ShardedScenario
-	// ShardedReport is the folded outcome of a sharded scenario: per-shard
-	// Results, the composed verdict, aggregate latency-vs-bound margins,
-	// and shard-skew statistics.
-	ShardedReport = engine.ShardedReport
-	// ShardStats summarizes how evenly a keyed workload spread across the
-	// shards.
-	ShardStats = engine.ShardStats
-	// ShardedWorkload is a keyed workload spec: a key space, a per-key
-	// operation stream (or explicit keyed schedule), and a hash or
-	// explicit partitioning into shards.
-	ShardedWorkload = workload.Sharded
-	// KeyOp is one keyed operation (put/get/delete on a key) of a sharded
-	// workload.
-	KeyOp = workload.KeyOp
-	// Composition is the locality verdict over independently checked
-	// components (Herlihy & Wing's composition theorem as a value).
-	Composition = check.Composition
-	// ShiftFraction scales an adversary's clock-shift magnitude relative
-	// to the proof's full shift.
-	ShiftFraction = adversary.ShiftFraction
-	// IndexedResult pairs a streamed Result with its scenario's input
-	// index (Engine.StreamChan's element type).
-	IndexedResult = engine.IndexedResult
-	// Aggregate folds streamed Results into constant-memory summaries:
-	// online per-kind/per-class statistics, verdict counters, and
-	// utilization accounting — the streaming replacement for retaining
-	// every history of a large grid.
-	Aggregate = engine.Aggregate
-	// OnlineStats is a constant-memory streaming latency summary:
-	// exact count/min/max/mean, Welford variance, and a fixed-size
-	// quantile sketch (p99 within ~0.8% relative error).
-	OnlineStats = workload.OnlineStats
-	// Study declares a load-sweep saturation study: one scenario template
-	// driven open-loop across an offered-rate axis with online
-	// aggregation and a saturation-knee bisection.
-	Study = engine.Study
-	// StudyReport is a study's outcome: measured points sorted by load
-	// and the located knee, if any.
-	StudyReport = engine.StudyReport
-	// StudyPoint is one measured offered-load point.
-	StudyPoint = engine.StudyPoint
-	// ClassLoad is one operation class's sojourn summary at one load.
-	ClassLoad = engine.ClassLoad
-	// LoadRamp generates a geometric offered-load axis.
-	LoadRamp = engine.LoadRamp
-	// Knee is a located saturation knee (bracket, class, p99, bound).
-	Knee = engine.Knee
 )
 
 // Workload pacing modes.
@@ -156,18 +83,6 @@ const (
 	ClosedLoop = workload.Closed
 	// OpenLoop issues invocations at exact fixed-rate instants.
 	OpenLoop = workload.Open
-)
-
-// Delay adversaries.
-const (
-	// DelayRandom draws delays uniformly from [d-u, d] (seeded).
-	DelayRandom = engine.DelayRandom
-	// DelayWorst fixes every delay at the slowest admissible d.
-	DelayWorst = engine.DelayWorst
-	// DelayBest fixes every delay at the fastest admissible d-u.
-	DelayBest = engine.DelayBest
-	// DelayExtremal alternates deterministically between d-u and d.
-	DelayExtremal = engine.DelayExtremal
 )
 
 // Operation classes (Chapter V).
@@ -203,9 +118,6 @@ func Backends() []Backend { return engine.Backends() }
 // BackendByName resolves a backend by name (algorithm1|all-oop|centralized|tob).
 func BackendByName(name string) (Backend, error) { return engine.BackendByName(name) }
 
-// DelayModeByName resolves a delay mode by name (random|worst|best|extremal).
-func DelayModeByName(name string) (DelayMode, error) { return engine.DelayModeByName(name) }
-
 // DataTypeByName constructs a bundled data type by its flag name, for
 // tools: register|queue|stack|tree|set|counter|dict|pqueue|account
 // ("register" is the read/write/read-modify-write register).
@@ -234,6 +146,87 @@ func DataTypeByName(name string) (DataType, error) {
 	}
 }
 
+// NewEngine returns an engine with the given worker cap (≤0 = GOMAXPROCS).
+// Beyond Run, engines stream: Engine.Stream returns an iterator yielding
+// Results in completion order (Engine.StreamChan is the channel form),
+// honoring context cancellation without leaking workers, and
+// Engine.RunContext collects a (possibly partial) Report under a context.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// RunScenarios executes the scenarios on a default engine (all cores) and
+// returns their results in input order.
+func RunScenarios(scenarios []Scenario) Report { return engine.Run(scenarios) }
+
+// RunScenario executes one scenario and surfaces its failure, if any, as
+// an error.
+func RunScenario(sc Scenario) (Result, error) { return engine.New(0).RunOne(sc) }
+
+// DefaultMix returns the representative operation mix used for dt by the
+// measured tables and default workloads.
+func DefaultMix(dt DataType) OpMix { return workload.DefaultMix(dt) }
+
+// RenderKinds renders one result's per-kind latency table, kinds sorted.
+func RenderKinds(res Result) string { return engine.RenderKinds(res) }
+
+// RaceWorkload returns a maximal-contention workload: every process
+// invokes the given kinds back-to-back at identical instants, the schedule
+// shape of the paper's lower-bound constructions.
+func RaceWorkload(p Params, start, gap Time, rounds int, kinds ...OpKind) Workload {
+	return workload.Race(p, start, gap, rounds, kinds...)
+}
+
+// ---------------------------------------------------------------------------
+// §2 Adversaries
+//
+// Delay adversaries shape message delays within the admissible [d-u, d]
+// envelope; AdversarySpecs are the paper's lower-bound constructions as
+// first-class run families, recording BoundWitnesses judged by the
+// theorems' dichotomy.
+
+type (
+	// DelaySpec declares the message-delay adversary of a scenario.
+	DelaySpec = engine.DelaySpec
+	// DelayMode names a bundled delay adversary shape.
+	DelayMode = engine.DelayMode
+	// AdversarySpec is a first-class lower-bound adversary: a named run
+	// family (delay matrices, clock shifts, premature tunings, explicit
+	// schedules) that expands into engine scenarios and records
+	// BoundWitnesses. Grid.Adversaries sweeps them like DelaySpecs.
+	AdversarySpec = engine.AdversarySpec
+	// AdversaryRun is one member of an adversary's run family.
+	AdversaryRun = engine.AdversaryRun
+	// WitnessSpec asks a scenario to record a lower-bound witness.
+	WitnessSpec = engine.WitnessSpec
+	// BoundWitness records the operation whose latency witnesses a
+	// theoretical lower bound in one run, and whether the run violated
+	// linearizability.
+	BoundWitness = engine.BoundWitness
+	// FamilyWitness aggregates one adversary run family's dichotomy
+	// verdict: a violation somewhere, or latency at least the bound.
+	FamilyWitness = engine.FamilyWitness
+	// TunableBackend is a backend whose wait durations can be overridden
+	// (Algorithm 1), the hook for premature implementations.
+	TunableBackend = engine.TunableBackend
+	// ShiftFraction scales an adversary's clock-shift magnitude relative
+	// to the proof's full shift.
+	ShiftFraction = adversary.ShiftFraction
+)
+
+// Delay adversaries.
+const (
+	// DelayRandom draws delays uniformly from [d-u, d] (seeded).
+	DelayRandom = engine.DelayRandom
+	// DelayWorst fixes every delay at the slowest admissible d.
+	DelayWorst = engine.DelayWorst
+	// DelayBest fixes every delay at the fastest admissible d-u.
+	DelayBest = engine.DelayBest
+	// DelayExtremal alternates deterministically between d-u and d.
+	DelayExtremal = engine.DelayExtremal
+)
+
+// DelayModeByName resolves a delay mode by name (random|worst|best|extremal).
+func DelayModeByName(name string) (DelayMode, error) { return engine.DelayModeByName(name) }
+
 // AdversaryNames lists the bundled lower-bound constructions:
 // fig1|c1|c1-queue|d1|e1|e1-dict.
 func AdversaryNames() []string { return adversary.SpecNames() }
@@ -252,6 +245,134 @@ func AdversaryByName(name string, correct bool) (AdversarySpec, error) {
 func AdversaryByNameShifted(name string, correct bool, shiftFrac float64) (AdversarySpec, error) {
 	return adversary.SpecByName(name, correct, adversary.Frac(shiftFrac))
 }
+
+// ---------------------------------------------------------------------------
+// §3 Sharding
+//
+// A keyed workload partitioned into engine-managed per-shard sub-clusters;
+// linearizability is local (Herlihy & Wing), so the store's verdict is the
+// composition of the shard verdicts.
+
+type (
+	// ShardedScenario runs one keyed workload as engine-managed per-shard
+	// sub-clusters and folds the shard Results into a ShardedReport with a
+	// composed linearizability verdict (linearizability is local, so the
+	// store is linearizable iff every shard is).
+	ShardedScenario = engine.ShardedScenario
+	// ShardedReport is the folded outcome of a sharded scenario: per-shard
+	// Results, the composed verdict, aggregate latency-vs-bound margins,
+	// and shard-skew statistics.
+	ShardedReport = engine.ShardedReport
+	// ShardStats summarizes how evenly a keyed workload spread across the
+	// shards.
+	ShardStats = engine.ShardStats
+	// ShardedWorkload is a keyed workload spec: a key space, a per-key
+	// operation stream (or explicit keyed schedule), and a hash or
+	// explicit partitioning into shards.
+	ShardedWorkload = workload.Sharded
+	// KeyOp is one keyed operation (put/get/delete on a key) of a sharded
+	// workload.
+	KeyOp = workload.KeyOp
+	// Composition is the locality verdict over independently checked
+	// components (Herlihy & Wing's composition theorem as a value).
+	Composition = check.Composition
+)
+
+// RunSharded expands a sharded scenario into per-shard sub-clusters, runs
+// them across a default engine's worker pool, and folds the results into
+// one ShardedReport. Same scenario ⇒ bit-identical report at any worker
+// count.
+func RunSharded(ss ShardedScenario) (ShardedReport, error) { return engine.RunSharded(ss) }
+
+// PutKey returns a keyed write of key=value by proc at the given time,
+// for ShardedWorkload explicit schedules.
+func PutKey(at Time, proc ProcessID, key string, value Value) KeyOp {
+	return workload.Put(at, proc, key, value)
+}
+
+// GetKey returns a keyed read of key by proc at the given time.
+func GetKey(at Time, proc ProcessID, key string) KeyOp { return workload.Get(at, proc, key) }
+
+// DeleteKey returns a keyed delete of key by proc at the given time.
+func DeleteKey(at Time, proc ProcessID, key string) KeyOp { return workload.Del(at, proc, key) }
+
+// ---------------------------------------------------------------------------
+// §4 Streaming & study
+//
+// Large grids stream Results through constant-memory aggregation instead
+// of retaining every history; load-sweep studies drive one scenario
+// template across an offered-rate axis and bisect the saturation knee.
+
+type (
+	// IndexedResult pairs a streamed Result with its scenario's input
+	// index (Engine.StreamChan's element type).
+	IndexedResult = engine.IndexedResult
+	// Aggregate folds streamed Results into constant-memory summaries:
+	// online per-kind/per-class statistics, verdict counters, and
+	// utilization accounting — the streaming replacement for retaining
+	// every history of a large grid.
+	Aggregate = engine.Aggregate
+	// OnlineStats is a constant-memory streaming latency summary:
+	// exact count/min/max/mean, Welford variance, and a fixed-size
+	// quantile sketch (p99 within ~0.8% relative error).
+	OnlineStats = workload.OnlineStats
+	// Study declares a load-sweep saturation study: one scenario template
+	// driven open-loop across an offered-rate axis with online
+	// aggregation and a saturation-knee bisection.
+	Study = engine.Study
+	// StudyReport is a study's outcome: measured points sorted by load
+	// and the located knee, if any.
+	StudyReport = engine.StudyReport
+	// StudyPoint is one measured offered-load point.
+	StudyPoint = engine.StudyPoint
+	// ClassLoad is one operation class's sojourn summary at one load.
+	ClassLoad = engine.ClassLoad
+	// LoadRamp generates a geometric offered-load axis.
+	LoadRamp = engine.LoadRamp
+	// Knee is a located saturation knee (bracket, class, p99, bound).
+	Knee = engine.Knee
+)
+
+// NewAggregate returns an empty streaming aggregate, ready to fold
+// Results from Engine.Stream without retaining them.
+func NewAggregate() *Aggregate { return engine.NewAggregate() }
+
+// RunStudy executes a load-sweep saturation study on a default engine:
+// every axis point streams through the worker pool and folds online, then
+// a geometric bisection narrows the saturation knee (the lowest offered
+// load at which some class's p99 sojourn time reaches KneeFactor × its
+// service bound). Same study ⇒ identical report at any worker count.
+func RunStudy(ctx context.Context, s Study) (StudyReport, error) {
+	return s.Run(ctx, engine.New(0))
+}
+
+// ---------------------------------------------------------------------------
+// §5 Faults
+//
+// Fault-plan axes inject crashes, churn, loss, duplication, partitions,
+// and clock drift; every faulted run lands on exactly one horn of the
+// dichotomy verdict — within the crash-adjusted bound, or a breach naming
+// the broken model assumption.
+
+type (
+	// FaultSpec is a scenario's fault-injection axis: a named builder of
+	// crash/churn/loss/duplication/partition/drift plans. The zero value
+	// injects nothing.
+	FaultSpec = engine.FaultSpec
+	// FaultReport is the dichotomy verdict of one faulted run: within the
+	// crash-adjusted bound, or a breach list naming the broken model
+	// assumptions and by how much.
+	FaultReport = engine.FaultReport
+	// FaultPlan is a concrete fault schedule (crashes, retirements, loss
+	// and duplication windows, partitions, clock drifts).
+	FaultPlan = fault.Plan
+	// Breach pinpoints one broken model assumption or observed symptom.
+	Breach = fault.Breach
+	// FaultStats accounts for the faults that materialized in one run.
+	FaultStats = fault.Stats
+	// NamedFault pairs a scenario name with its FaultReport.
+	NamedFault = engine.NamedFault
+)
 
 // The two horns of a faulted run's dichotomy verdict.
 const (
@@ -288,65 +409,76 @@ func FaultFamilyByName(name string) (AdversarySpec, error) {
 	return adversary.FaultFamilyByName(name)
 }
 
-// NewEngine returns an engine with the given worker cap (≤0 = GOMAXPROCS).
-// Beyond Run, engines stream: Engine.Stream returns an iterator yielding
-// Results in completion order (Engine.StreamChan is the channel form),
-// honoring context cancellation without leaking workers, and
-// Engine.RunContext collects a (possibly partial) Report under a context.
-func NewEngine(workers int) *Engine { return engine.New(workers) }
+// ---------------------------------------------------------------------------
+// §6 Live runtime
+//
+// Scenario.Runtime selects where a scenario executes. The zero value is
+// the deterministic simulator; a live Runtime runs the same Backend ×
+// Workload declaration as a wall-clock goroutine cluster over a real
+// Transport (in-process channels or loopback TCP), discovers (u, d) with
+// a windowed online estimator, retunes Algorithm 1's waits adaptively,
+// and verifies the recorded history with the same Wing–Gong checker post
+// hoc. Result.Live reports the estimated envelope and the per-class
+// measured-latency-vs-estimated-bound margins; Runtime.Undertune scales
+// the waits below the estimated envelope and must reproduce the
+// premature-tuning dichotomy.
 
-// NewAggregate returns an empty streaming aggregate, ready to fold
-// Results from Engine.Stream without retaining them.
-func NewAggregate() *Aggregate { return engine.NewAggregate() }
+type (
+	// Runtime is the scenario axis selecting simulated vs live execution;
+	// the zero value is the simulator.
+	Runtime = engine.Runtime
+	// RuntimeMode selects where a scenario executes.
+	RuntimeMode = engine.RuntimeMode
+	// TransportSpec selects a live scenario's transport as a value.
+	TransportSpec = engine.TransportSpec
+	// TransportKind names a bundled live transport.
+	TransportKind = engine.TransportKind
+	// Transport connects the replicas of one live cluster; implement it
+	// (with Endpoint) to plug a custom transport into TransportSpec.
+	Transport = live.Transport
+	// Endpoint is one process's attachment to a live Transport.
+	Endpoint = live.Endpoint
+	// LiveMessage is the wire unit live replicas exchange.
+	LiveMessage = live.Message
+	// EstimatorConfig tunes the online (u, d) estimator: window size,
+	// safety margin, slack, and the prior used before enough samples.
+	EstimatorConfig = engine.EstimatorConfig
+	// Estimate is one padded (d̂, û, ε̂) envelope snapshot of the
+	// estimator.
+	Estimate = engine.Estimate
+	// LiveReport records what a live run measured: the estimator
+	// envelope, retuning activity, and per-class
+	// measured-vs-estimated-bound margins.
+	LiveReport = engine.LiveReport
+	// LiveClass is one operation class's measured latency distribution
+	// against the bound computed from the estimated (u, d, ε).
+	LiveClass = engine.LiveClass
+)
 
-// RunStudy executes a load-sweep saturation study on a default engine:
-// every axis point streams through the worker pool and folds online, then
-// a geometric bisection narrows the saturation knee (the lowest offered
-// load at which some class's p99 sojourn time reaches KneeFactor × its
-// service bound). Same study ⇒ identical report at any worker count.
-func RunStudy(ctx context.Context, s Study) (StudyReport, error) {
-	return s.Run(ctx, engine.New(0))
-}
+// Runtime modes and bundled live transports.
+const (
+	// RuntimeSim runs scenarios in the deterministic simulator (default).
+	RuntimeSim = engine.RuntimeSim
+	// RuntimeLive runs scenarios as wall-clock goroutine clusters.
+	RuntimeLive = engine.RuntimeLive
+	// TransportChan is the in-process channel transport (the scenario's
+	// delay adversary becomes synthetic message delays).
+	TransportChan = engine.TransportChan
+	// TransportTCP is loopback TCP with gob framing.
+	TransportTCP = engine.TransportTCP
+)
 
-// RunScenarios executes the scenarios on a default engine (all cores) and
-// returns their results in input order.
-func RunScenarios(scenarios []Scenario) Report { return engine.Run(scenarios) }
+// LiveRuntime returns a live Runtime over the in-process chan transport.
+func LiveRuntime() Runtime { return engine.LiveRuntime() }
 
-// RunScenario executes one scenario and surfaces its failure, if any, as
-// an error.
-func RunScenario(sc Scenario) (Result, error) { return engine.New(0).RunOne(sc) }
+// LiveTCPRuntime returns a live Runtime over loopback TCP.
+func LiveTCPRuntime() Runtime { return engine.LiveTCPRuntime() }
 
-// RunSharded expands a sharded scenario into per-shard sub-clusters, runs
-// them across a default engine's worker pool, and folds the results into
-// one ShardedReport. Same scenario ⇒ bit-identical report at any worker
-// count.
-func RunSharded(ss ShardedScenario) (ShardedReport, error) { return engine.RunSharded(ss) }
-
-// PutKey returns a keyed write of key=value by proc at the given time,
-// for ShardedWorkload explicit schedules.
-func PutKey(at Time, proc ProcessID, key string, value Value) KeyOp {
-	return workload.Put(at, proc, key, value)
-}
-
-// GetKey returns a keyed read of key by proc at the given time.
-func GetKey(at Time, proc ProcessID, key string) KeyOp { return workload.Get(at, proc, key) }
-
-// DeleteKey returns a keyed delete of key by proc at the given time.
-func DeleteKey(at Time, proc ProcessID, key string) KeyOp { return workload.Del(at, proc, key) }
-
-// DefaultMix returns the representative operation mix used for dt by the
-// measured tables and default workloads.
-func DefaultMix(dt DataType) OpMix { return workload.DefaultMix(dt) }
-
-// RenderKinds renders one result's per-kind latency table, kinds sorted.
-func RenderKinds(res Result) string { return engine.RenderKinds(res) }
-
-// RaceWorkload returns a maximal-contention workload: every process
-// invokes the given kinds back-to-back at identical instants, the schedule
-// shape of the paper's lower-bound constructions.
-func RaceWorkload(p Params, start, gap Time, rounds int, kinds ...OpKind) Workload {
-	return workload.Race(p, start, gap, rounds, kinds...)
-}
+// ---------------------------------------------------------------------------
+// §7 Deprecated bridge
+//
+// The pre-redesign Config surface remains as a thin shim over the same
+// engine; see timebounds.go for Config itself.
 
 // Scenario bridges the deprecated Config surface onto the Scenario API:
 // the returned scenario reproduces exactly the simulator NewCluster(cfg, dt)

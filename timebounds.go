@@ -32,6 +32,31 @@
 // seeds) expand via Grid and run in parallel via Engine; see scenario.go.
 // The pre-redesign Config/NewCluster one-shot surface remains as a thin
 // deprecated shim over the same engine.
+//
+// # Facade map
+//
+// The public surface is grouped into sections (scenario.go carries §1–§7):
+//
+//   - §1 Core run surface — Scenario, Engine, Grid, Workload, the four
+//     backends (Algorithm1, AllOOP, Centralized, TOB), and Result/Report.
+//   - §2 Adversaries — DelaySpec delay shaping and the paper's lower-bound
+//     constructions as AdversarySpec run families with dichotomy witnesses.
+//   - §3 Sharding — ShardedScenario/ShardedWorkload: keyed workloads over
+//     per-shard sub-clusters with a composed linearizability verdict.
+//   - §4 Streaming & study — Engine.Stream, constant-memory Aggregate, and
+//     load-sweep saturation studies (Study, RunStudy).
+//   - §5 Faults — FaultSpec injection axes and the within-bound /
+//     assumption-broken dichotomy verdict (FaultReport).
+//   - §6 Live runtime — Scenario.Runtime: the same declaration executed as
+//     a wall-clock goroutine cluster over a real Transport with online
+//     (u, d) estimation, adaptive retuning, and post-hoc checking
+//     (Runtime, TransportSpec, LiveReport).
+//   - §7 Deprecated bridge — the pre-redesign Config surface.
+//
+// This file (timebounds.go) holds the fundamental aliases (DataType, Time,
+// History, …), the bundled data types of Chapter VI, the operation
+// algebra, bound tables, proof machinery, and the deprecated Config
+// surface.
 package timebounds
 
 import (
