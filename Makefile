@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-adversary test-faults test-live fuzz-smoke bench bench-json bench-compare cover vet vet-json fmt examples
+.PHONY: build test test-adversary test-faults test-keyspace test-live fuzz-smoke bench bench-json bench-compare cover vet vet-json fmt examples
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,15 @@ test-adversary:
 # breach naming the broken model assumption. See docs/FAULTS.md.
 test-faults:
 	$(GO) test -race -run 'Fault|Lifecycle|Dichotomy|Horn|Crash|Churn|Drift' ./internal/fault ./internal/core ./internal/history ./internal/engine ./internal/adversary .
+
+# The keyspace/migration suite under the race detector: popularity models
+# and streamed keyed schedules, the versioned partition map and migration
+# plan algebra, hot-key split planning, the engine's drain-then-cutover
+# handoff with its per-epoch + stitched composed verification (including
+# the regression where only the stitched cross-epoch check catches a
+# corrupted state transfer), the skew sweep, and the facade surface.
+test-keyspace:
+	$(GO) test -race -run 'Keyspace|Space|Model|Zipf|HotSet|Workload|Partition|Plan|Migrat|Split|Handoff|Stream|Compose|Skew|Sharded' ./internal/keyspace ./internal/workload ./internal/check ./internal/engine ./internal/experiments .
 
 # The live-runtime suite under the race detector: estimator envelope
 # safety, tuner wait derivation, in-process and loopback-TCP goroutine

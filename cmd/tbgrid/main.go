@@ -31,6 +31,15 @@
 // across the worker pool, and folded into one sharded report per store
 // (composed linearizability, aggregate bound margins, shard skew).
 // -adversary does not combine with -shards.
+//
+// With -migrate (requires -shards ≥ 2), the keyed workload becomes a
+// streamed Zipf schedule over -keys keys and each store runs twice: once
+// under the static range partition to observe per-shard load, then — when
+// the observed imbalance warrants it — again with the hot-split migration
+// SplitHot plans from that load, cutting over mid-run. The second report
+// carries the handoff table and the per-epoch composed verdict: the
+// stitched cross-epoch check is what proves linearizability across the
+// rebalancing, not just within each epoch.
 package main
 
 import (
@@ -68,6 +77,7 @@ func run() error {
 		faultsF   = flag.String("faults", "", "fault-plan axis: all, or a comma-separated subset of "+strings.Join(timebounds.FaultSpecNames(), ","))
 		shards    = flag.Int("shards", 0, "run the sharded keyed-workload path with this many shards (0 = off, -1 = one shard per key)")
 		keys      = flag.Int("keys", 24, "key-space size for -shards")
+		migrate   = flag.Bool("migrate", false, "with -shards: observe skew under a Zipf stream, plan a hot-split migration from the measured load, re-run across the cutover")
 	)
 	flag.Parse()
 
@@ -78,7 +88,16 @@ func run() error {
 		if *faultsF != "" {
 			return fmt.Errorf("-faults cannot be combined with -shards (the fault axis applies to the unsharded grid)")
 		}
+		if *migrate {
+			if *shards < 2 {
+				return fmt.Errorf("-migrate needs -shards ≥ 2 (rebalancing moves keys between shards)")
+			}
+			return runMigrating(*backendsF, *nsF, *xsF, *delaysF, *d, *u, *shards, *keys, *ops, *seeds, *workers, *verify)
+		}
 		return runSharded(*backendsF, *nsF, *xsF, *delaysF, *d, *u, *shards, *keys, *ops, *seeds, *workers, *verify)
+	}
+	if *migrate {
+		return fmt.Errorf("-migrate requires -shards (it drives the sharded keyed-workload path)")
 	}
 
 	var grid timebounds.Grid
@@ -262,5 +281,101 @@ func runSharded(backendsF, nsF, xsF, delaysF string, d, u time.Duration, shards,
 		}
 	}
 	fmt.Println("all sharded stores within bounds, converged" + map[bool]string{true: ", composed linearizable", false: ""}[verify])
+	return nil
+}
+
+// runMigrating is the -migrate path: per grid point it streams a Zipf
+// keyed workload over a static range partition, asks SplitHot for a
+// rebalancing migration from the observed per-shard load, and — when the
+// skew warrants one — re-runs the identical workload with the migration
+// cutting over mid-schedule, printing the handoff table and the composed
+// cross-epoch verdict.
+func runMigrating(backendsF, nsF, xsF, delaysF string, d, u time.Duration, shards, keys, ops, seeds, workers int, verify bool) error {
+	space := timebounds.Space{N: keys}
+	var xs []time.Duration
+	for _, s := range strings.Split(xsF, ",") {
+		x, err := time.ParseDuration(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad x %q: %v", s, err)
+		}
+		xs = append(xs, x)
+	}
+	var delays []timebounds.DelaySpec
+	for _, s := range strings.Split(delaysF, ",") {
+		m, err := timebounds.DelayModeByName(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		delays = append(delays, timebounds.DelaySpec{Mode: m})
+	}
+	eng := timebounds.NewEngine(workers)
+	migrated := 0
+	for _, name := range strings.Split(backendsF, ",") {
+		b, err := timebounds.BackendByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		for _, s := range strings.Split(nsF, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+				return fmt.Errorf("bad n %q", s)
+			}
+			for _, x := range xs {
+				for _, delay := range delays {
+					for seed := int64(1); seed <= int64(seeds); seed++ {
+						total := ops * n * shards
+						w := timebounds.KeyedWorkload{
+							Name:  fmt.Sprintf("migrating/x=%s/%s", x, delay.Mode),
+							Space: space,
+							Model: timebounds.Zipf{},
+							Ops:   total,
+						}
+						base := timebounds.RangePartition(space, shards)
+						ss := timebounds.ShardedScenario{
+							Backend:  b,
+							Params:   timebounds.Params{N: n, D: d, U: u},
+							X:        x,
+							Seed:     seed,
+							Delay:    delay,
+							Workload: w.Sharded(shards),
+							Plan:     &timebounds.MigrationPlan{Base: base},
+							Verify:   verify,
+						}
+						rep, err := eng.RunSharded(ss)
+						if err != nil {
+							return err
+						}
+						fmt.Print(rep)
+						fmt.Println()
+						if err := rep.Err(); err != nil {
+							return err
+						}
+						// Cut over mid-schedule: the stream starts at d and
+						// spaces ops 2d/n apart, so half the schedule sits on
+						// each side of the handoff.
+						cutover := d + time.Duration(total/2)*(2*d/time.Duration(n))
+						mig := timebounds.SplitHot(base, rep.Stats.PerShardOps, rep.HotKeys, cutover, 1.5)
+						if mig == nil {
+							fmt.Println("observed load within threshold; no migration planned")
+							continue
+						}
+						ss.Plan = &timebounds.MigrationPlan{Base: base, Migrations: []timebounds.Migration{*mig}}
+						rep, err = eng.RunSharded(ss)
+						if err != nil {
+							return err
+						}
+						migrated++
+						fmt.Print(rep)
+						fmt.Println()
+						if err := rep.Err(); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("%d stores rebalanced mid-run; every handoff verified across the cutover%s\n",
+		migrated, map[bool]string{true: " (composed check over per-epoch and stitched whole-key histories)", false: ""}[verify])
 	return nil
 }

@@ -16,6 +16,13 @@
 //	             per-class p50/p99 sojourn, class bound, bound margin,
 //	             utilization, and a knee marker. A progress line streams
 //	             to stderr as points complete.
+//	-sweep skew — the skew study: a streamed Zipf workload over a
+//	             range-partitioned key universe (-keys, -shards), swept
+//	             across Zipf exponents (-exponents) × offered loads
+//	             (-loads). Emits CSV: per-cell imbalance, hottest shard,
+//	             worst per-shard p99 sojourn vs bound, saturation marker,
+//	             and one knee row per exponent — how the saturation knee
+//	             falls as the head of the popularity distribution grows.
 package main
 
 import (
@@ -42,7 +49,7 @@ func main() {
 
 func run() error {
 	var (
-		sweep    = flag.String("sweep", "x", "sweep kind: x|n|base|gap|load")
+		sweep    = flag.String("sweep", "x", "sweep kind: x|n|base|gap|load|skew")
 		n        = flag.Int("n", 4, "number of processes (x, base and load sweeps)")
 		maxN     = flag.Int("maxn", 10, "largest n (n sweep)")
 		d        = flag.Duration("d", 10*time.Millisecond, "message delay upper bound d")
@@ -52,6 +59,9 @@ func run() error {
 		backendF = flag.String("backend", "algorithm1", "backend under load (load sweep)")
 		loadsF   = flag.String("loads", "", "explicit comma-separated offered loads in ops/sec (load sweep; empty = auto geometric ramp)")
 		opsPt    = flag.Int("ops", 24, "operations per process per load point (load sweep)")
+		keys     = flag.Int("keys", 100_000, "key universe size (skew sweep)")
+		shards   = flag.Int("shards", 8, "range-partition size (skew sweep)")
+		expsF    = flag.String("exponents", "", "explicit comma-separated Zipf exponents (skew sweep; empty = 1.01,1.2,1.5,2.0)")
 	)
 	flag.Parse()
 
@@ -113,15 +123,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		var loads []float64
-		if *loadsF != "" {
-			for _, s := range strings.Split(*loadsF, ",") {
-				load, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-				if err != nil {
-					return fmt.Errorf("bad load %q: %v", s, err)
-				}
-				loads = append(loads, load)
-			}
+		loads, err := parseFloats(*loadsF)
+		if err != nil {
+			return err
 		}
 		// With only Points set, LoadSweep fills the span around the
 		// nominal service rate n/(2d).
@@ -154,8 +158,71 @@ func run() error {
 		} else {
 			fmt.Fprintln(os.Stderr, "no saturation knee within the swept axis")
 		}
+	case "skew":
+		p := model.Params{N: *n, D: *d, U: *u}
+		p.Epsilon = p.OptimalSkew()
+		backend, err := timebounds.BackendByName(*backendF)
+		if err != nil {
+			return err
+		}
+		loads, err := parseFloats(*loadsF)
+		if err != nil {
+			return err
+		}
+		exponents, err := parseFloats(*expsF)
+		if err != nil {
+			return err
+		}
+		cells := 0
+		rep, err := experiments.SkewSweep(context.Background(), experiments.SkewSweepOptions{
+			Backend:     backend,
+			Params:      p,
+			Seed:        *seed,
+			Space:       timebounds.Space{N: *keys},
+			Shards:      *shards,
+			Exponents:   exponents,
+			Loads:       loads,
+			OpsPerPoint: *opsPt * *n,
+			OnPoint: func(pt experiments.SkewCell) {
+				cells++
+				state := "attached"
+				if pt.Saturated {
+					state = "SATURATED"
+				}
+				fmt.Fprintf(os.Stderr, "cell %d: s=%.2f load %.1f ops/s imbalance %.2f %s\n",
+					cells, pt.Exponent, pt.Load, pt.Imbalance, state)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.SkewSweepCSV(rep))
+		for _, k := range rep.Knees {
+			if k.Found {
+				fmt.Fprintf(os.Stderr, "s=%.2f: knee ≈%.1f ops/s (imbalance %.2f)\n", k.Exponent, k.Load, k.Imbalance)
+			} else {
+				fmt.Fprintf(os.Stderr, "s=%.2f: no knee within the swept loads\n", k.Exponent)
+			}
+		}
 	default:
 		return fmt.Errorf("unknown sweep %q", *sweep)
 	}
 	return nil
+}
+
+// parseFloats parses a comma-separated list; empty input means nil (use
+// the sweep's default axis).
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -133,3 +133,48 @@ func TestComposeDegenerateInputs(t *testing.T) {
 		t.Fatalf("Err() = %v, want the unchecked component named", err)
 	}
 }
+
+func TestComposeByEpoch(t *testing.T) {
+	// A migrated key's verdict set: per-shard components spanning the whole
+	// run, one component per ownership epoch of the moved key, and the
+	// stitched cross-migration component.
+	c := Compose(
+		Component{Name: "shard-0", Epoch: WholeRun, Checked: true, Linearizable: true},
+		Component{Name: "shard-1", Epoch: WholeRun, Checked: true, Linearizable: true},
+		EpochComponent("key=a/epoch=0", 0, true, true),
+		EpochComponent("key=a/epoch=1", 1, true, true),
+		EpochComponent("key=a/stitched", WholeRun, true, false),
+	)
+	if got := c.ByEpoch(0); len(got) != 1 || got[0].Name != "key=a/epoch=0" {
+		t.Fatalf("ByEpoch(0) = %+v", got)
+	}
+	if got := c.ByEpoch(1); len(got) != 1 || got[0].Name != "key=a/epoch=1" {
+		t.Fatalf("ByEpoch(1) = %+v", got)
+	}
+	if got := c.ByEpoch(WholeRun); len(got) != 3 {
+		t.Fatalf("ByEpoch(WholeRun) = %+v", got)
+	}
+	if got := c.ByEpoch(7); len(got) != 0 {
+		t.Fatalf("ByEpoch(7) = %+v", got)
+	}
+	// The epoch-split pieces all pass; only the stitched whole-key view
+	// fails — exactly the handoff-violation shape — and the composition
+	// surfaces it.
+	if c.Linearizable() {
+		t.Fatal("stitched failure lost in composition")
+	}
+	if f := c.Failing(); len(f) != 1 || f[0] != "key=a/stitched" {
+		t.Fatalf("Failing() = %v", f)
+	}
+}
+
+func TestEpochComponent(t *testing.T) {
+	comp := EpochComponent("n", 3, true, false)
+	want := Component{Name: "n", Epoch: 3, Checked: true, Linearizable: false}
+	if comp != want {
+		t.Fatalf("EpochComponent = %+v, want %+v", comp, want)
+	}
+	if WholeRun != -1 {
+		t.Fatalf("WholeRun = %d", WholeRun)
+	}
+}

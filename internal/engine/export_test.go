@@ -1,5 +1,7 @@
 package engine
 
+import "timebounds/internal/spec"
+
 // SetSharedCheckerDisabled toggles cross-run checker-state sharing, so the
 // equivalence tests can prove sharing is unobservable in Reports. It
 // returns a restore function.
@@ -33,3 +35,13 @@ type ShardPlan = shardPlan
 // MergeSharded folds an engine Report of per-shard results into the
 // sharded report under the given plan.
 func MergeSharded(plan ShardPlan, rep Report) ShardedReport { return plan.merge(rep) }
+
+// SetCorruptHandoff installs a rewrite of every synthetic handoff write's
+// transferred value — a modeled broken state transfer, the failure mode
+// only the stitched cross-epoch check can catch. It returns a restore
+// function.
+func SetCorruptHandoff(f func(key string, v spec.Value) spec.Value) (restore func()) {
+	prev := corruptHandoff
+	corruptHandoff = f
+	return func() { corruptHandoff = prev }
+}

@@ -1,0 +1,372 @@
+package engine_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"timebounds/internal/check"
+	"timebounds/internal/engine"
+	"timebounds/internal/fault"
+	"timebounds/internal/keyspace"
+	"timebounds/internal/model"
+	"timebounds/internal/spec"
+	"timebounds/internal/types"
+	"timebounds/internal/workload"
+)
+
+// migratingScenario is a streamed Zipf workload over a 200-key universe,
+// range-partitioned across 3 shards, with one planned migration moving the
+// hottest key off shard 0 mid-run.
+func migratingScenario(seed int64) engine.ShardedScenario {
+	space := keyspace.Space{N: 200}
+	plan := &keyspace.Plan{
+		Base: keyspace.RangePartition(space, 3),
+		Migrations: []keyspace.Migration{
+			{At: 400 * time.Millisecond, Moves: []keyspace.Move{keyspace.MoveKey(space.Key(0), 2)}, Reason: "planned"},
+		},
+	}
+	w := keyspace.Workload{Space: space, Model: keyspace.Zipf{S: 1.3}, Ops: 120}
+	return engine.ShardedScenario{
+		Params:   model.Params{N: 3, D: 10 * time.Millisecond, U: 4 * time.Millisecond},
+		Seed:     seed,
+		Workload: w.Sharded(3),
+		Plan:     plan,
+		Verify:   true,
+	}
+}
+
+func TestRunShardedMigrationGreen(t *testing.T) {
+	rep, err := engine.RunSharded(migratingScenario(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Linearizable() {
+		t.Fatal("migrated store must stay linearizable")
+	}
+	if rep.Stats.Epochs != 2 || len(rep.Stats.PerEpoch) != 2 {
+		t.Fatalf("epoch stats = %+v", rep.Stats)
+	}
+	// Zipf key 0 dominates the stream, so the plan's moved key is touched:
+	// the migration must actually transfer state.
+	if rep.Stats.MovedKeys != 1 || len(rep.Handoffs) != 1 {
+		t.Fatalf("moved %d keys, %d handoffs; want 1/1", rep.Stats.MovedKeys, len(rep.Handoffs))
+	}
+	h := rep.Handoffs[0]
+	if h.Key != "key-000" || h.From != 0 || h.To != 2 || h.Migration != 0 {
+		t.Fatalf("handoff = %+v", h)
+	}
+	if !h.Checked || !h.Linearizable {
+		t.Fatalf("stitched verdict missing: %+v", h)
+	}
+	if rep.Stats.HandoffOps != 1 || !h.Transferred {
+		// The hottest Zipf key sees puts long before the cutover, so a
+		// settled value must carry across.
+		t.Fatalf("handoff did not transfer: %+v", h)
+	}
+	// Composition carries per-shard, per-epoch, and stitched components.
+	if got := len(rep.Composition.ByEpoch(check.WholeRun)); got < len(rep.Shards)+1 {
+		t.Fatalf("whole-run components = %d, want per-shard + stitched", got)
+	}
+	if len(rep.Composition.ByEpoch(0)) == 0 || len(rep.Composition.ByEpoch(1)) == 0 {
+		t.Fatalf("per-epoch components missing: %+v", rep.Composition.Components)
+	}
+	// Client accounting: per-shard ops sum to the report total, and the
+	// synthetic handoff write stays out of both.
+	sum := 0
+	for _, n := range rep.Stats.PerShardOps {
+		sum += n
+	}
+	if sum != rep.Ops {
+		t.Fatalf("PerShardOps sums to %d, report says %d", sum, rep.Ops)
+	}
+	perKind := 0
+	for _, st := range rep.PerKind {
+		perKind += st.Count
+	}
+	if perKind != rep.Ops {
+		t.Fatalf("PerKind covers %d ops, report says %d", perKind, rep.Ops)
+	}
+	epochOps := 0
+	for _, es := range rep.Stats.PerEpoch {
+		epochOps += es.Ops
+	}
+	if epochOps != rep.Ops {
+		t.Fatalf("per-epoch ops sum to %d, report says %d", epochOps, rep.Ops)
+	}
+	if len(rep.HotKeys) == 0 || rep.HotKeys[0].Key != "key-000" {
+		t.Fatalf("hot-key table = %+v, want key-000 on top", rep.HotKeys)
+	}
+	if !strings.Contains(rep.String(), "migrations:") {
+		t.Fatal("report rendering lost the migration block")
+	}
+}
+
+// TestRunShardedMigrationDeterministicAcrossWorkers pins the scaling
+// contract on the migration path: expansion (including the prefix
+// simulations) runs serially, so the merged report is bit-identical at any
+// worker count.
+func TestRunShardedMigrationDeterministicAcrossWorkers(t *testing.T) {
+	var reports []engine.ShardedReport
+	for _, workers := range []int{1, 8} {
+		rep, err := engine.New(workers).RunSharded(migratingScenario(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatal("migrating report differs between 1 worker and 8 workers")
+	}
+}
+
+// handoffScenario is the minimal explicit migration shape: key "m" is
+// written on shard 0, moves to shard 1 at the cutover, and is read after
+// the settle window.
+func handoffScenario() engine.ShardedScenario {
+	c := 100 * time.Millisecond
+	return engine.ShardedScenario{
+		Params: model.Params{N: 3, D: 10 * time.Millisecond, U: 4 * time.Millisecond},
+		Seed:   3,
+		Workload: workload.Sharded{
+			Name: "handoff",
+			Explicit: []workload.KeyOp{
+				workload.Put(time.Millisecond, 0, "m", "settled"),
+				workload.Put(time.Millisecond, 1, "a", "x"),
+				workload.Get(c+50*time.Millisecond, 2, "m"),
+				workload.Get(c+60*time.Millisecond, 0, "a"),
+			},
+		},
+		Plan: &keyspace.Plan{
+			// Keys below "n" on shard 0, the rest on shard 1.
+			Base: keyspace.PartitionMap{Shards: 2, Splits: []string{"n"}, Owners: []int{0, 1}},
+			Migrations: []keyspace.Migration{
+				{At: c, Moves: []keyspace.Move{keyspace.MoveKey("m", 1)}},
+			},
+		},
+		Drain:  40 * time.Millisecond,
+		Verify: true,
+	}
+}
+
+// TestShardedHandoffCorruptionOnlyComposedCheckCatches is the regression
+// the migration verifier exists for: a corrupted state transfer that every
+// per-shard and per-epoch check accepts — the destination's history is
+// internally consistent, synthetic write included — and that only the
+// stitched cross-epoch client history (and therefore the composed verdict)
+// rejects.
+func TestShardedHandoffCorruptionOnlyComposedCheckCatches(t *testing.T) {
+	// Sanity: the uncorrupted run is green and transfers the settled value.
+	rep, err := engine.RunSharded(handoffScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Handoffs) != 1 || !rep.Handoffs[0].Transferred || !rep.Handoffs[0].Linearizable {
+		t.Fatalf("honest handoff = %+v", rep.Handoffs)
+	}
+	for _, res := range rep.Shards {
+		for _, op := range res.History.Ops() {
+			if op.Kind == types.OpDictGet && op.Arg == "m" && op.Ret != "settled" {
+				t.Fatalf("post-migration read returned %v, want the transferred value", op.Ret)
+			}
+		}
+	}
+
+	restore := engine.SetCorruptHandoff(func(key string, v spec.Value) spec.Value {
+		return "corrupted"
+	})
+	defer restore()
+
+	rep, err = engine.RunSharded(handoffScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every per-shard and per-epoch component still passes: each shard —
+	// and each epoch slice — is internally consistent, because the
+	// synthetic write itself carries the corrupted value.
+	var stitched []check.Component
+	for _, comp := range rep.Composition.Components {
+		isStitched := strings.Contains(comp.Name, "/stitched")
+		if isStitched {
+			stitched = append(stitched, comp)
+			continue
+		}
+		if !comp.Checked || !comp.Linearizable {
+			t.Fatalf("non-stitched component %q failed; the corruption must be invisible below the stitched check", comp.Name)
+		}
+	}
+	if len(stitched) != 1 || stitched[0].Linearizable {
+		t.Fatalf("stitched components = %+v; want exactly one, failing", stitched)
+	}
+	if rep.Linearizable() {
+		t.Fatal("composed verdict accepted a corrupted handoff")
+	}
+	if rep.Handoffs[0].Linearizable {
+		t.Fatalf("handoff verdict accepted corruption: %+v", rep.Handoffs[0])
+	}
+	err = rep.Err()
+	if err == nil || !strings.Contains(err.Error(), "stitched") {
+		t.Fatalf("Err() = %v, want the stitched component named", err)
+	}
+}
+
+// TestShardedMigrationChain moves one key 0 → 1 → 0 across two migrations:
+// three epochs, two handoffs, and a stitched history spanning all of them.
+func TestShardedMigrationChain(t *testing.T) {
+	c1, c2 := 100*time.Millisecond, 300*time.Millisecond
+	ss := engine.ShardedScenario{
+		Params: model.Params{N: 3, D: 10 * time.Millisecond, U: 4 * time.Millisecond},
+		Seed:   5,
+		Workload: workload.Sharded{
+			Name: "chain",
+			Explicit: []workload.KeyOp{
+				workload.Put(time.Millisecond, 0, "m", "v0"),
+				workload.Put(time.Millisecond, 1, "z", "anchor"),
+				workload.Get(c1+50*time.Millisecond, 2, "m"),
+				workload.Put(c1+60*time.Millisecond, 0, "m", "v1"),
+				workload.Get(c2+50*time.Millisecond, 1, "m"),
+			},
+		},
+		Plan: &keyspace.Plan{
+			Base: keyspace.PartitionMap{Shards: 2, Splits: []string{"n"}, Owners: []int{0, 1}},
+			Migrations: []keyspace.Migration{
+				{At: c1, Moves: []keyspace.Move{keyspace.MoveKey("m", 1)}},
+				{At: c2, Moves: []keyspace.Move{keyspace.MoveKey("m", 0)}},
+			},
+		},
+		Drain:  40 * time.Millisecond,
+		Verify: true,
+	}
+	rep, err := engine.RunSharded(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Epochs != 3 || len(rep.Handoffs) != 2 {
+		t.Fatalf("epochs=%d handoffs=%d, want 3/2", rep.Stats.Epochs, len(rep.Handoffs))
+	}
+	for i, h := range rep.Handoffs {
+		if h.Migration != i || h.Key != "m" || !h.Transferred || !h.Linearizable {
+			t.Fatalf("handoff %d = %+v", i, h)
+		}
+	}
+	// The final read must observe the v1 written in the middle epoch and
+	// carried back to shard 0.
+	found := false
+	for _, res := range rep.Shards {
+		for _, op := range res.History.Ops() {
+			if op.Kind == types.OpDictGet && op.Arg == "m" && op.Invoke >= c2 {
+				found = true
+				if op.Ret != "v1" {
+					t.Fatalf("post-chain read returned %v, want v1", op.Ret)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("post-chain read missing from the histories")
+	}
+}
+
+// TestShardedMigrationUntouchedKeyNoHandoff: moving a range nobody writes
+// transfers nothing — no handoff rows, no synthetic writes.
+func TestShardedMigrationUntouchedKeyNoHandoff(t *testing.T) {
+	ss := handoffScenario()
+	ss.Plan.Migrations[0].Moves = []keyspace.Move{keyspace.MoveKey("idle", 1)}
+	rep, err := engine.RunSharded(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Handoffs) != 0 || rep.Stats.MovedKeys != 0 || rep.Stats.HandoffOps != 0 {
+		t.Fatalf("untouched move produced handoffs: %+v", rep.Handoffs)
+	}
+	if rep.Stats.Epochs != 2 {
+		t.Fatalf("epochs = %d, want 2", rep.Stats.Epochs)
+	}
+}
+
+// TestSplitHotFollowUpMigration closes the loop the report's observed-load
+// tables exist for: run under a static plan, let SplitHot read the skew
+// out of the report, and re-run with the planned hot-key migration.
+func TestSplitHotFollowUpMigration(t *testing.T) {
+	ss := migratingScenario(13)
+	ss.Plan = &keyspace.Plan{Base: ss.Plan.Base} // static first pass
+	rep, err := engine.RunSharded(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Epochs != 1 || len(rep.Handoffs) != 0 {
+		t.Fatalf("static plan ran %d epochs, %d handoffs", rep.Stats.Epochs, len(rep.Handoffs))
+	}
+	// Zipf over a range partition piles the load onto shard 0.
+	mig := keyspace.SplitHot(ss.Plan.Base, rep.Stats.PerShardOps, rep.HotKeys, 400*time.Millisecond, 1.5)
+	if mig == nil {
+		t.Fatalf("skewed load planned no migration: perShard=%v hot=%v", rep.Stats.PerShardOps, rep.HotKeys)
+	}
+	ss.Plan.Migrations = []keyspace.Migration{*mig}
+	rebalanced, err := engine.RunSharded(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebalanced.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rebalanced.Stats.MovedKeys == 0 {
+		t.Fatal("follow-up migration moved nothing")
+	}
+	if !rebalanced.Linearizable() {
+		t.Fatal("rebalanced store must stay linearizable")
+	}
+	// The rebalance must actually relieve the hot shard in its final epoch.
+	last := rebalanced.Stats.PerEpoch[len(rebalanced.Stats.PerEpoch)-1]
+	first := rebalanced.Stats.PerEpoch[0]
+	if first.Ops > 0 && last.Ops > 0 && last.Imbalance >= first.Imbalance+0.5 {
+		t.Fatalf("imbalance grew after the hot-split: %v -> %v", first.Imbalance, last.Imbalance)
+	}
+}
+
+func TestShardedMigrationGuards(t *testing.T) {
+	base := handoffScenario()
+
+	ss := base
+	ss.Workload.Partition = func(string, int) int { return 0 }
+	if _, err := engine.RunSharded(ss); err == nil || !strings.Contains(err.Error(), "Partition") {
+		t.Errorf("plan alongside Workload.Partition accepted: %v", err)
+	}
+
+	ss = base
+	ss.Workload.Shards = 5 // plan's base map has 2
+	if _, err := engine.RunSharded(ss); err == nil {
+		t.Error("shard-count mismatch accepted")
+	}
+
+	ss = base
+	ss.Faults = engine.FaultSpec{Name: "crash", Build: func(model.Params, int64) *fault.Plan {
+		return &fault.Plan{}
+	}}
+	if _, err := engine.RunSharded(ss); err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Errorf("plan alongside an enabled fault spec accepted: %v", err)
+	}
+
+	ss = handoffScenario() // fresh Plan pointer before mutating it
+	ss.Plan.Migrations = []keyspace.Migration{{At: 0}}
+	if _, err := engine.RunSharded(ss); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}

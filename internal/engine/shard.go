@@ -6,9 +6,9 @@ import (
 	"strings"
 
 	"timebounds/internal/check"
+	"timebounds/internal/keyspace"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
-	"timebounds/internal/types"
 	"timebounds/internal/workload"
 )
 
@@ -48,6 +48,23 @@ type ShardedScenario struct {
 	Verify bool
 	// Horizon bounds each shard simulation; zero picks a generous default.
 	Horizon model.Time
+	// Plan, when set, replaces the workload's partition function with a
+	// versioned range partition map plus a migration schedule
+	// (internal/keyspace): operations route by the map of their ownership
+	// epoch, each migration runs drain-then-cutover with a synthetic
+	// state-transfer write, and — with Verify — every migrated key's
+	// history is split at the handoff and recomposed through check.Compose
+	// (see migrate.go). The plan's base map decides the shard count;
+	// Workload.Partition must be nil and Workload.Shards must be 0 or
+	// match.
+	Plan *keyspace.Plan
+	// Drain is the quiesce window before each cutover: operations on
+	// moving keys offered within Drain of the cutover are deferred past
+	// it. It must exceed the mutator bound so drained state is settled; 0
+	// picks max(4d, 2×mutator bound). Migrated keys' post-cutover
+	// operations are also deferred to at least cutover+Drain (the settle
+	// window).
+	Drain model.Time
 }
 
 // resolved fills the derived name in.
@@ -67,9 +84,19 @@ func (ss ShardedScenario) resolved() ShardedScenario {
 		}
 		// Shards 0 means one shard per key; the partition size is only
 		// known after expansion, so the name echoes the declared value.
-		ss.Name = fmt.Sprintf("%s/%s/n=%d,d=%s,u=%s/keys=%d,shards=%d/seed=%d",
+		keys := len(ss.Workload.Keys)
+		if ss.Workload.StreamOps != nil {
+			keys = ss.Workload.KeySpace
+		}
+		shards := ss.Workload.Shards
+		migs := ""
+		if ss.Plan != nil {
+			shards = ss.Plan.Base.Shards
+			migs = fmt.Sprintf(",migs=%d", len(ss.Plan.Migrations))
+		}
+		ss.Name = fmt.Sprintf("%s/%s/n=%d,d=%s,u=%s/keys=%d,shards=%d%s/seed=%d",
 			label, ss.Backend.Name(), ss.Params.N, ss.Params.D, ss.Params.U,
-			len(ss.Workload.Keys), ss.Workload.Shards, ss.Seed)
+			keys, shards, migs, ss.Seed)
 	}
 	return ss
 }
@@ -79,13 +106,18 @@ type shardPlan struct {
 	ss     ShardedScenario
 	shards []workload.Shard // every shard, including empty ones
 	run    []int            // indices into shards of the scenarios actually run
+	mig    *migrateState    // migration bookkeeping; nil without a Plan
 }
 
 // expand partitions the keyed workload and derives one Scenario per
 // non-empty shard. Empty shards (keys whose explicit schedule holds no
 // operations) contribute no history and are vacuously linearizable, so
-// they are planned but not run.
+// they are planned but not run. Scenarios with a migration plan route by
+// ownership epoch instead (migrate.go).
 func (ss ShardedScenario) expand() (shardPlan, []Scenario, error) {
+	if ss.Plan != nil {
+		return ss.expandMigrating()
+	}
 	ss = ss.resolved()
 	shards, err := ss.Workload.Expand(ss.Params, ss.Seed)
 	if err != nil {
@@ -98,22 +130,7 @@ func (ss ShardedScenario) expand() (shardPlan, []Scenario, error) {
 			continue
 		}
 		plan.run = append(plan.run, i)
-		scs = append(scs, Scenario{
-			Name:     fmt.Sprintf("%s/shard=%d", ss.Name, sh.Index),
-			Backend:  ss.Backend,
-			DataType: types.NewDict(),
-			Params:   ss.Params,
-			X:        ss.X,
-			// Shard-index-derived seeds keep the delay draws of the
-			// sub-clusters independent while staying a pure function of
-			// (Seed, shard index).
-			Seed:     ss.Seed + int64(sh.Index)*1_000_003,
-			Delay:    ss.Delay,
-			Workload: sh.Spec,
-			Faults:   ss.Faults,
-			Verify:   ss.Verify,
-			Horizon:  ss.Horizon,
-		})
+		scs = append(scs, ss.shardScenario(sh.Index, sh.Spec))
 	}
 	return plan, scs, nil
 }
@@ -144,6 +161,21 @@ type ShardStats struct {
 	SlowestShard string
 	// WorstLatency is that shard's worst completed-operation latency.
 	WorstLatency model.Time
+	// PerShardOps is each shard's completed client-operation count
+	// (synthetic handoff writes excluded), indexed by shard — the observed
+	// load keyspace.SplitHot plans follow-up migrations from.
+	PerShardOps []int
+	// Epochs, MovedKeys, HandoffOps, and DrainDeferred summarize a
+	// migration plan's execution: ownership epochs run, distinct keys
+	// relocated, synthetic state-transfer writes issued, and client
+	// operations deferred out of drain/settle windows. All zero without a
+	// Plan (Epochs is 0, not 1, for static partitions).
+	Epochs        int
+	MovedKeys     int
+	HandoffOps    int
+	DrainDeferred int
+	// PerEpoch summarizes skew per ownership epoch; nil without a Plan.
+	PerEpoch []EpochStats
 }
 
 // ShardedReport is the folded outcome of one sharded scenario: the
@@ -165,8 +197,18 @@ type ShardedReport struct {
 	Bounds []BoundCheck
 	// Stats summarizes shard skew.
 	Stats ShardStats
-	// Ops is the total number of completed operations across shards.
+	// Ops is the total number of completed client operations across
+	// shards (synthetic handoff writes are accounted in
+	// Stats.HandoffOps, not here).
 	Ops int
+	// Handoffs records each migrated key's state transfer and its
+	// stitched cross-epoch verdict, in (migration, key) order; nil
+	// without a Plan.
+	Handoffs []Handoff
+	// HotKeys are the most-operated observed keys (top 10, by client
+	// operation count), for load-driven hot-key splitting
+	// (keyspace.SplitHot); nil without a Plan.
+	HotKeys []keyspace.KeyLoad
 }
 
 // Linearizable reports the composed store verdict (only meaningful when
@@ -239,6 +281,22 @@ func (r ShardedReport) String() string {
 	fmt.Fprintf(&b, "shards=%d (empty=%d) ops min/mean/max = %d/%.1f/%d, imbalance=%.2f, slowest=%s (%s)\n",
 		r.Stats.Shards, r.Stats.Empty, r.Stats.MinOps, r.Stats.MeanOps, r.Stats.MaxOps,
 		r.Stats.Imbalance, r.Stats.SlowestShard, r.Stats.WorstLatency)
+	for _, es := range r.Stats.PerEpoch {
+		fmt.Fprintf(&b, "epoch %d  ops=%-6d max=%-6d hottest=shard %d  imbalance=%.2f\n",
+			es.Epoch, es.Ops, es.MaxOps, es.Hottest, es.Imbalance)
+	}
+	if len(r.Handoffs) > 0 {
+		fmt.Fprintf(&b, "migrations: %d keys moved, %d handoff writes, %d ops drain-deferred\n",
+			r.Stats.MovedKeys, r.Stats.HandoffOps, r.Stats.DrainDeferred)
+		for _, h := range r.Handoffs {
+			verdict := "-"
+			if h.Checked {
+				verdict = fmt.Sprintf("%v", h.Linearizable)
+			}
+			fmt.Fprintf(&b, "  mig %d @%s  %s: shard %d → %d  transferred=%v  stitched-linearizable=%s\n",
+				h.Migration, h.Cutover, h.Key, h.From, h.To, h.Transferred, verdict)
+		}
+	}
 	if len(r.Shards) > 0 && r.Shards[0].Checked {
 		fmt.Fprintf(&b, "composed linearizable: %v\n", r.Linearizable())
 	}
@@ -262,8 +320,10 @@ func (e *Engine) RunSharded(ss ShardedScenario) (ShardedReport, error) {
 func RunSharded(ss ShardedScenario) (ShardedReport, error) { return New(0).RunSharded(ss) }
 
 // merge folds the per-shard engine Results back into the store-level
-// report: composed linearizability, aggregate per-kind stats recomputed
-// from the merged histories, per-class worst-vs-bound checks, and skew.
+// report: composed linearizability (per-shard components plus, under a
+// migration plan, the per-epoch and stitched per-key components), aggregate
+// per-kind stats recomputed from the merged histories, per-class
+// worst-vs-bound checks, and skew.
 func (p shardPlan) merge(rep Report) ShardedReport {
 	out := ShardedReport{
 		Name:   p.ss.Name,
@@ -272,35 +332,77 @@ func (p shardPlan) merge(rep Report) ShardedReport {
 	out.Stats.Shards = len(p.shards)
 	out.Stats.Empty = len(p.shards) - len(p.run)
 	out.Stats.MinOps = -1 // sentinel until the first shard (or empty shard) is folded
+	out.Stats.PerShardOps = make([]int, len(p.shards))
+
+	// On the streaming path the cross-shard latency aggregate folds
+	// through OnlineStats sketches — constant memory per kind instead of
+	// one retained sample per operation, matching the streaming schedule's
+	// constant-memory contract. Static specs keep the exact
+	// SummarizeSamples fold (percentiles from full samples).
+	streaming := p.ss.Workload.StreamOps != nil
+	var latencies map[spec.OpKind][]model.Time
+	var online map[spec.OpKind]*workload.OnlineStats
+	if streaming {
+		online = make(map[spec.OpKind]*workload.OnlineStats)
+	} else {
+		latencies = make(map[spec.OpKind][]model.Time)
+	}
+	observe := func(kind spec.OpKind, l model.Time) {
+		if streaming {
+			os, ok := online[kind]
+			if !ok {
+				os = workload.NewOnlineStats()
+				online[kind] = os
+			}
+			os.Observe(l)
+		} else {
+			latencies[kind] = append(latencies[kind], l)
+		}
+	}
 
 	components := make([]check.Component, 0, len(rep.Results))
-	latencies := make(map[spec.OpKind][]model.Time)
 	worstByClass := make(map[spec.OpClass]model.Time)
 	countByClass := make(map[spec.OpClass]int)
-	for _, res := range rep.Results {
+	for ri, res := range rep.Results {
+		shardIdx := -1
+		if ri < len(p.run) {
+			shardIdx = p.run[ri]
+		}
 		components = append(components, check.Component{
 			Name:         res.Name,
+			Epoch:        check.WholeRun,
 			Checked:      res.Checked,
 			Linearizable: res.Linearizable,
 		})
-		out.Ops += res.Ops
-		if res.Ops < out.Stats.MinOps || out.Stats.MinOps < 0 {
-			out.Stats.MinOps = res.Ops
-		}
-		if res.Ops > out.Stats.MaxOps {
-			out.Stats.MaxOps = res.Ops
-		}
-		if wl := res.WorstLatency(); wl > out.Stats.WorstLatency || out.Stats.SlowestShard == "" {
-			out.Stats.WorstLatency = wl
-			out.Stats.SlowestShard = res.Name
-		}
+		clientOps := res.Ops
 		if res.History != nil {
 			for _, op := range res.History.Ops() {
 				if op.Pending {
 					continue
 				}
-				latencies[op.Kind] = append(latencies[op.Kind], op.Latency())
+				if p.mig.isHandoff(shardIdx, op) {
+					// Synthetic state-transfer writes are the migration
+					// mechanism, not client traffic: they stay out of the
+					// client aggregates and are accounted in HandoffOps.
+					clientOps--
+					continue
+				}
+				observe(op.Kind, op.Latency())
 			}
+		}
+		out.Ops += clientOps
+		if shardIdx >= 0 && shardIdx < len(out.Stats.PerShardOps) {
+			out.Stats.PerShardOps[shardIdx] = clientOps
+		}
+		if clientOps < out.Stats.MinOps || out.Stats.MinOps < 0 {
+			out.Stats.MinOps = clientOps
+		}
+		if clientOps > out.Stats.MaxOps {
+			out.Stats.MaxOps = clientOps
+		}
+		if wl := res.WorstLatency(); wl > out.Stats.WorstLatency || out.Stats.SlowestShard == "" {
+			out.Stats.WorstLatency = wl
+			out.Stats.SlowestShard = res.Name
 		}
 		for _, bc := range res.Bounds {
 			if _, ok := worstByClass[bc.Class]; !ok {
@@ -321,8 +423,18 @@ func (p shardPlan) merge(rep Report) ShardedReport {
 	if out.Stats.MeanOps > 0 {
 		out.Stats.Imbalance = float64(out.Stats.MaxOps) / out.Stats.MeanOps
 	}
+	if p.mig != nil {
+		components = p.mig.finish(&out, p, components)
+	}
 	out.Composition = check.Compose(components...)
-	out.PerKind = workload.SummarizeSamples(latencies)
+	if streaming {
+		out.PerKind = make(map[spec.OpKind]workload.Stats, len(online))
+		for kind, os := range online {
+			out.PerKind[kind] = os.Stats(kind)
+		}
+	} else {
+		out.PerKind = workload.SummarizeSamples(latencies)
+	}
 
 	classes := make([]spec.OpClass, 0, len(worstByClass))
 	for class := range worstByClass {

@@ -1,0 +1,292 @@
+package keyspace
+
+import (
+	"fmt"
+	"sort"
+
+	"timebounds/internal/model"
+)
+
+// A KeyRange is the half-open lexicographic interval [Lo, Hi). Hi == ""
+// means "to the end of the key space" (the empty string sorts before every
+// key, so it can never be a real upper bound).
+type KeyRange struct {
+	Lo, Hi string
+}
+
+// Contains reports whether the key falls inside the range.
+func (r KeyRange) Contains(key string) bool {
+	return key >= r.Lo && (r.Hi == "" || key < r.Hi)
+}
+
+// String implements fmt.Stringer.
+func (r KeyRange) String() string {
+	hi := r.Hi
+	if hi == "" {
+		hi = "∞"
+	}
+	return fmt.Sprintf("[%s,%s)", r.Lo, hi)
+}
+
+// PartitionMap is a versioned range-based assignment of the key space to
+// shards: the interior split points carve the (lexicographically ordered)
+// key space into len(Splits)+1 contiguous ranges, and Owners names each
+// range's shard. Range partitioning — rather than hashing — is what makes
+// live rebalancing expressible: a Migration moves a contiguous range (or
+// one key) by editing the table and bumping Version.
+type PartitionMap struct {
+	// Version counts applied migrations; RangePartition starts at 0.
+	Version int
+	// Shards is the shard count; owners index [0, Shards).
+	Shards int
+	// Splits are the interior range boundaries, strictly ascending. Range i
+	// covers [Splits[i-1], Splits[i]), with the first range open below and
+	// the last open above.
+	Splits []string
+	// Owners[i] is the shard owning range i; len(Owners) == len(Splits)+1.
+	Owners []int
+}
+
+// RangePartition assigns the space's keys to shards in equal contiguous
+// index ranges — shard i owns keys [i·N/shards, (i+1)·N/shards). Because
+// Space keys are zero-padded, index ranges are lexicographic ranges.
+func RangePartition(space Space, shards int) PartitionMap {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > space.N {
+		shards = space.N
+	}
+	m := PartitionMap{Shards: shards, Owners: make([]int, shards)}
+	for i := 1; i < shards; i++ {
+		m.Splits = append(m.Splits, space.Key(i*space.N/shards))
+	}
+	for i := range m.Owners {
+		m.Owners[i] = i
+	}
+	return m
+}
+
+// Validate rejects malformed maps.
+func (m PartitionMap) Validate() error {
+	if m.Shards < 1 {
+		return fmt.Errorf("keyspace: partition map has %d shards; want ≥ 1", m.Shards)
+	}
+	if len(m.Owners) != len(m.Splits)+1 {
+		return fmt.Errorf("keyspace: partition map has %d owners for %d splits; want splits+1",
+			len(m.Owners), len(m.Splits))
+	}
+	for i := 1; i < len(m.Splits); i++ {
+		if m.Splits[i-1] >= m.Splits[i] {
+			return fmt.Errorf("keyspace: partition splits not strictly ascending at %q ≥ %q",
+				m.Splits[i-1], m.Splits[i])
+		}
+	}
+	for i, o := range m.Owners {
+		if o < 0 || o >= m.Shards {
+			return fmt.Errorf("keyspace: range %d owned by shard %d of %d", i, o, m.Shards)
+		}
+	}
+	return nil
+}
+
+// ShardOf returns the shard owning the key: binary search over the split
+// points, O(log ranges).
+func (m PartitionMap) ShardOf(key string) int {
+	// sort.SearchStrings returns the first split > key when key sits inside
+	// a range, i.e. the range index.
+	i := sort.Search(len(m.Splits), func(i int) bool { return m.Splits[i] > key })
+	return m.Owners[i]
+}
+
+// Ranges returns the map's range table: each range with its owner, in key
+// order.
+func (m PartitionMap) Ranges() []RangeOwner {
+	out := make([]RangeOwner, len(m.Owners))
+	for i := range m.Owners {
+		var r KeyRange
+		if i > 0 {
+			r.Lo = m.Splits[i-1]
+		}
+		if i < len(m.Splits) {
+			r.Hi = m.Splits[i]
+		}
+		out[i] = RangeOwner{Range: r, Shard: m.Owners[i]}
+	}
+	return out
+}
+
+// RangeOwner pairs a key range with its owning shard.
+type RangeOwner struct {
+	Range KeyRange
+	Shard int
+}
+
+// clone deep-copies the map so Apply never aliases the input's tables.
+func (m PartitionMap) clone() PartitionMap {
+	m.Splits = append([]string(nil), m.Splits...)
+	m.Owners = append([]int(nil), m.Owners...)
+	return m
+}
+
+// split ensures `at` is a range boundary, subdividing the containing range
+// if needed. The empty string (the space's lower bound) is already a
+// boundary.
+func (m *PartitionMap) split(at string) {
+	if at == "" {
+		return
+	}
+	i := sort.SearchStrings(m.Splits, at)
+	if i < len(m.Splits) && m.Splits[i] == at {
+		return
+	}
+	// Insert the boundary; the new upper sub-range keeps the old owner.
+	m.Splits = append(m.Splits, "")
+	copy(m.Splits[i+1:], m.Splits[i:])
+	m.Splits[i] = at
+	m.Owners = append(m.Owners, 0)
+	copy(m.Owners[i+2:], m.Owners[i+1:])
+	m.Owners[i+1] = m.Owners[i]
+}
+
+// coalesce merges adjacent ranges with the same owner, keeping the table
+// minimal (and Apply idempotent in shape).
+func (m *PartitionMap) coalesce() {
+	splits, owners := m.Splits[:0], m.Owners[:1]
+	for i := 0; i < len(m.Splits); i++ {
+		if m.Owners[i+1] == owners[len(owners)-1] {
+			continue
+		}
+		splits = append(splits, m.Splits[i])
+		owners = append(owners, m.Owners[i+1])
+	}
+	m.Splits, m.Owners = splits, owners
+}
+
+// A Move relocates every key of one range to the shard To.
+type Move struct {
+	Range KeyRange
+	To    int
+}
+
+// MoveKey is the single-key move: the range covering exactly key. It
+// relies on no real key sorting inside (key, key+"\x00"), which holds for
+// any key set that does not embed NUL bytes.
+func MoveKey(key string, to int) Move {
+	return Move{Range: KeyRange{Lo: key, Hi: key + "\x00"}, To: to}
+}
+
+// Migration is one planned rebalance: at the cutover instant At, ownership
+// of every moved range flips from its current shard to Move.To. The engine
+// realizes drain-then-cutover semantics around At: operations on moving
+// keys arriving inside the drain window are deferred past the cutover, the
+// source shard's settled value is read out, and a synthetic handoff write
+// seeds the destination (engine.ShardedScenario, docs/ARCHITECTURE.md).
+type Migration struct {
+	// At is the cutover instant.
+	At model.Time
+	// Moves are the relocated ranges.
+	Moves []Move
+	// Reason labels the migration in reports ("planned", "hot-split", ...).
+	Reason string
+}
+
+// Apply returns the map after the migration: moved ranges change owner,
+// boundaries are split and re-coalesced as needed, and Version increments.
+func (m PartitionMap) Apply(mig Migration) (PartitionMap, error) {
+	out := m.clone()
+	for _, mv := range mig.Moves {
+		if mv.To < 0 || mv.To >= m.Shards {
+			return PartitionMap{}, fmt.Errorf("keyspace: migration at %s moves %s to shard %d of %d",
+				mig.At, mv.Range, mv.To, m.Shards)
+		}
+		if mv.Range.Hi != "" && mv.Range.Hi <= mv.Range.Lo {
+			return PartitionMap{}, fmt.Errorf("keyspace: migration at %s moves empty range %s",
+				mig.At, mv.Range)
+		}
+		out.split(mv.Range.Lo)
+		out.split(mv.Range.Hi)
+		for i := range out.Owners {
+			var lo, hi string
+			if i > 0 {
+				lo = out.Splits[i-1]
+			}
+			if i < len(out.Splits) {
+				hi = out.Splits[i]
+			}
+			if lo >= mv.Range.Lo && (mv.Range.Hi == "" || (hi != "" && hi <= mv.Range.Hi)) {
+				out.Owners[i] = mv.To
+			}
+		}
+	}
+	out.coalesce()
+	out.Version++
+	return out, nil
+}
+
+// Plan is a partition map plus its scheduled migrations: the full
+// ownership timeline of a run. Epoch e is the interval between migration
+// e-1's cutover and migration e's (epoch 0 runs under Base), so a run with
+// k migrations spans k+1 epochs.
+type Plan struct {
+	// Base is the epoch-0 partition map.
+	Base PartitionMap
+	// Migrations are the scheduled rebalances, strictly ascending in At.
+	Migrations []Migration
+}
+
+// Validate rejects malformed plans: a broken base map, unordered or
+// zero-time cutovers, or a migration whose application fails.
+func (p Plan) Validate() error {
+	if err := p.Base.Validate(); err != nil {
+		return err
+	}
+	m := p.Base
+	var err error
+	for i, mig := range p.Migrations {
+		if mig.At <= 0 {
+			return fmt.Errorf("keyspace: migration %d cuts over at %s; want > 0", i, mig.At)
+		}
+		if i > 0 && mig.At <= p.Migrations[i-1].At {
+			return fmt.Errorf("keyspace: migration %d at %s not after migration %d at %s",
+				i, mig.At, i-1, p.Migrations[i-1].At)
+		}
+		if m, err = m.Apply(mig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Epochs returns the number of ownership epochs (migrations + 1).
+func (p Plan) Epochs() int { return len(p.Migrations) + 1 }
+
+// EpochAt returns the epoch containing instant t: the number of cutovers
+// at or before t (an operation at exactly the cutover runs post-cutover).
+func (p Plan) EpochAt(t model.Time) int {
+	return sort.Search(len(p.Migrations), func(i int) bool { return p.Migrations[i].At > t })
+}
+
+// Maps returns the per-epoch partition maps: Maps()[e] is the ownership
+// during epoch e. The fold fails only on an invalid plan.
+func (p Plan) Maps() ([]PartitionMap, error) {
+	out := make([]PartitionMap, p.Epochs())
+	out[0] = p.Base
+	for i, mig := range p.Migrations {
+		m, err := out[i].Apply(mig)
+		if err != nil {
+			return nil, err
+		}
+		out[i+1] = m
+	}
+	return out, nil
+}
+
+// ShardOf returns the shard owning the key at instant t.
+func (p Plan) ShardOf(key string, t model.Time) (int, error) {
+	maps, err := p.Maps()
+	if err != nil {
+		return 0, err
+	}
+	return maps[p.EpochAt(t)].ShardOf(key), nil
+}

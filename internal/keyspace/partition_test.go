@@ -1,0 +1,256 @@
+package keyspace
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"timebounds/internal/model"
+)
+
+func TestRangePartition(t *testing.T) {
+	s := Space{N: 100}
+	m := RangePartition(s, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 0 || m.Shards != 4 || len(m.Splits) != 3 {
+		t.Fatalf("map = %+v", m)
+	}
+	for i := 0; i < s.N; i++ {
+		if got, want := m.ShardOf(s.Key(i)), i*4/100; got != want {
+			t.Fatalf("ShardOf(%s) = %d, want %d", s.Key(i), got, want)
+		}
+	}
+	rs := m.Ranges()
+	if len(rs) != 4 || rs[0].Range.Lo != "" || rs[3].Range.Hi != "" {
+		t.Fatalf("Ranges() = %+v", rs)
+	}
+	for i, r := range rs {
+		if r.Shard != i {
+			t.Fatalf("range %d owned by %d", i, r.Shard)
+		}
+	}
+	// Degenerate shapes clamp instead of failing.
+	if got := RangePartition(Space{N: 3}, 10); got.Shards != 3 {
+		t.Fatalf("oversharded map has %d shards", got.Shards)
+	}
+	if got := RangePartition(s, 0); got.Shards != 1 {
+		t.Fatalf("unsharded map has %d shards", got.Shards)
+	}
+}
+
+func TestPartitionMapValidate(t *testing.T) {
+	for name, m := range map[string]PartitionMap{
+		"no shards":      {},
+		"owner mismatch": {Shards: 2, Splits: []string{"k"}, Owners: []int{0}},
+		"unsorted":       {Shards: 2, Splits: []string{"b", "a"}, Owners: []int{0, 1, 0}},
+		"bad owner":      {Shards: 2, Owners: []int{5}},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestApplyMoveKey(t *testing.T) {
+	s := Space{N: 100}
+	m := RangePartition(s, 2) // shard 0: [0,50), shard 1: [50,100)
+	key := s.Key(10)
+	next, err := m.Apply(Migration{At: time.Second, Moves: []Move{MoveKey(key, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version != 1 {
+		t.Fatalf("Version = %d, want 1", next.Version)
+	}
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.N; i++ {
+		want := 0
+		if i >= 50 || i == 10 {
+			want = 1
+		}
+		if got := next.ShardOf(s.Key(i)); got != want {
+			t.Fatalf("after move, ShardOf(%s) = %d, want %d", s.Key(i), got, want)
+		}
+	}
+	// The original map is untouched (Apply clones).
+	if m.ShardOf(key) != 0 || m.Version != 0 {
+		t.Fatal("Apply mutated its receiver")
+	}
+}
+
+func TestApplyRangeAndCoalesce(t *testing.T) {
+	s := Space{N: 100}
+	m := RangePartition(s, 4)
+	// Move shard 1's whole range [25,50) to shard 0: the table should
+	// coalesce back to three ranges.
+	next, err := m.Apply(Migration{At: time.Second, Moves: []Move{{Range: KeyRange{Lo: s.Key(25), Hi: s.Key(50)}, To: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Owners) != 3 {
+		t.Fatalf("coalesce left %d ranges: %+v", len(next.Owners), next)
+	}
+	for i := 0; i < 50; i++ {
+		if next.ShardOf(s.Key(i)) != 0 {
+			t.Fatalf("key %d not on shard 0", i)
+		}
+	}
+	// Unbounded tail move.
+	tail, err := next.Apply(Migration{At: 2 * time.Second, Moves: []Move{{Range: KeyRange{Lo: s.Key(75)}, To: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tail.ShardOf(s.Key(99)); got != 0 {
+		t.Fatalf("tail key on shard %d", got)
+	}
+	if tail.Version != 2 {
+		t.Fatalf("Version = %d", tail.Version)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	m := RangePartition(Space{N: 100}, 2)
+	if _, err := m.Apply(Migration{Moves: []Move{MoveKey("key-01", 9)}}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := m.Apply(Migration{Moves: []Move{{Range: KeyRange{Lo: "b", Hi: "a"}, To: 0}}}); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	r := KeyRange{Lo: "b", Hi: "d"}
+	for key, want := range map[string]bool{"a": false, "b": true, "c": true, "d": false} {
+		if got := r.Contains(key); got != want {
+			t.Errorf("Contains(%q) = %v", key, got)
+		}
+	}
+	if !(KeyRange{Lo: "b"}).Contains("zzz") {
+		t.Error("unbounded range rejected tail key")
+	}
+	if got := (KeyRange{Lo: "b"}).String(); got != "[b,∞)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPlanEpochs(t *testing.T) {
+	s := Space{N: 100}
+	plan := Plan{
+		Base: RangePartition(s, 2),
+		Migrations: []Migration{
+			{At: 10 * time.Millisecond, Moves: []Move{MoveKey(s.Key(10), 1)}},
+			{At: 20 * time.Millisecond, Moves: []Move{MoveKey(s.Key(10), 0)}},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Epochs() != 3 {
+		t.Fatalf("Epochs() = %d", plan.Epochs())
+	}
+	for at, want := range map[model.Time]int{
+		0:                     0,
+		9 * time.Millisecond:  0,
+		10 * time.Millisecond: 1, // an op at exactly the cutover is post-cutover
+		19 * time.Millisecond: 1,
+		20 * time.Millisecond: 2,
+		time.Hour:             2,
+	} {
+		if got := plan.EpochAt(at); got != want {
+			t.Errorf("EpochAt(%v) = %d, want %d", at, got, want)
+		}
+	}
+	maps, err := plan.Maps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 3 {
+		t.Fatalf("Maps() returned %d epochs", len(maps))
+	}
+	key := s.Key(10)
+	for _, tc := range []struct {
+		at   model.Time
+		want int
+	}{{0, 0}, {15 * time.Millisecond, 1}, {time.Minute, 0}} {
+		got, err := plan.ShardOf(key, tc.at)
+		if err != nil || got != tc.want {
+			t.Errorf("ShardOf(%s, %v) = %d, %v; want %d", key, tc.at, got, err, tc.want)
+		}
+	}
+	if maps[2].Version != 2 {
+		t.Fatalf("final map version %d", maps[2].Version)
+	}
+	if !reflect.DeepEqual(maps[0], plan.Base) {
+		t.Fatal("epoch-0 map differs from Base")
+	}
+}
+
+func TestPlanValidateErrors(t *testing.T) {
+	base := RangePartition(Space{N: 100}, 2)
+	for name, plan := range map[string]Plan{
+		"bad base":     {Base: PartitionMap{}},
+		"zero cutover": {Base: base, Migrations: []Migration{{At: 0}}},
+		"unordered": {Base: base, Migrations: []Migration{
+			{At: 2 * time.Second}, {At: time.Second},
+		}},
+		"bad move": {Base: base, Migrations: []Migration{
+			{At: time.Second, Moves: []Move{MoveKey("k", 7)}},
+		}},
+	} {
+		if err := plan.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestSplitHot(t *testing.T) {
+	s := Space{N: 100}
+	m := RangePartition(s, 4) // shard 0 owns [0,25)
+	hot := []KeyLoad{
+		{Key: s.Key(0), Ops: 300},
+		{Key: s.Key(1), Ops: 200},
+		{Key: s.Key(30), Ops: 150}, // on shard 1, must be skipped
+		{Key: s.Key(2), Ops: 100},
+	}
+	mig := SplitHot(m, []int{700, 150, 100, 50}, hot, time.Second, 2.0)
+	if mig == nil {
+		t.Fatal("imbalanced load produced no migration")
+	}
+	if mig.At != time.Second || mig.Reason != "hot-split" {
+		t.Fatalf("migration = %+v", mig)
+	}
+	// Hottest shard 0 (700 ops, mean 250): budget (700-250)/2 = 225, so the
+	// top key (300 ops) alone covers it. All moves target coldest shard 3.
+	if len(mig.Moves) != 1 || mig.Moves[0].To != 3 || mig.Moves[0].Range.Lo != s.Key(0) {
+		t.Fatalf("moves = %+v", mig.Moves)
+	}
+	if _, err := m.Apply(*mig); err != nil {
+		t.Fatalf("planned migration does not apply: %v", err)
+	}
+}
+
+func TestSplitHotNothingToDo(t *testing.T) {
+	s := Space{N: 100}
+	m := RangePartition(s, 4)
+	hot := []KeyLoad{{Key: s.Key(0), Ops: 10}}
+	if mig := SplitHot(m, []int{100, 100, 100, 100}, hot, time.Second, 2.0); mig != nil {
+		t.Fatalf("balanced load planned %+v", mig)
+	}
+	if mig := SplitHot(RangePartition(s, 1), []int{100}, hot, time.Second, 2.0); mig != nil {
+		t.Fatal("single-shard map planned a migration")
+	}
+	if mig := SplitHot(m, []int{100, 100}, hot, time.Second, 2.0); mig != nil {
+		t.Fatal("mismatched shardOps accepted")
+	}
+	if mig := SplitHot(m, []int{0, 0, 0, 0}, hot, time.Second, 2.0); mig != nil {
+		t.Fatal("zero load planned a migration")
+	}
+	// Hot keys all on other shards: nothing movable.
+	if mig := SplitHot(m, []int{700, 100, 100, 100}, []KeyLoad{{Key: s.Key(50), Ops: 500}}, time.Second, 2.0); mig != nil {
+		t.Fatal("migration with no movable keys")
+	}
+}

@@ -1,0 +1,69 @@
+package keyspace
+
+import (
+	"sort"
+
+	"timebounds/internal/model"
+)
+
+// SplitHot plans the load-driven follow-up migration: when the observed
+// per-shard operation counts are imbalanced beyond threshold (hottest /
+// mean > threshold), it peels the hottest observed keys off the hottest
+// shard and moves them to the least-loaded shard, as single-key moves at
+// the given cutover instant. It returns nil when the load is already
+// within threshold, the partition has fewer than two shards, or no listed
+// hot key lives on the hot shard — "nothing to do" is a verdict, not an
+// error.
+//
+// shardOps[i] is shard i's observed completed-operation count and hot is
+// the observed per-key load (engine.ShardedReport.Stats.PerShardOps and
+// .HotKeys feed this directly). Keys move until the transferred load
+// reaches half the hot shard's excess over the mean — enough to close most
+// of the gap without overshooting into a reverse imbalance.
+func SplitHot(m PartitionMap, shardOps []int, hot []KeyLoad, at model.Time, threshold float64) *Migration {
+	if m.Shards < 2 || len(shardOps) != m.Shards || threshold <= 0 {
+		return nil
+	}
+	total := 0
+	hottest, coldest := 0, 0
+	for i, ops := range shardOps {
+		total += ops
+		if ops > shardOps[hottest] {
+			hottest = i
+		}
+		if ops < shardOps[coldest] {
+			coldest = i
+		}
+	}
+	mean := float64(total) / float64(m.Shards)
+	if mean == 0 || float64(shardOps[hottest]) <= threshold*mean {
+		return nil
+	}
+
+	// Deterministic candidate order: by observed load descending, ties by
+	// key ascending.
+	cand := append([]KeyLoad(nil), hot...)
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].Ops != cand[j].Ops {
+			return cand[i].Ops > cand[j].Ops
+		}
+		return cand[i].Key < cand[j].Key
+	})
+	budget := (float64(shardOps[hottest]) - mean) / 2
+	mig := &Migration{At: at, Reason: "hot-split"}
+	moved := 0.0
+	for _, kl := range cand {
+		if moved >= budget {
+			break
+		}
+		if m.ShardOf(kl.Key) != hottest {
+			continue
+		}
+		mig.Moves = append(mig.Moves, MoveKey(kl.Key, coldest))
+		moved += float64(kl.Ops)
+	}
+	if len(mig.Moves) == 0 {
+		return nil
+	}
+	return mig
+}

@@ -24,12 +24,13 @@ import (
 // instead of leaving the package silently unscanned.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid time.Now, the global math/rand source, and unsorted map-iteration output in the sim/engine/check/workload packages",
+	Doc:  "forbid time.Now, the global math/rand source, and unsorted map-iteration output in the sim/engine/check/workload/keyspace packages",
 	Packages: []string{
 		"internal/sim",
 		"internal/engine",
 		"internal/check",
 		"internal/workload",
+		"internal/keyspace",
 		"internal/live",
 	},
 	Exempt: []Exemption{{

@@ -22,6 +22,7 @@ import (
 	"timebounds/internal/check"
 	"timebounds/internal/engine"
 	"timebounds/internal/experiments"
+	"timebounds/internal/keyspace"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
 	"timebounds/internal/types"
@@ -80,6 +81,11 @@ func Benchmarks() []Benchmark {
 			Name:  "check/island-steady",
 			Brief: "steady-state re-verification of one 240-op history with a reused arena and warm shared cache (island decomposition on)",
 			Func:  BenchCheckerIslandSteady,
+		},
+		{
+			Name:  "engine/zipf-store",
+			Brief: "planet-scale keyed store: 2400-op Zipf stream over 120 000 keys, range-partitioned into 12 verified shards with one mid-run hot-key migration composed across the handoff",
+			Func:  BenchZipfStore,
 		},
 		{
 			Name:  "live/inproc-cluster",
@@ -300,6 +306,74 @@ func BenchShardedStore(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(rep.Stats.Shards), "shards")
+	b.ReportMetric(float64(rep.Ops), "ops")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(rep.Ops)*float64(b.N)/sec, "ops/s")
+	}
+}
+
+// ZipfStoreScenario builds the zipf-store benchmark's input: a streamed
+// Zipf schedule over a 120 000-key universe (the keyspace package's
+// constant-memory path — the key space is never materialized), range-
+// partitioned into 12 dictionary shards, with one planned migration moving
+// the hottest key off the head shard mid-schedule. Verify is on, so every
+// iteration pays the full composed check: per-shard verdicts plus the
+// migrated key's per-epoch and stitched cross-epoch components.
+func ZipfStoreScenario() engine.ShardedScenario {
+	space := keyspace.Space{N: 120_000}
+	const shards = 12
+	w := keyspace.Workload{
+		Name:  "zipf-store",
+		Space: space,
+		Model: keyspace.Zipf{S: 1.25},
+		Ops:   2400,
+	}
+	p := experiments.DefaultParams(4)
+	// The stream starts at d and spaces ops 2d/n apart; cut over at the
+	// schedule's midpoint so both epochs carry real traffic.
+	cutover := model.Time(p.D) + 1200*model.Time(2*p.D/model.Time(p.N))
+	return engine.ShardedScenario{
+		Params:   p,
+		Seed:     5,
+		Workload: w.Sharded(shards),
+		Plan: &keyspace.Plan{
+			Base: keyspace.RangePartition(space, shards),
+			Migrations: []keyspace.Migration{
+				{At: cutover, Moves: []keyspace.Move{keyspace.MoveKey(space.Key(0), shards-1)}, Reason: "hot head"},
+			},
+		},
+		Verify: true,
+	}
+}
+
+// BenchZipfStore runs the migrating Zipf store once per iteration —
+// streamed expansion over the 120k-key universe, per-shard sub-cluster
+// runs, the drain-then-cutover handoff, and the composed verification
+// across the migration — and reports moved keys and operation throughput.
+func BenchZipfStore(b *testing.B) {
+	ss := ZipfStoreScenario()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep engine.ShardedReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = engine.RunSharded(ss)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Linearizable() {
+			b.Fatal("zipf store must compose linearizable across the migration")
+		}
+		if rep.Stats.MovedKeys == 0 {
+			b.Fatal("zipf store migration moved no keys")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Stats.Shards), "shards")
+	b.ReportMetric(float64(rep.Stats.MovedKeys), "moved-keys")
 	b.ReportMetric(float64(rep.Ops), "ops")
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(rep.Ops)*float64(b.N)/sec, "ops/s")

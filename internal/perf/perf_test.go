@@ -17,6 +17,7 @@ func BenchmarkShardedStore(b *testing.B)         { perf.BenchShardedStore(b) }
 func BenchmarkStreamGrid(b *testing.B)           { perf.BenchStreamGrid(b) }
 func BenchmarkSaturationSearch(b *testing.B)     { perf.BenchSaturationSearch(b) }
 func BenchmarkCheckerIslandSteady(b *testing.B)  { perf.BenchCheckerIslandSteady(b) }
+func BenchmarkZipfStore(b *testing.B)            { perf.BenchZipfStore(b) }
 func BenchmarkLiveInprocCluster(b *testing.B)    { perf.BenchLiveInprocCluster(b) }
 
 // TestBenchmarkCatalog pins the tracked-suite names: renaming or removing
@@ -32,6 +33,7 @@ func TestBenchmarkCatalog(t *testing.T) {
 		"engine/stream-grid",
 		"study/saturation-search",
 		"check/island-steady",
+		"engine/zipf-store",
 		"live/inproc-cluster",
 	}
 	got := perf.Benchmarks()
@@ -58,5 +60,21 @@ func TestGridScenariosShape(t *testing.T) {
 	_, rep := perf.LongHistory()
 	if rep.History.Len() < 200 {
 		t.Fatalf("long history has %d ops, want ≥ 200", rep.History.Len())
+	}
+}
+
+// TestZipfStoreScenarioShape guards the zipf-store benchmark's acceptance
+// shape: a ≥100k-key streamed universe, a planned migration, and composed
+// verification on.
+func TestZipfStoreScenarioShape(t *testing.T) {
+	ss := perf.ZipfStoreScenario()
+	if ss.Workload.KeySpace < 100_000 {
+		t.Fatalf("zipf store spans %d keys, want ≥ 100 000", ss.Workload.KeySpace)
+	}
+	if !ss.Verify {
+		t.Fatal("zipf store must verify the composed report")
+	}
+	if ss.Plan == nil || len(ss.Plan.Migrations) == 0 {
+		t.Fatal("zipf store must schedule a migration")
 	}
 }

@@ -37,6 +37,20 @@ type Sharded struct {
 	// Explicit, when non-empty, is the complete keyed schedule and PerKey
 	// is ignored — the hook for handcrafted stores (examples/kvstore).
 	Explicit []KeyOp
+	// StreamOps, when set, generates the complete keyed schedule as a
+	// stream — fn is called once per operation, in generation order — and
+	// Keys, PerKey and Explicit must be unset. This is the constant-memory
+	// path for planet-scale key universes (internal/keyspace): expansion
+	// memory is bounded by the operation count and the keys actually
+	// touched, never by the universe size. The stream must be a pure
+	// function of (p, seed).
+	StreamOps func(p model.Params, seed int64, fn func(op KeyOp) error) error
+	// StreamLen is the number of operations StreamOps emits, used to size
+	// buffers up front; 0 is allowed (buffers grow).
+	StreamLen int
+	// KeySpace is the size of the streaming key universe, used to clamp
+	// the shard count; required (> 0) when StreamOps is set.
+	KeySpace int
 }
 
 // KeyOp is one keyed operation of a sharded workload: a put, get, or
@@ -67,6 +81,30 @@ func Get(at model.Time, proc model.ProcessID, key string) KeyOp {
 func Del(at model.Time, proc model.ProcessID, key string) KeyOp {
 	return KeyOp{At: at, Proc: proc, Kind: types.OpDelete, Key: key}
 }
+
+// keyOpOf reverses invocation for the known key: it lifts a per-key
+// generated dictionary invocation back into keyed form, so every schedule
+// mode can be walked through one KeyOp iterator (ForEachOp).
+func keyOpOf(inv Invocation, key string) (KeyOp, error) {
+	op := KeyOp{At: inv.At, Proc: inv.Proc, Kind: inv.Kind, Key: key}
+	switch inv.Kind {
+	case types.OpPut:
+		kv, ok := inv.Arg.(types.KV)
+		if !ok {
+			return KeyOp{}, fmt.Errorf("workload: per-key put on %q carries %T, want types.KV", key, inv.Arg)
+		}
+		op.Value = kv.Value
+	case types.OpDictGet, types.OpDelete:
+	default:
+		return KeyOp{}, fmt.Errorf("workload: per-key schedule emitted non-dictionary op %q on %q", inv.Kind, key)
+	}
+	return op, nil
+}
+
+// Invocation translates the keyed operation into its dictionary form —
+// the exported face of the translation Expand applies, for routers
+// (engine migration expansion) that bucket KeyOps themselves.
+func (op KeyOp) Invocation() (Invocation, error) { return op.invocation() }
 
 // invocation translates the keyed operation into its dictionary form.
 func (op KeyOp) invocation() (Invocation, error) {
@@ -184,12 +222,142 @@ type Shard struct {
 	Spec Spec
 }
 
+// ForEachOp walks every keyed operation of the spec in generation order —
+// the ord tie-break Expand sorts with: explicit operations in slice order,
+// per-key generated streams key by key, or the StreamOps stream. It is the
+// one iterator behind Expand's streaming path and the engine's
+// migration-aware routing, and never materializes more than one key's
+// schedule at a time.
+func (s Sharded) ForEachOp(p model.Params, seed int64, fn func(op KeyOp, ord int) error) error {
+	if s.StreamOps != nil {
+		if len(s.Keys) > 0 || len(s.Explicit) > 0 {
+			return fmt.Errorf("workload: sharded spec %q sets StreamOps alongside Keys/Explicit; a streaming spec is the whole schedule", s.Name)
+		}
+		if s.KeySpace <= 0 {
+			return fmt.Errorf("workload: streaming sharded spec %q needs KeySpace > 0", s.Name)
+		}
+		ord := 0
+		return s.StreamOps(p, seed, func(op KeyOp) error {
+			err := fn(op, ord)
+			ord++
+			return err
+		})
+	}
+	if len(s.Explicit) > 0 {
+		for ord, op := range s.Explicit {
+			if err := fn(op, ord); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(s.PerKey.Explicit) > 0 {
+		return fmt.Errorf("workload: sharded spec %q sets PerKey.Explicit; use Sharded.Explicit for handcrafted schedules", s.Name)
+	}
+	keys, err := s.keySpace()
+	if err != nil {
+		return err
+	}
+	ord := 0
+	for _, key := range keys {
+		per := s.PerKey
+		if per.Mix == nil && len(per.PerProcess) == 0 {
+			per.Mix = keyMix(key)
+		}
+		per = per.WithDefaults(p, nil)
+		sched, err := per.Schedule(p, keySeed(seed, key))
+		if err != nil {
+			return fmt.Errorf("workload: key %q: %w", key, err)
+		}
+		for _, inv := range sched.Invocations {
+			op, err := keyOpOf(inv, key)
+			if err != nil {
+				return err
+			}
+			if err := fn(op, ord); err != nil {
+				return err
+			}
+			ord++
+		}
+	}
+	return nil
+}
+
+// expandStream is Expand for streaming specs: one pass over the stream,
+// bucketing operations into shards by the partition function. Memory is
+// O(operations + touched keys) — the key universe (KeySpace) is never
+// enumerated, which is the whole point of the streaming path.
+func (s Sharded) expandStream(p model.Params, seed int64) ([]Shard, error) {
+	if s.Shards <= 0 {
+		// "One shard per key" would materialize the universe; a streaming
+		// spec must pick its partition size.
+		return nil, fmt.Errorf("workload: streaming sharded spec %q needs explicit Shards ≥ 1", s.Name)
+	}
+	shards := s.ShardCount(s.KeySpace)
+	out := make([]Shard, shards)
+	for i := range out {
+		out[i].Index = i
+	}
+	type timed struct {
+		inv Invocation
+		ord int
+	}
+	buckets := make([][]timed, shards)
+	touched := make(map[string]int) // key -> shard, also the dedup set
+	err := s.ForEachOp(p, seed, func(op KeyOp, ord int) error {
+		idx, ok := touched[op.Key]
+		if !ok {
+			var err error
+			if idx, err = s.shardOf(op.Key, -1, shards, -1); err != nil {
+				return err
+			}
+			touched[op.Key] = idx
+			out[idx].Keys = append(out[idx].Keys, op.Key)
+		}
+		inv, err := op.invocation()
+		if err != nil {
+			return err
+		}
+		buckets[idx] = append(buckets[idx], timed{inv: inv, ord: ord})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	name := s.Name
+	if name == "" {
+		name = "sharded"
+	}
+	for i := range out {
+		sort.Strings(out[i].Keys)
+		b := buckets[i]
+		sort.SliceStable(b, func(x, y int) bool {
+			if b[x].inv.At != b[y].inv.At {
+				return b[x].inv.At < b[y].inv.At
+			}
+			return b[x].ord < b[y].ord
+		})
+		invs := make([]Invocation, len(b))
+		for j, t := range b {
+			invs[j] = t.inv
+		}
+		out[i].Spec = Spec{
+			Name:     fmt.Sprintf("%s/shard=%d", name, i),
+			Explicit: invs,
+		}
+	}
+	return out, nil
+}
+
 // Expand partitions the key space and merges each shard's per-key
 // operation streams into one explicit Spec per shard, ordered by
 // invocation time (ties in key-space order). The result is a pure
 // function of (spec, p, seed): same inputs ⇒ identical shards, which is
 // what makes engine-level sharded reports bit-reproducible.
 func (s Sharded) Expand(p model.Params, seed int64) ([]Shard, error) {
+	if s.StreamOps != nil {
+		return s.expandStream(p, seed)
+	}
 	keys, err := s.keySpace()
 	if err != nil {
 		return nil, err

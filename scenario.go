@@ -8,6 +8,7 @@ import (
 	"timebounds/internal/check"
 	"timebounds/internal/engine"
 	"timebounds/internal/fault"
+	"timebounds/internal/keyspace"
 	"timebounds/internal/live"
 	"timebounds/internal/model"
 	"timebounds/internal/spec"
@@ -276,6 +277,47 @@ type (
 	// Composition is the locality verdict over independently checked
 	// components (Herlihy & Wing's composition theorem as a value).
 	Composition = check.Composition
+	// Space is a named key universe: N keys with zero-padded names, so
+	// lexicographic order equals numeric order and range partitions are
+	// contiguous index intervals.
+	Space = keyspace.Space
+	// PopularityModel assigns sampling weight to key indices (Zipf,
+	// HotSet, Uniform); KeyedWorkload streams a keyed schedule from one.
+	PopularityModel = keyspace.Model
+	// Zipf is the power-law popularity model (exponent S > 1).
+	Zipf = keyspace.Zipf
+	// HotSet concentrates Weight of the traffic on the first Hot keys.
+	HotSet = keyspace.HotSet
+	// UniformKeys spreads traffic evenly across the space.
+	UniformKeys = keyspace.Uniform
+	// Tenant is one named slice of a multi-tenant keyed workload.
+	Tenant = keyspace.Tenant
+	// MixWeights sets the put/get/delete ratio of a keyed workload.
+	MixWeights = keyspace.MixWeights
+	// KeyedWorkload is a popularity-driven keyed workload generator; its
+	// Sharded method emits a streaming ShardedWorkload in constant memory.
+	KeyedWorkload = keyspace.Workload
+	// KeyLoad pairs a key with its observed operation count (the
+	// ShardedReport.HotKeys element, and SplitHot's input).
+	KeyLoad = keyspace.KeyLoad
+	// KeyRange is a half-open lexicographic key interval [Lo, Hi).
+	KeyRange = keyspace.KeyRange
+	// PartitionMap is one versioned range-partition assignment of the key
+	// space onto shards.
+	PartitionMap = keyspace.PartitionMap
+	// Move reassigns one key range to a destination shard.
+	Move = keyspace.Move
+	// Migration is a batch of Moves cutting over at one instant.
+	Migration = keyspace.Migration
+	// MigrationPlan is a base PartitionMap plus scheduled Migrations —
+	// ShardedScenario.Plan's type; the engine splits each migrated key's
+	// history at the cutovers and verifies the pieces via Compose.
+	MigrationPlan = keyspace.Plan
+	// Handoff records one key's drain-then-cutover transfer between
+	// shards, including the value carried across.
+	Handoff = engine.Handoff
+	// EpochStats summarizes one partition epoch of a migrating run.
+	EpochStats = engine.EpochStats
 )
 
 // RunSharded expands a sharded scenario into per-shard sub-clusters, runs
@@ -295,6 +337,24 @@ func GetKey(at Time, proc ProcessID, key string) KeyOp { return workload.Get(at,
 
 // DeleteKey returns a keyed delete of key by proc at the given time.
 func DeleteKey(at Time, proc ProcessID, key string) KeyOp { return workload.Del(at, proc, key) }
+
+// RangePartition splits the key space into shards contiguous
+// lexicographic ranges of near-equal size (version 0).
+func RangePartition(space Space, shards int) PartitionMap {
+	return keyspace.RangePartition(space, shards)
+}
+
+// MoveKey returns the Move reassigning exactly one key to shard to.
+func MoveKey(key string, to int) Move { return keyspace.MoveKey(key, to) }
+
+// SplitHot plans a rebalancing migration from observed load: it moves the
+// hottest keys of the hottest shard onto the coldest shard until the
+// excess over the mean is halved. It returns nil when the imbalance is
+// within threshold (hottest ≤ threshold × mean) or nothing can move.
+// Feed it ShardedReport.Stats.PerShardOps and ShardedReport.HotKeys.
+func SplitHot(m PartitionMap, shardOps []int, hot []KeyLoad, at Time, threshold float64) *Migration {
+	return keyspace.SplitHot(m, shardOps, hot, at, threshold)
+}
 
 // ---------------------------------------------------------------------------
 // §4 Streaming & study
